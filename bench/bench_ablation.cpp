@@ -1,0 +1,159 @@
+// E12 — design-choice ablations called out in DESIGN.md:
+//   (a) minimal-feasible closing order (the only degree of freedom in
+//       Theorem 1's algorithm) across instance families;
+//   (b) TwoTrackPeeling's pair-split policy (consolidating coloring vs the
+//       Kumar-Rudra parity split) across families;
+//   (c) online policies vs the offline algorithms (the price of
+//       irrevocable decisions, related-work section / Shalom et al.).
+#include <iostream>
+
+#include "active/exact.hpp"
+#include "active/minimal_feasible.hpp"
+#include "bench_util.hpp"
+#include "busy/demand_profile.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "busy/lower_bounds.hpp"
+#include "busy/online.hpp"
+#include "busy/two_track_peeling.hpp"
+#include "core/rng.hpp"
+#include "gen/gadgets.hpp"
+#include "gen/random_instances.hpp"
+
+int main() {
+  using namespace abt;
+  bench::banner("E12 / ablations",
+                "Close-order, pair-split and online-policy ablations.");
+
+  {
+    std::cout << "(a) minimal-feasible closing order, mean ratio to exact "
+                 "OPT (20 random instances each) plus the Fig 3 family:\n";
+    report::Table table({"order", "random n=8 g=2", "random n=8 unit",
+                         "fig3 g=12 (/OPT)"});
+    const auto orders = {
+        std::pair{"left-to-right", active::CloseOrder::kLeftToRight},
+        std::pair{"right-to-left", active::CloseOrder::kRightToLeft},
+        std::pair{"sparsest-first", active::CloseOrder::kSparsestFirst},
+        std::pair{"densest-first", active::CloseOrder::kDensestFirst},
+        std::pair{"random(seed 9)", active::CloseOrder::kRandom},
+    };
+    for (const auto& [label, order] : orders) {
+      active::MinimalFeasibleOptions options;
+      options.order = order;
+      options.seed = 9;
+
+      report::RatioStats general;
+      report::RatioStats unit;
+      core::Rng rng(515);
+      for (int t = 0; t < 20; ++t) {
+        gen::SlottedParams params;
+        params.num_jobs = 8;
+        params.horizon = 10;
+        params.capacity = 2;
+        const auto inst = gen::random_feasible_slotted(rng, params);
+        const auto exact = active::solve_exact(inst);
+        const double opt = static_cast<double>(exact->schedule.cost());
+        if (opt > 0) {
+          general.add(
+              static_cast<double>(
+                  active::solve_minimal_feasible(inst, options)->cost()) /
+              opt);
+        }
+        params.unit_jobs = true;
+        const auto uinst = gen::random_feasible_slotted(rng, params);
+        const auto uexact = active::solve_exact(uinst);
+        const double uopt = static_cast<double>(uexact->schedule.cost());
+        if (uopt > 0) {
+          unit.add(static_cast<double>(
+                       active::solve_minimal_feasible(uinst, options)->cost()) /
+                   uopt);
+        }
+      }
+      const int g = 12;
+      const auto fig3 = gen::fig3_instance(g);
+      const double fig3_ratio =
+          static_cast<double>(
+              active::solve_minimal_feasible(fig3, options)->cost()) /
+          g;
+      table.add_row({label, report::Table::num(general.mean()),
+                     report::Table::num(unit.mean()),
+                     report::Table::num(fig3_ratio)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n(b) TwoTrackPeeling pair split, cost / demand-profile "
+                 "bound (guarantee: <= 2):\n";
+    report::Table table({"family", "consolidate", "parity"});
+    core::Rng rng(626);
+    const auto run_family = [&](const std::string& name,
+                                const core::ContinuousInstance& inst) {
+      const double profile = busy::DemandProfile(inst).cost();
+      const double cons = core::busy_cost(inst, busy::two_track_peeling(inst));
+      const double par = core::busy_cost(
+          inst,
+          busy::two_track_peeling(inst, nullptr, busy::PairSplit::kParity));
+      table.add_row({name, report::Table::num(cons / profile),
+                     report::Table::num(par / profile)});
+    };
+    gen::ContinuousParams params;
+    params.num_jobs = 60;
+    params.capacity = 4;
+    params.horizon = 25;
+    run_family("uniform", gen::random_continuous(rng, params));
+    run_family("clique", gen::random_clique(rng, params));
+    run_family("proper", gen::random_proper(rng, params));
+    run_family("laminar", gen::random_laminar(rng, params));
+    run_family("fig10 padded (g=6)",
+               busy::pad_to_capacity_multiple(
+                   gen::fig10_adversarial_freeze(6, 0.01, 0.004)));
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n(c) online policies vs offline GreedyTracking, cost / "
+                 "best lower bound (8 random instances each):\n";
+    report::Table table({"n", "g", "online first-fit", "online best-fit",
+                         "online next-fit", "offline GT"});
+    core::Rng rng(737);
+    for (const auto& [n, g] : {std::pair{30, 3}, std::pair{80, 5}}) {
+      report::RatioStats ff;
+      report::RatioStats bf;
+      report::RatioStats nf;
+      report::RatioStats gt;
+      for (int t = 0; t < 8; ++t) {
+        gen::ContinuousParams params;
+        params.num_jobs = n;
+        params.capacity = g;
+        params.horizon = 8 + n / 4.0;
+        const auto inst = gen::random_continuous(rng, params);
+        const double lb = busy::busy_lower_bounds(inst).best();
+        ff.add(core::busy_cost(
+                   inst, busy::schedule_online(
+                             inst, busy::OnlinePolicy::kFirstFit)) /
+               lb);
+        bf.add(core::busy_cost(inst, busy::schedule_online(
+                                         inst, busy::OnlinePolicy::kBestFit)) /
+               lb);
+        nf.add(core::busy_cost(inst, busy::schedule_online(
+                                         inst, busy::OnlinePolicy::kNextFit)) /
+               lb);
+        gt.add(core::busy_cost(inst, busy::greedy_tracking(inst)) / lb);
+      }
+      table.add_row({std::to_string(n), std::to_string(g),
+                     report::Table::num(ff.mean()),
+                     report::Table::num(bf.mean()),
+                     report::Table::num(nf.mean()),
+                     report::Table::num(gt.mean())});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nreading: closing order only matters adversarially "
+               "(densest-first reproduces Fig 3); the consolidating split "
+               "wins clearly on structured families (laminar, the Fig 10 "
+               "gadget) and ties parity on unstructured ones; online pays a "
+               "modest premium on random inputs (its Omega(g) lower bound "
+               "is adversarial).\n";
+  return 0;
+}

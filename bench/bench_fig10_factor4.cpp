@@ -1,0 +1,81 @@
+// E8 — Fig 10-12 + Theorem 10: converting flexible jobs via the
+// g=infinity DP and then running a profile-charging 2-approximation is a
+// 4-approximation, and the factor is tight. On the Fig 10 family the
+// adversarial freeze forces TwoTrackPeeling to ~4g - 2 while OPT is ~g;
+// GreedyTracking (Theorem 5 pipeline) stays within 3.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "busy/demand_profile.hpp"
+#include "busy/first_fit.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "busy/two_track_peeling.hpp"
+#include "core/busy_schedule.hpp"
+#include "gen/gadgets.hpp"
+
+namespace {
+
+/// Busy time of the intended optimal solution for the Fig 10 family:
+/// standalone unit job + flexibles on one machine (1), per gadget one
+/// machine for the unit block (1) and one for each eps flank packing.
+double fig10_optimal_cost(int g, double eps) {
+  return 1.0 + (g - 1) * (1.0 + 2 * eps);
+}
+
+}  // namespace
+
+int main() {
+  using namespace abt;
+  bench::banner(
+      "E8 / Fig 10-12 + Theorem 10",
+      "Flexible jobs via DP + profile-charging algorithm: factor 4, tight. "
+      "Adversarial freeze (Fig 11) + padding drives TwoTrackPeeling to "
+      "~(4g-2)/g; the GreedyTracking pipeline stays <= 3.");
+
+  report::Table table({"g", "OPT", "Fig12 packing", "Fig12 ratio",
+                       "parity split", "parity ratio", "consolidating",
+                       "GT ratio"});
+  for (int g = 2; g <= 10; g += 2) {
+    const double eps = 0.05 / g;
+    const double eps_prime = eps / 3;
+    const auto adversarial = gen::fig10_adversarial_freeze(g, eps, eps_prime);
+    const double opt = fig10_optimal_cost(g, eps);
+
+    // The paper's Fig 12 run: the padded instance (Fig 11 dummies
+    // included) packed the way the pair-opening 2-approximations run it —
+    // four machines per gadget, each straddling both flanks. Verified
+    // feasible by the checker; cost 1 + 4(g-1)(1+2 eps).
+    const gen::PackedInstance fig12 =
+        gen::fig12_paper_packing(g, eps, eps_prime);
+    std::string why;
+    if (!core::check_busy_schedule(fig12.instance, fig12.schedule, &why)) {
+      std::cerr << "Fig 12 packing infeasible: " << why << "\n";
+      return 1;
+    }
+    const double paper = core::busy_cost(fig12.instance, fig12.schedule);
+
+    // The pair-opening variant (Kumar-Rudra parity split) on the same
+    // padded instance reproduces the factor organically; the library's
+    // default consolidating split does much better; GreedyTracking is the
+    // paper's 3-approx.
+    const auto padded = busy::pad_to_capacity_multiple(adversarial);
+    const double parity = core::busy_cost(
+        padded,
+        busy::two_track_peeling(padded, nullptr, busy::PairSplit::kParity));
+    const double peel =
+        core::busy_cost(padded, busy::two_track_peeling(padded));
+    const double gt =
+        core::busy_cost(adversarial, busy::greedy_tracking(adversarial));
+
+    table.add_row({std::to_string(g), report::Table::num(opt),
+                   report::Table::num(paper), report::Table::num(paper / opt),
+                   report::Table::num(parity), report::Table::num(parity / opt),
+                   report::Table::num(peel), report::Table::num(gt / opt)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: the Fig 12 run costs 1 + 4(g-1) + O(eps) vs OPT "
+               "g + O(eps) -> ratio 4 (Theorem 10, tight). The library's "
+               "TwoTrackPeeling consolidates and stays near 2x; the "
+               "GreedyTracking pipeline is 3-approximate (section 4.3).\n";
+  return 0;
+}

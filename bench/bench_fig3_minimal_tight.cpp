@@ -1,0 +1,84 @@
+// E2 — Fig 3 + Theorem 1: any minimal feasible solution is a
+// 3-approximation, and the bound is tight. Sweeps g over the Fig 3 family
+// (OPT = g).
+//
+// Finding of this reproduction: the slot set the paper's prose illustrates
+// (slots 2..3g-1, cost 3g-2) is feasible but NOT set-minimal — closing
+// slots in left-to-right order from it walks all the way down to OPT,
+// because the flow check may reassign jobs (slot 2g retains spare
+// capacity). The tightness itself is nevertheless real: the densest-first
+// closing order produces a genuinely minimal solution of cost 3g - 2
+// (ratio -> 3), by closing the flexible middle capacity first and
+// stranding the two long jobs outside.
+#include <iostream>
+
+#include "active/feasibility.hpp"
+#include "active/minimal_feasible.hpp"
+#include "bench_util.hpp"
+#include "core/slotted_instance.hpp"
+#include "gen/gadgets.hpp"
+
+namespace {
+
+/// Minimalizes a feasible slot set by left-to-right closing.
+std::vector<abt::core::SlotTime> minimalize(
+    const abt::core::SlottedInstance& inst,
+    std::vector<abt::core::SlotTime> slots) {
+  for (std::size_t i = 0; i < slots.size();) {
+    std::vector<abt::core::SlotTime> trial = slots;
+    trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+    if (abt::active::is_feasible_with_slots(inst, trial)) {
+      slots = std::move(trial);
+    } else {
+      ++i;
+    }
+  }
+  return slots;
+}
+
+}  // namespace
+
+int main() {
+  using namespace abt;
+  bench::banner(
+      "E2 / Fig 3 + Theorem 1",
+      "Minimal feasible solutions are 3-approximate and the factor is "
+      "tight: on the Fig 3 family OPT = g and the densest-first closing "
+      "order strands at a minimal solution of cost 3g-2 -> ratio 3. The "
+      "paper's illustrated slot set (cost 3g-2) is feasible but not "
+      "set-minimal; minimalizing it escapes to OPT (see EXPERIMENTS.md).");
+
+  report::Table table({"g", "OPT", "paper set", "minimalized(paper set)",
+                       "densest-first", "ratio", "left-to-right",
+                       "right-to-left"});
+  double last_ratio = 0;
+  for (int g = 3; g <= 24; g += 3) {
+    const core::SlottedInstance inst = gen::fig3_instance(g);
+    const double opt = static_cast<double>(gen::fig3_optimal_slots(g).size());
+
+    const auto paper_set = gen::fig3_adversarial_slots(g);
+    const auto paper_minimalized = minimalize(inst, paper_set);
+
+    auto run = [&](active::CloseOrder order) {
+      active::MinimalFeasibleOptions options;
+      options.order = order;
+      return static_cast<double>(
+          active::solve_minimal_feasible(inst, options)->cost());
+    };
+    const double densest = run(active::CloseOrder::kDensestFirst);
+    last_ratio = densest / opt;
+
+    table.add_row({std::to_string(g), report::Table::num(opt, 0),
+                   std::to_string(paper_set.size()),
+                   std::to_string(paper_minimalized.size()),
+                   report::Table::num(densest, 0),
+                   report::Table::num(densest / opt),
+                   report::Table::num(run(active::CloseOrder::kLeftToRight), 0),
+                   report::Table::num(run(active::CloseOrder::kRightToLeft), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: minimal feasible can cost 3g-2 vs OPT g -> ratio 3; "
+               "measured worst minimal ratio at g=24: "
+            << report::Table::num(last_ratio) << " (approaches 3).\n";
+  return 0;
+}

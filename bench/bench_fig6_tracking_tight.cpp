@@ -1,0 +1,61 @@
+// E5 — Fig 6/7 + Theorem 5: GREEDYTRACKING is 3-approximate and the family
+// of Fig 6 drives it toward the factor. The adversarial g=infinity freeze
+// (Fig 7) pins two flexible jobs inside every gadget; GreedyTracking's
+// track extraction then mixes the shifted unit groups across bundles.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "busy/first_fit.hpp"
+#include "busy/flexible_pipeline.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "core/busy_schedule.hpp"
+#include "gen/gadgets.hpp"
+
+int main() {
+  using namespace abt;
+  bench::banner(
+      "E5 / Fig 6-7 + Theorem 5",
+      "GreedyTracking on the adversarially frozen Fig 6 family vs the "
+      "intended optimum 2g + 2 - eps. Paper: ratio approaches 3 under "
+      "adversarial tie-breaking; FIRSTFIT shown as the 4-approx baseline.");
+
+  report::Table table({"g", "eps", "OPT", "Fig7 packing", "Fig7 ratio",
+                       "GreedyTracking", "GT ratio", "FirstFit",
+                       "pipeline(own DP)"});
+  for (int g = 2; g <= 10; g += 2) {
+    const double eps = 0.5 / g;
+    const core::ContinuousInstance frozen = gen::fig7_adversarial_freeze(g, eps);
+    const double opt = gen::fig6_optimal_cost(g, eps);
+
+    // The paper's Fig 7 packing: a feasible GREEDYTRACKING outcome under
+    // adversarial tie-breaking, verified by the schedule checker.
+    const gen::PackedInstance fig7 = gen::fig7_paper_packing(g, eps);
+    std::string why;
+    if (!core::check_busy_schedule(fig7.instance, fig7.schedule, &why)) {
+      std::cerr << "Fig 7 packing infeasible: " << why << "\n";
+      return 1;
+    }
+    const double paper = core::busy_cost(fig7.instance, fig7.schedule);
+
+    const double gt = core::busy_cost(frozen, busy::greedy_tracking(frozen));
+    const double ff = core::busy_cost(frozen, busy::first_fit(frozen));
+
+    // Full pipeline on the flexible instance with the library's own DP
+    // (tie-breaking may differ from the adversarial freeze).
+    const core::ContinuousInstance flexible = gen::fig6_instance(g, eps);
+    const auto pipeline = busy::schedule_flexible(flexible);
+    const double pipe = core::busy_cost(flexible, pipeline.schedule);
+
+    table.add_row({std::to_string(g), report::Table::num(eps),
+                   report::Table::num(opt), report::Table::num(paper),
+                   report::Table::num(paper / opt), report::Table::num(gt),
+                   report::Table::num(gt / opt), report::Table::num(ff / opt),
+                   report::Table::num(pipe / opt)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: GreedyTracking <= 3 OPT always (Theorem 5); Fig 7's "
+               "packing costs (6 - o(eps))g vs OPT 2g + 2 - eps -> ratio 3. "
+               "The library's deterministic tie-breaking lands far below "
+               "(see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E11 — substrate performance scaling (google-benchmark): max-flow
+// feasibility checks, simplex LP solves, track extraction, the g=infinity
+// DP and the end-to-end algorithms. Not a paper artifact (the paper has no
+// running-time evaluation); establishes that the library scales to
+// realistic instance sizes.
+#include <benchmark/benchmark.h>
+
+#include "active/feasibility.hpp"
+#include "active/lp_model.hpp"
+#include "active/lp_rounding.hpp"
+#include "active/minimal_feasible.hpp"
+#include "busy/dp_unbounded.hpp"
+#include "busy/first_fit.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "busy/preemptive.hpp"
+#include "busy/two_track_peeling.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace {
+
+using namespace abt;
+
+core::SlottedInstance make_slotted(int n, int seed) {
+  core::Rng rng(static_cast<std::uint64_t>(seed));
+  gen::SlottedParams params;
+  params.num_jobs = n;
+  params.horizon = 4 * n;
+  params.capacity = 4;
+  params.max_length = 5;
+  params.max_slack = 8;
+  return gen::random_feasible_slotted(rng, params);
+}
+
+core::ContinuousInstance make_interval(int n, int seed, double slack = 0.0) {
+  core::Rng rng(static_cast<std::uint64_t>(seed));
+  gen::ContinuousParams params;
+  params.num_jobs = n;
+  params.capacity = 4;
+  params.horizon = n / 2.0 + 10;
+  params.max_slack = slack;
+  return gen::random_continuous(rng, params);
+}
+
+void BM_FlowFeasibility(benchmark::State& state) {
+  const auto inst = make_slotted(static_cast<int>(state.range(0)), 1);
+  const auto slots = active::candidate_slots(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(active::is_feasible_with_slots(inst, slots));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowFeasibility)->Range(8, 256)->Complexity();
+
+void BM_MinimalFeasible(benchmark::State& state) {
+  const auto inst = make_slotted(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(active::solve_minimal_feasible(inst));
+  }
+}
+BENCHMARK(BM_MinimalFeasible)->Range(8, 64);
+
+void BM_ActiveLpSolve(benchmark::State& state) {
+  const auto inst = make_slotted(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    const active::ActiveTimeLp model(inst);
+    benchmark::DoNotOptimize(active::solve_active_lp(model));
+  }
+}
+BENCHMARK(BM_ActiveLpSolve)->Range(4, 32);
+
+void BM_LpRounding(benchmark::State& state) {
+  const auto inst = make_slotted(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(active::solve_lp_rounding(inst));
+  }
+}
+BENCHMARK(BM_LpRounding)->Range(4, 32);
+
+void BM_GreedyTracking(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::greedy_tracking(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyTracking)->Range(16, 1024)->Complexity();
+
+void BM_TwoTrackPeeling(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::two_track_peeling(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TwoTrackPeeling)->Range(16, 1024)->Complexity();
+
+void BM_FirstFit(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::first_fit(inst));
+  }
+}
+BENCHMARK(BM_FirstFit)->Range(16, 1024);
+
+void BM_UnboundedDp(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 8, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::solve_unbounded(inst));
+  }
+}
+BENCHMARK(BM_UnboundedDp)->Range(4, 32);
+
+void BM_PreemptiveBounded(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 9, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::solve_preemptive_bounded(inst));
+  }
+}
+BENCHMARK(BM_PreemptiveBounded)->Range(16, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

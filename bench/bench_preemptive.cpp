@@ -1,0 +1,56 @@
+// E10 — Theorems 6 and 7: preemptive busy time. The unbounded greedy is
+// exact (verified against the integral covering LP); the bounded-g
+// algorithm stays within 2x max(OPT_inf, mass/g) and is usually far below.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "busy/preemptive.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+int main() {
+  using namespace abt;
+  bench::banner(
+      "E10 / Theorems 6-7: preemptive busy time",
+      "Bounded-g preemptive 2-approximation vs its lower bound "
+      "max(OPT_inf, mass/g) across workload shapes. Theorem 7 bound: 2.");
+
+  report::Table table({"n", "g", "slack", "trials", "ratio mean", "ratio max",
+                       "OPT_inf share"});
+  core::Rng rng(607);
+
+  struct Config {
+    int n;
+    int g;
+    double slack;
+  };
+  for (const auto& [n, g, slack] :
+       {Config{10, 2, 0.5}, Config{20, 3, 1.0}, Config{40, 4, 2.0},
+        Config{80, 5, 3.0}, Config{160, 8, 4.0}}) {
+    report::RatioStats ratio;
+    report::RatioStats span_share;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+      gen::ContinuousParams params;
+      params.num_jobs = n;
+      params.capacity = g;
+      params.horizon = 10 + n / 3.0;
+      params.max_slack = slack;
+      const auto inst = gen::random_continuous(rng, params);
+      const auto sol = busy::solve_preemptive_bounded(inst);
+      const double lb = std::max(sol.opt_infinity, inst.mass_lower_bound());
+      ratio.add(sol.busy_time / lb);
+      span_share.add(sol.opt_infinity / lb);
+    }
+    table.add_row({std::to_string(n), std::to_string(g),
+                   report::Table::num(slack, 1), std::to_string(trials),
+                   report::Table::num(ratio.mean()),
+                   report::Table::num(ratio.max()),
+                   report::Table::num(span_share.mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: Theorem 6 gives the exact unbounded greedy (tested "
+               "against the covering LP); Theorem 7 bounds the bounded-g "
+               "cost by 2x the lower bound.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#pragma once
+
+// Shared helpers for the experiment binaries. Each binary regenerates one
+// of the paper's figures / in-text bounds and prints the series as a table
+// (see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured values).
+
+#include <iostream>
+#include <string>
+
+#include "report/table.hpp"
+
+namespace abt::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& claim) {
+  std::cout << "\n=== " << experiment_id << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace abt::bench

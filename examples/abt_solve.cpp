@@ -1,0 +1,144 @@
+// abt_solve — command-line front end for the library: read an instance
+// file (see core/io.hpp for the format), run every applicable algorithm,
+// print costs, lower bounds and a Gantt chart.
+//
+//   abt_solve <instance-file> [--gantt]
+//   abt_solve --demo-slotted | --demo-continuous   (print a sample file)
+//
+// Exit code: 0 on success, 1 on unreadable/infeasible input.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "active/exact.hpp"
+#include "active/lp_rounding.hpp"
+#include "active/minimal_feasible.hpp"
+#include "busy/first_fit.hpp"
+#include "busy/flexible_pipeline.hpp"
+#include "busy/lower_bounds.hpp"
+#include "core/io.hpp"
+#include "report/gantt.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+int solve_slotted(const abt::core::SlottedInstance& inst, bool gantt) {
+  using namespace abt;
+  std::cout << "active-time instance: " << inst.size() << " jobs, g = "
+            << inst.capacity() << ", horizon " << inst.horizon() << "\n\n";
+  const auto minimal = active::solve_minimal_feasible(inst);
+  if (!minimal.has_value()) {
+    std::cerr << "instance is infeasible\n";
+    return 1;
+  }
+  const auto rounded = active::solve_lp_rounding(inst);
+
+  report::Table table({"algorithm", "active slots", "guarantee"});
+  table.add_row({"minimal feasible", std::to_string(minimal->cost()),
+                 "<= 3 OPT"});
+  table.add_row({"LP rounding", std::to_string(rounded->schedule.cost()),
+                 "<= 2 OPT"});
+  const bool small = inst.size() <= 10 && inst.horizon() <= 16;
+  if (small) {
+    const auto exact = active::solve_exact(inst);
+    table.add_row({"exact", std::to_string(exact->schedule.cost()),
+                   exact->proven_optimal ? "optimal" : "incumbent"});
+  }
+  table.print(std::cout);
+  std::cout << "\nLP lower bound: " << rounded->lp_objective << "\n";
+  if (gantt) {
+    std::cout << "\n" << report::render_active_gantt(inst, rounded->schedule);
+  }
+  return 0;
+}
+
+int solve_continuous(const abt::core::ContinuousInstance& inst, bool gantt) {
+  using namespace abt;
+  std::cout << "busy-time instance: " << inst.size() << " jobs, g = "
+            << inst.capacity() << ", "
+            << (inst.all_interval_jobs() ? "interval" : "flexible")
+            << " jobs\n\n";
+  const auto bounds = busy::busy_lower_bounds(inst);
+  report::Table table({"algorithm", "busy time", "machines", "guarantee"});
+  const auto add = [&](const std::string& name,
+                       const core::BusySchedule& sched,
+                       const std::string& guarantee) {
+    table.add_row({name, report::Table::num(core::busy_cost(inst, sched)),
+                   std::to_string(sched.machine_count()), guarantee});
+  };
+  const auto gt =
+      busy::schedule_flexible(inst, busy::IntervalAlgorithm::kGreedyTracking);
+  const auto pe =
+      busy::schedule_flexible(inst, busy::IntervalAlgorithm::kTwoTrackPeeling);
+  const auto ff =
+      busy::schedule_flexible(inst, busy::IntervalAlgorithm::kFirstFit);
+  add("GreedyTracking", gt.schedule, "<= 3 OPT");
+  add("TwoTrackPeeling", pe.schedule,
+      inst.all_interval_jobs() ? "<= 2 OPT" : "<= 4 OPT");
+  add("FirstFit", ff.schedule, "<= 4 OPT");
+  table.print(std::cout);
+  std::cout << "\nlower bounds: mass/g = " << report::Table::num(bounds.mass)
+            << ", span = " << report::Table::num(bounds.span);
+  if (bounds.profile > 0) {
+    std::cout << ", profile = " << report::Table::num(bounds.profile);
+  }
+  std::cout << "\n";
+  if (gantt) {
+    std::cout << "\n" << report::render_busy_gantt(inst, gt.schedule, 96);
+  }
+  return 0;
+}
+
+constexpr const char* kDemoSlotted =
+    "model slotted\n"
+    "capacity 2\n"
+    "job 0 4 2\n"
+    "job 1 5 3\n"
+    "job 0 3 1\n"
+    "job 2 6 2\n";
+
+constexpr const char* kDemoContinuous =
+    "model continuous\n"
+    "capacity 2\n"
+    "job 0.0 3.0 3.0\n"
+    "job 0.0 6.0 2.0\n"
+    "job 2.5 7.0 2.0\n"
+    "job 4.0 9.0 3.0\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: abt_solve <instance-file> [--gantt]\n"
+              << "       abt_solve --demo-slotted | --demo-continuous\n";
+    return 1;
+  }
+  const std::string first = argv[1];
+  if (first == "--demo-slotted") {
+    std::cout << kDemoSlotted;
+    return 0;
+  }
+  if (first == "--demo-continuous") {
+    std::cout << kDemoContinuous;
+    return 0;
+  }
+  bool gantt = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gantt") gantt = true;
+  }
+
+  std::ifstream file(first);
+  if (!file) {
+    std::cerr << "cannot open '" << first << "'\n";
+    return 1;
+  }
+  std::string error;
+  const auto parsed = abt::core::parse_instance(file, &error);
+  if (!parsed.has_value()) {
+    std::cerr << "parse error in '" << first << "': " << error << "\n";
+    return 1;
+  }
+  return parsed->kind == abt::core::ModelKind::kSlotted
+             ? solve_slotted(parsed->slotted, gantt)
+             : solve_continuous(parsed->continuous, gantt);
+}

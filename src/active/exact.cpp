@@ -1,0 +1,186 @@
+#include "active/exact.hpp"
+
+#include <algorithm>
+
+#include "active/feasibility.hpp"
+#include "active/minimal_feasible.hpp"
+#include "core/assert.hpp"
+
+namespace abt::active {
+
+using core::ActiveSchedule;
+using core::SlotTime;
+using core::SlottedInstance;
+
+namespace {
+
+/// Hall-style lower bound helper: work(a, b) = total length of jobs whose
+/// window lies inside [a, b]; any feasible solution opens at least
+/// ceil(work / g) slots there.
+class WindowWork {
+ public:
+  explicit WindowWork(const SlottedInstance& inst) : inst_(&inst) {
+    windows_.reserve(static_cast<std::size_t>(inst.size()));
+    for (const core::SlottedJob& job : inst.jobs()) {
+      windows_.push_back({job.release + 1, job.deadline, job.length});
+    }
+  }
+
+  /// Lower bound on extra open slots needed, given per-slot state:
+  /// state[t] in {kOpen, kClosed, kUndecided}. The deficit of window (a,b)
+  /// is ceil(work/g) - open_in(a,b); it must be paid by undecided slots in
+  /// (a,b), each of which also adds 1 to the final cost.
+  struct Deficit {
+    int extra = 0;       ///< max window deficit (extra slots beyond open)
+    bool infeasible = false;  ///< deficit exceeds undecided capacity
+  };
+
+  enum class SlotState : char { kOpen, kClosed, kUndecided };
+
+  [[nodiscard]] Deficit deficit(const std::vector<SlotState>& state,
+                                const std::vector<SlotTime>& slots) const {
+    // Enumerate windows by distinct (a, b) pairs from job windows.
+    Deficit out;
+    for (const Window& wa : windows_) {
+      for (const Window& wb : windows_) {
+        const SlotTime a = wa.begin;
+        const SlotTime b = wb.end;
+        if (a > b) continue;
+        std::int64_t work = 0;
+        for (const Window& w : windows_) {
+          if (w.begin >= a && w.end <= b) work += w.length;
+        }
+        const auto need = static_cast<int>(
+            (work + inst_->capacity() - 1) / inst_->capacity());
+        int open = 0;
+        int undecided = 0;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          if (slots[i] < a || slots[i] > b) continue;
+          if (state[i] == SlotState::kOpen) ++open;
+          if (state[i] == SlotState::kUndecided) ++undecided;
+        }
+        const int deficit = need - open;
+        if (deficit > undecided) {
+          out.infeasible = true;
+          return out;
+        }
+        out.extra = std::max(out.extra, deficit);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Window {
+    SlotTime begin;
+    SlotTime end;
+    SlotTime length;
+  };
+  const SlottedInstance* inst_;
+  std::vector<Window> windows_;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const SlottedInstance& inst, const ExactOptions& options)
+      : inst_(inst),
+        options_(options),
+        slots_(candidate_slots(inst)),
+        work_(inst) {}
+
+  std::optional<ExactResult> run() {
+    if (!is_feasible_with_slots(inst_, slots_)) return std::nullopt;
+
+    // Incumbent: a minimal feasible solution (3-approx) seeds the bound.
+    auto incumbent = solve_minimal_feasible(inst_);
+    ABT_ASSERT(incumbent.has_value(), "feasible instance has minimal solution");
+    best_cost_ = static_cast<int>(incumbent->active_slots.size());
+    best_slots_ = incumbent->active_slots;
+
+    state_.assign(slots_.size(), WindowWork::SlotState::kUndecided);
+    aborted_ = false;
+    dfs(0, 0);
+
+    ExactResult result;
+    auto schedule = extract_assignment(inst_, best_slots_);
+    ABT_ASSERT(schedule.has_value(), "incumbent must stay feasible");
+    result.schedule = std::move(*schedule);
+    result.proven_optimal = !aborted_;
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  void dfs(std::size_t index, int open_count) {
+    if (aborted_) return;
+    ++nodes_;
+    if (options_.node_limit > 0 && nodes_ > options_.node_limit) {
+      aborted_ = true;
+      return;
+    }
+    if (open_count >= best_cost_) return;  // cannot strictly improve
+
+    const auto deficit = work_.deficit(state_, slots_);
+    if (deficit.infeasible) return;
+    if (open_count + deficit.extra >= best_cost_) return;
+
+    if (index == slots_.size()) {
+      // All decided; verify with the flow check (Hall bound on single
+      // windows is necessary but not sufficient).
+      std::vector<SlotTime> open;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (state_[i] == WindowWork::SlotState::kOpen) open.push_back(slots_[i]);
+      }
+      if (is_feasible_with_slots(inst_, open)) {
+        best_cost_ = open_count;
+        best_slots_ = std::move(open);
+      }
+      return;
+    }
+
+    // Quick feasibility pruning: treat undecided as open; if even that is
+    // infeasible, the subtree is dead.
+    {
+      std::vector<SlotTime> optimistic;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (state_[i] != WindowWork::SlotState::kClosed) {
+          optimistic.push_back(slots_[i]);
+        }
+      }
+      if (!is_feasible_with_slots(inst_, optimistic)) return;
+    }
+
+    // Try closing first: finds cheap solutions early.
+    state_[index] = WindowWork::SlotState::kClosed;
+    dfs(index + 1, open_count);
+    state_[index] = WindowWork::SlotState::kOpen;
+    dfs(index + 1, open_count + 1);
+    state_[index] = WindowWork::SlotState::kUndecided;
+  }
+
+  const SlottedInstance& inst_;
+  ExactOptions options_;
+  std::vector<SlotTime> slots_;
+  WindowWork work_;
+  std::vector<WindowWork::SlotState> state_;
+  int best_cost_ = 0;
+  std::vector<SlotTime> best_slots_;
+  long nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<ExactResult> solve_exact(const SlottedInstance& inst,
+                                       ExactOptions options) {
+  BranchAndBound bnb(inst, options);
+  return bnb.run();
+}
+
+std::optional<ActiveSchedule> solve_unit_greedy(const SlottedInstance& inst) {
+  MinimalFeasibleOptions options;
+  options.order = CloseOrder::kLeftToRight;
+  return solve_minimal_feasible(inst, options);
+}
+
+}  // namespace abt::active

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+
+#include "core/active_schedule.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::active {
+
+/// Exact active-time solver by branch-and-bound over slot open/close
+/// decisions with max-flow feasibility pruning and a Hall-style window
+/// lower bound. Exponential worst case; intended for the small instances
+/// that calibrate the approximation experiments (the paper conjectures the
+/// problem is NP-hard, so no polynomial exact algorithm is expected).
+struct ExactOptions {
+  /// Abort the search after this many branch nodes (0 = unlimited). On
+  /// abort the best incumbent found so far is returned with `proven_optimal
+  /// = false`.
+  long node_limit = 0;
+};
+
+struct ExactResult {
+  core::ActiveSchedule schedule;
+  bool proven_optimal = true;
+  long nodes_explored = 0;
+};
+
+/// Returns nullopt when the instance is infeasible.
+[[nodiscard]] std::optional<ExactResult> solve_exact(
+    const core::SlottedInstance& inst, ExactOptions options = {});
+
+/// Greedy for unit-length jobs: closes slots left to right (keeping every
+/// slot as late as possible), which is the lazy-activation strategy of
+/// Chang, Gabow and Khuller [2] for the unit case. Produces a minimal
+/// feasible solution for arbitrary instances; exact when all p_j = 1
+/// (cross-validated against solve_exact in the test suite).
+[[nodiscard]] std::optional<core::ActiveSchedule> solve_unit_greedy(
+    const core::SlottedInstance& inst);
+
+}  // namespace abt::active

@@ -1,0 +1,125 @@
+#include "active/feasibility.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+#include "flow/dinic.hpp"
+
+namespace abt::active {
+
+using core::ActiveSchedule;
+using core::JobId;
+using core::SlotTime;
+using core::SlottedInstance;
+
+namespace {
+
+/// Builds G_feas and runs max-flow. Returns the flow value, plus (optionally)
+/// the per-(job, slot) routed units through `assignment_out`.
+flow::Dinic::Cap run_feasibility_flow(
+    const SlottedInstance& inst, const std::vector<SlotTime>& active_slots,
+    const std::vector<JobId>* jobs_subset,
+    std::vector<std::vector<SlotTime>>* assignment_out) {
+  std::vector<JobId> jobs;
+  if (jobs_subset != nullptr) {
+    jobs = *jobs_subset;
+  } else {
+    jobs.resize(static_cast<std::size_t>(inst.size()));
+    for (JobId j = 0; j < inst.size(); ++j) {
+      jobs[static_cast<std::size_t>(j)] = j;
+    }
+  }
+
+  const int num_jobs = static_cast<int>(jobs.size());
+  const int num_slots = static_cast<int>(active_slots.size());
+  // Node layout: 0 = source, 1..num_jobs = jobs, then slots, then sink.
+  const int source = 0;
+  const int sink = 1 + num_jobs + num_slots;
+  flow::Dinic dinic(sink + 1);
+
+  struct JobSlotEdge {
+    JobId job;
+    SlotTime slot;
+    flow::Dinic::EdgeRef edge;
+  };
+  std::vector<JobSlotEdge> job_slot_edges;
+
+  flow::Dinic::Cap total_work = 0;
+  for (int ji = 0; ji < num_jobs; ++ji) {
+    const core::SlottedJob& job =
+        inst.job(jobs[static_cast<std::size_t>(ji)]);
+    dinic.add_edge(source, 1 + ji, job.length);
+    total_work += job.length;
+    // Job -> live slot edges. active_slots is sorted; restrict to window.
+    const auto lo = std::upper_bound(active_slots.begin(), active_slots.end(),
+                                     job.release);
+    for (auto it = lo; it != active_slots.end() && *it <= job.deadline; ++it) {
+      const int slot_node =
+          1 + num_jobs + static_cast<int>(it - active_slots.begin());
+      const auto edge = dinic.add_edge(1 + ji, slot_node, 1);
+      if (assignment_out != nullptr) {
+        job_slot_edges.push_back(
+            {jobs[static_cast<std::size_t>(ji)], *it, edge});
+      }
+    }
+  }
+  for (int si = 0; si < num_slots; ++si) {
+    dinic.add_edge(1 + num_jobs + si, sink, inst.capacity());
+  }
+
+  const auto flow_value = dinic.max_flow(source, sink);
+  if (assignment_out != nullptr && flow_value == total_work) {
+    assignment_out->assign(static_cast<std::size_t>(inst.size()), {});
+    for (const JobSlotEdge& e : job_slot_edges) {
+      if (dinic.flow_on(e.edge) > 0) {
+        (*assignment_out)[static_cast<std::size_t>(e.job)].push_back(e.slot);
+      }
+    }
+  }
+  return total_work - flow_value;  // deficit: 0 iff feasible
+}
+
+}  // namespace
+
+bool is_feasible_with_slots(const SlottedInstance& inst,
+                            const std::vector<SlotTime>& active_slots,
+                            const std::vector<JobId>* jobs_subset) {
+  ABT_ASSERT(std::is_sorted(active_slots.begin(), active_slots.end()),
+             "active slots must be sorted");
+  return run_feasibility_flow(inst, active_slots, jobs_subset, nullptr) == 0;
+}
+
+bool is_feasible(const SlottedInstance& inst) {
+  return is_feasible_with_slots(inst, candidate_slots(inst));
+}
+
+std::optional<ActiveSchedule> extract_assignment(
+    const SlottedInstance& inst, std::vector<SlotTime> active_slots) {
+  ABT_ASSERT(std::is_sorted(active_slots.begin(), active_slots.end()),
+             "active slots must be sorted");
+  std::vector<std::vector<SlotTime>> assignment;
+  if (run_feasibility_flow(inst, active_slots, nullptr, &assignment) != 0) {
+    return std::nullopt;
+  }
+  ActiveSchedule sched;
+  sched.active_slots = std::move(active_slots);
+  sched.job_slots = std::move(assignment);
+  for (auto& slots : sched.job_slots) std::sort(slots.begin(), slots.end());
+  return sched;
+}
+
+std::vector<SlotTime> candidate_slots(const SlottedInstance& inst) {
+  std::vector<char> live(static_cast<std::size_t>(inst.horizon()) + 1, 0);
+  for (const core::SlottedJob& job : inst.jobs()) {
+    for (SlotTime t = job.release + 1; t <= job.deadline; ++t) {
+      live[static_cast<std::size_t>(t)] = 1;
+    }
+  }
+  std::vector<SlotTime> out;
+  for (SlotTime t = 1; t <= inst.horizon(); ++t) {
+    if (live[static_cast<std::size_t>(t)] != 0) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace abt::active

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/active_schedule.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::active {
+
+/// Flow-based feasibility for the active-time model (the network G_feas of
+/// Fig 2): source -> job (cap p_j), job -> live active slot (cap 1),
+/// active slot -> sink (cap g). The instance restricted to `active_slots`
+/// is feasible iff max-flow == total work.
+///
+/// `jobs_subset` (optional) restricts the check to those job ids; used by
+/// the LP rounding which checks prefixes "all jobs with deadline <= t_di".
+[[nodiscard]] bool is_feasible_with_slots(
+    const core::SlottedInstance& inst,
+    const std::vector<core::SlotTime>& active_slots,
+    const std::vector<core::JobId>* jobs_subset = nullptr);
+
+/// True when the instance is feasible with every slot 1..T active.
+[[nodiscard]] bool is_feasible(const core::SlottedInstance& inst);
+
+/// Computes an integral assignment of all jobs into `active_slots` via
+/// max-flow (integrality of flow gives an integral schedule, paper sec. 2).
+/// Returns nullopt when infeasible.
+[[nodiscard]] std::optional<core::ActiveSchedule> extract_assignment(
+    const core::SlottedInstance& inst,
+    std::vector<core::SlotTime> active_slots);
+
+/// Slots in which at least one job is live — the only candidates worth
+/// opening. Sorted ascending.
+[[nodiscard]] std::vector<core::SlotTime> candidate_slots(
+    const core::SlottedInstance& inst);
+
+}  // namespace abt::active

@@ -1,0 +1,113 @@
+#include "active/lp_model.hpp"
+
+#include <algorithm>
+
+#include "active/feasibility.hpp"
+#include "core/assert.hpp"
+
+namespace abt::active {
+
+using core::JobId;
+using core::SlotTime;
+using core::SlottedInstance;
+
+ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst) {
+  slots_ = candidate_slots(inst);
+  slot_position_.assign(static_cast<std::size_t>(inst.horizon()) + 1, -1);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slot_position_[static_cast<std::size_t>(slots_[i])] = static_cast<int>(i);
+  }
+
+  // y variables, objective 1.
+  y_vars_.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    y_vars_.push_back(problem_.add_variable(1.0));
+  }
+  // x variables, objective 0.
+  x_vars_.resize(static_cast<std::size_t>(inst.size()));
+  window_begin_.resize(static_cast<std::size_t>(inst.size()));
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const core::SlottedJob& job = inst.job(j);
+    window_begin_[static_cast<std::size_t>(j)] = job.release + 1;
+    auto& vars = x_vars_[static_cast<std::size_t>(j)];
+    vars.reserve(static_cast<std::size_t>(job.window_size()));
+    for (SlotTime t = job.release + 1; t <= job.deadline; ++t) {
+      vars.push_back(problem_.add_variable(0.0));
+    }
+  }
+
+  // x_{t,j} <= y_t.
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const core::SlottedJob& job = inst.job(j);
+    for (SlotTime t = job.release + 1; t <= job.deadline; ++t) {
+      problem_.add_row({{x_index(j, t), 1.0}, {y_index(t), -1.0}},
+                       lp::Sense::kLessEqual, 0.0);
+    }
+  }
+  // sum_j x_{t,j} <= g y_t.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SlotTime t = slots_[i];
+    std::vector<std::pair<int, double>> coeffs;
+    for (JobId j = 0; j < inst.size(); ++j) {
+      const int xv = x_index(j, t);
+      if (xv >= 0) coeffs.emplace_back(xv, 1.0);
+    }
+    if (coeffs.empty()) continue;
+    coeffs.emplace_back(y_vars_[i], -static_cast<double>(inst.capacity()));
+    problem_.add_row(std::move(coeffs), lp::Sense::kLessEqual, 0.0);
+  }
+  // sum_t x_{t,j} >= p_j.
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const core::SlottedJob& job = inst.job(j);
+    std::vector<std::pair<int, double>> coeffs;
+    for (SlotTime t = job.release + 1; t <= job.deadline; ++t) {
+      coeffs.emplace_back(x_index(j, t), 1.0);
+    }
+    problem_.add_row(std::move(coeffs), lp::Sense::kGreaterEqual,
+                     static_cast<double>(job.length));
+  }
+  // y_t <= 1.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    problem_.add_row({{y_vars_[i], 1.0}}, lp::Sense::kLessEqual, 1.0);
+  }
+}
+
+int ActiveTimeLp::y_index(SlotTime t) const {
+  ABT_ASSERT(t >= 0 &&
+                 t < static_cast<SlotTime>(slot_position_.size()) &&
+                 slot_position_[static_cast<std::size_t>(t)] >= 0,
+             "not a candidate slot");
+  return y_vars_[static_cast<std::size_t>(
+      slot_position_[static_cast<std::size_t>(t)])];
+}
+
+int ActiveTimeLp::x_index(JobId j, SlotTime t) const {
+  const auto& vars = x_vars_[static_cast<std::size_t>(j)];
+  const SlotTime begin = window_begin_[static_cast<std::size_t>(j)];
+  const SlotTime offset = t - begin;
+  if (offset < 0 || offset >= static_cast<SlotTime>(vars.size())) return -1;
+  return vars[static_cast<std::size_t>(offset)];
+}
+
+std::vector<double> ActiveTimeLp::y_values(const std::vector<double>& x) const {
+  std::vector<double> y(slots_.size(), 0.0);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    y[i] = x[static_cast<std::size_t>(y_vars_[i])];
+  }
+  return y;
+}
+
+ActiveLpSolution solve_active_lp(const ActiveTimeLp& model) {
+  lp::SimplexSolver solver;
+  const lp::Solution sol = solver.solve(model.problem());
+  ActiveLpSolution out;
+  out.status = sol.status;
+  if (sol.status == lp::SolveStatus::kOptimal) {
+    out.objective = sol.objective;
+    out.y = model.y_values(sol.x);
+    out.raw = sol.x;
+  }
+  return out;
+}
+
+}  // namespace abt::active

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/slotted_instance.hpp"
+#include "lp/simplex.hpp"
+
+namespace abt::active {
+
+/// The LP relaxation LP1 of the paper's IP (section 3):
+///   min sum_t y_t
+///   x_{t,j} <= y_t                 (open slot to use it)
+///   sum_j x_{t,j} <= g y_t        (capacity)
+///   sum_t x_{t,j} >= p_j          (demand)
+///   0 <= y_t <= 1, x_{t,j} >= 0, x only inside job windows.
+///
+/// Variables are created only where meaningful: y_t for candidate slots,
+/// x_{t,j} for slots in job j's window.
+class ActiveTimeLp {
+ public:
+  explicit ActiveTimeLp(const core::SlottedInstance& inst);
+
+  [[nodiscard]] const lp::LinearProblem& problem() const { return problem_; }
+
+  /// Candidate slots, ascending; y variables correspond 1:1.
+  [[nodiscard]] const std::vector<core::SlotTime>& slots() const {
+    return slots_;
+  }
+
+  /// LP variable index of y_t; t must be a candidate slot.
+  [[nodiscard]] int y_index(core::SlotTime t) const;
+  /// LP variable index of x_{t,j}, or -1 when t is outside j's window.
+  [[nodiscard]] int x_index(core::JobId j, core::SlotTime t) const;
+
+  /// The y_t values of an LP solution vector, indexed like slots().
+  [[nodiscard]] std::vector<double> y_values(
+      const std::vector<double>& x) const;
+
+ private:
+  lp::LinearProblem problem_;
+  std::vector<core::SlotTime> slots_;
+  std::vector<int> slot_position_;               // slot -> index in slots_
+  std::vector<int> y_vars_;                      // per slot index
+  std::vector<std::vector<int>> x_vars_;         // per job, per window offset
+  std::vector<core::SlotTime> window_begin_;     // per job: release + 1
+};
+
+/// Solves LP1 to optimality; convenience wrapper.
+struct ActiveLpSolution {
+  lp::SolveStatus status = lp::SolveStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> y;            ///< y_t per candidate slot.
+  std::vector<double> raw;          ///< full LP variable vector
+};
+
+[[nodiscard]] ActiveLpSolution solve_active_lp(const ActiveTimeLp& model);
+
+}  // namespace abt::active

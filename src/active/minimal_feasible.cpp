@@ -1,0 +1,80 @@
+#include "active/minimal_feasible.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "active/feasibility.hpp"
+#include "core/rng.hpp"
+
+namespace abt::active {
+
+using core::ActiveSchedule;
+using core::SlotTime;
+using core::SlottedInstance;
+
+namespace {
+
+std::vector<std::size_t> closing_order(const SlottedInstance& inst,
+                                       const std::vector<SlotTime>& slots,
+                                       const MinimalFeasibleOptions& options) {
+  std::vector<std::size_t> order(slots.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (options.order) {
+    case CloseOrder::kLeftToRight:
+      break;  // already ascending
+    case CloseOrder::kRightToLeft:
+      std::reverse(order.begin(), order.end());
+      break;
+    case CloseOrder::kSparsestFirst:
+    case CloseOrder::kDensestFirst: {
+      std::vector<int> live_count(slots.size(), 0);
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        live_count[i] = static_cast<int>(inst.live_jobs(slots[i]).size());
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return options.order == CloseOrder::kSparsestFirst
+                                    ? live_count[a] < live_count[b]
+                                    : live_count[a] > live_count[b];
+                       });
+      break;
+    }
+    case CloseOrder::kRandom: {
+      core::Rng rng(options.seed);
+      std::shuffle(order.begin(), order.end(), rng.engine());
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::optional<ActiveSchedule> solve_minimal_feasible(
+    const SlottedInstance& inst, MinimalFeasibleOptions options) {
+  std::vector<SlotTime> slots = candidate_slots(inst);
+  if (!is_feasible_with_slots(inst, slots)) return std::nullopt;
+
+  const std::vector<std::size_t> order = closing_order(inst, slots, options);
+  std::vector<char> open(slots.size(), 1);
+
+  // One pass suffices: closing slots only shrinks the feasible set, so a
+  // slot that could not be closed earlier can never be closed later.
+  for (std::size_t idx : order) {
+    open[idx] = 0;
+    std::vector<SlotTime> trial;
+    trial.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (open[i] != 0) trial.push_back(slots[i]);
+    }
+    if (!is_feasible_with_slots(inst, trial)) open[idx] = 1;
+  }
+
+  std::vector<SlotTime> final_slots;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (open[i] != 0) final_slots.push_back(slots[i]);
+  }
+  return extract_assignment(inst, std::move(final_slots));
+}
+
+}  // namespace abt::active

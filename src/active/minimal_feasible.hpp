@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/active_schedule.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::active {
+
+/// Order in which the minimal-feasible solver attempts to close slots.
+/// Any order yields a minimal feasible solution (Definition 4) and hence a
+/// 3-approximation (Theorem 1); the order is the adversarial knob that the
+/// Fig 3 tight example exploits.
+enum class CloseOrder {
+  kLeftToRight,   ///< Close earliest slots first (keeps late slots; "lazy").
+  kRightToLeft,   ///< Close latest slots first (keeps early slots).
+  kSparsestFirst, ///< Close slots with fewest live jobs first.
+  kDensestFirst,  ///< Close slots with most live jobs first.
+  kRandom,        ///< Uniformly random order (seeded).
+};
+
+struct MinimalFeasibleOptions {
+  CloseOrder order = CloseOrder::kLeftToRight;
+  std::uint64_t seed = 1;  ///< Used by kRandom.
+};
+
+/// Computes a minimal feasible solution: starts from all candidate slots
+/// active, closes slots one at a time in the given order, keeping a closure
+/// whenever the remaining set is still feasible (checked by max-flow).
+/// Feasibility is monotone in the slot set, so one pass yields minimality.
+///
+/// Returns nullopt when the instance itself is infeasible. Cost of the
+/// result is at most 3 * OPT (Theorem 1), and the bound is tight (Fig 3).
+[[nodiscard]] std::optional<core::ActiveSchedule> solve_minimal_feasible(
+    const core::SlottedInstance& inst, MinimalFeasibleOptions options = {});
+
+}  // namespace abt::active

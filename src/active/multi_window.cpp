@@ -1,0 +1,207 @@
+#include "active/multi_window.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/assert.hpp"
+#include "flow/dinic.hpp"
+
+namespace abt::active {
+
+using core::ActiveSchedule;
+using core::JobId;
+using core::SlotTime;
+
+MultiWindowInstance::MultiWindowInstance(std::vector<MultiWindowJob> jobs,
+                                         int capacity)
+    : jobs_(std::move(jobs)), capacity_(capacity) {
+  ABT_ASSERT(capacity_ >= 1, "capacity must be positive");
+  for (const MultiWindowJob& job : jobs_) {
+    total_work_ += job.length;
+    for (const auto& [r, d] : job.windows) {
+      horizon_ = std::max(horizon_, d);
+    }
+  }
+}
+
+bool MultiWindowInstance::structurally_valid(std::string* why) const {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const MultiWindowJob& job = jobs_[i];
+    auto fail = [&](const char* reason) {
+      if (why != nullptr) *why = "job " + std::to_string(i) + ": " + reason;
+      return false;
+    };
+    if (job.length < 1) return fail("length must be >= 1");
+    if (job.windows.empty()) return fail("no windows");
+    SlotTime prev_end = -1;
+    for (const auto& [r, d] : job.windows) {
+      if (r < 0) return fail("negative release");
+      if (d <= r) return fail("empty window");
+      if (r < prev_end) return fail("windows overlap or unsorted");
+      prev_end = d;
+    }
+    if (job.window_slots() < job.length) return fail("windows too small");
+  }
+  return true;
+}
+
+std::vector<SlotTime> mw_candidate_slots(const MultiWindowInstance& inst) {
+  std::vector<char> live(static_cast<std::size_t>(inst.horizon()) + 1, 0);
+  for (const MultiWindowJob& job : inst.jobs()) {
+    for (const auto& [r, d] : job.windows) {
+      for (SlotTime t = r + 1; t <= d; ++t) {
+        live[static_cast<std::size_t>(t)] = 1;
+      }
+    }
+  }
+  std::vector<SlotTime> out;
+  for (SlotTime t = 1; t <= inst.horizon(); ++t) {
+    if (live[static_cast<std::size_t>(t)] != 0) out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+flow::Dinic::Cap mw_flow_deficit(
+    const MultiWindowInstance& inst, const std::vector<SlotTime>& slots,
+    std::vector<std::vector<SlotTime>>* assignment_out) {
+  const int num_jobs = inst.size();
+  const int num_slots = static_cast<int>(slots.size());
+  const int source = 0;
+  const int sink = 1 + num_jobs + num_slots;
+  flow::Dinic dinic(sink + 1);
+
+  std::map<SlotTime, int> slot_node;
+  for (int s = 0; s < num_slots; ++s) {
+    slot_node[slots[static_cast<std::size_t>(s)]] = 1 + num_jobs + s;
+  }
+
+  struct JobSlotEdge {
+    JobId job;
+    SlotTime slot;
+    flow::Dinic::EdgeRef edge;
+  };
+  std::vector<JobSlotEdge> edges;
+
+  flow::Dinic::Cap total_work = 0;
+  for (JobId j = 0; j < num_jobs; ++j) {
+    const MultiWindowJob& job = inst.job(j);
+    dinic.add_edge(source, 1 + j, job.length);
+    total_work += job.length;
+    for (const auto& [r, d] : job.windows) {
+      const auto lo = std::lower_bound(slots.begin(), slots.end(), r + 1);
+      for (auto it = lo; it != slots.end() && *it <= d; ++it) {
+        const auto edge = dinic.add_edge(1 + j, slot_node.at(*it), 1);
+        if (assignment_out != nullptr) edges.push_back({j, *it, edge});
+      }
+    }
+  }
+  for (int s = 0; s < num_slots; ++s) {
+    dinic.add_edge(1 + num_jobs + s, sink, inst.capacity());
+  }
+  const auto flow_value = dinic.max_flow(source, sink);
+  if (assignment_out != nullptr && flow_value == total_work) {
+    assignment_out->assign(static_cast<std::size_t>(num_jobs), {});
+    for (const JobSlotEdge& e : edges) {
+      if (dinic.flow_on(e.edge) > 0) {
+        (*assignment_out)[static_cast<std::size_t>(e.job)].push_back(e.slot);
+      }
+    }
+  }
+  return total_work - flow_value;
+}
+
+}  // namespace
+
+bool mw_is_feasible_with_slots(const MultiWindowInstance& inst,
+                               const std::vector<SlotTime>& active_slots) {
+  return mw_flow_deficit(inst, active_slots, nullptr) == 0;
+}
+
+std::optional<ActiveSchedule> mw_extract_assignment(
+    const MultiWindowInstance& inst, std::vector<SlotTime> active_slots) {
+  std::vector<std::vector<SlotTime>> assignment;
+  if (mw_flow_deficit(inst, active_slots, &assignment) != 0) {
+    return std::nullopt;
+  }
+  ActiveSchedule sched;
+  sched.active_slots = std::move(active_slots);
+  sched.job_slots = std::move(assignment);
+  for (auto& s : sched.job_slots) std::sort(s.begin(), s.end());
+  return sched;
+}
+
+bool mw_check_schedule(const MultiWindowInstance& inst,
+                       const ActiveSchedule& sched, std::string* why) {
+  auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  if (static_cast<int>(sched.job_slots.size()) != inst.size()) {
+    return fail("job_slots size mismatch");
+  }
+  std::map<SlotTime, int> load;
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const MultiWindowJob& job = inst.job(j);
+    const auto& slots = sched.job_slots[static_cast<std::size_t>(j)];
+    if (static_cast<SlotTime>(slots.size()) != job.length) {
+      return fail("job " + std::to_string(j) + " wrong unit count");
+    }
+    SlotTime prev = -1;
+    for (SlotTime t : slots) {
+      if (t == prev) return fail("duplicate slot for job " + std::to_string(j));
+      prev = t;
+      if (!job.live_in_slot(t)) {
+        return fail("job " + std::to_string(j) + " outside windows at " +
+                    std::to_string(t));
+      }
+      if (!std::binary_search(sched.active_slots.begin(),
+                              sched.active_slots.end(), t)) {
+        return fail("inactive slot used");
+      }
+      ++load[t];
+    }
+  }
+  for (const auto& [t, count] : load) {
+    if (count > inst.capacity()) {
+      return fail("slot " + std::to_string(t) + " over capacity");
+    }
+  }
+  return true;
+}
+
+std::optional<ActiveSchedule> mw_solve_minimal_feasible(
+    const MultiWindowInstance& inst) {
+  std::vector<SlotTime> slots = mw_candidate_slots(inst);
+  if (!mw_is_feasible_with_slots(inst, slots)) return std::nullopt;
+  for (std::size_t i = 0; i < slots.size();) {
+    std::vector<SlotTime> trial = slots;
+    trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+    if (mw_is_feasible_with_slots(inst, trial)) {
+      slots = std::move(trial);
+    } else {
+      ++i;
+    }
+  }
+  return mw_extract_assignment(inst, std::move(slots));
+}
+
+long mw_brute_force_opt(const MultiWindowInstance& inst) {
+  const std::vector<SlotTime> candidates = mw_candidate_slots(inst);
+  const std::size_t m = candidates.size();
+  ABT_ASSERT(m <= 22, "brute force limited to 22 candidate slots");
+  long best = -1;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    const int bits = __builtin_popcountll(mask);
+    if (best >= 0 && bits >= best) continue;
+    std::vector<SlotTime> open;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1ULL) open.push_back(candidates[i]);
+    }
+    if (mw_is_feasible_with_slots(inst, open)) best = bits;
+  }
+  return best;
+}
+
+}  // namespace abt::active

@@ -1,0 +1,64 @@
+#include "busy/demand_profile.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::ContinuousInstance;
+using core::Interval;
+using core::RealTime;
+
+DemandProfile::DemandProfile(const ContinuousInstance& inst) {
+  ABT_ASSERT(inst.all_interval_jobs(1e-6),
+             "demand profile is defined for interval jobs");
+  const std::vector<Interval> runs = inst.forced_intervals();
+  const std::vector<RealTime> points = core::event_points(runs);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const RealTime lo = points[i];
+    const RealTime hi = points[i + 1];
+    const int raw = core::coverage_at(runs, lo, hi);
+    if (raw == 0) continue;
+    const int demand = (raw + inst.capacity() - 1) / inst.capacity();
+    segments_.push_back({{lo, hi}, raw, demand});
+  }
+}
+
+RealTime DemandProfile::cost() const {
+  RealTime total = 0.0;
+  for (const ProfileSegment& s : segments_) {
+    total += s.demand * s.interval.length();
+  }
+  return total;
+}
+
+int DemandProfile::max_demand() const {
+  int best = 0;
+  for (const ProfileSegment& s : segments_) best = std::max(best, s.demand);
+  return best;
+}
+
+int DemandProfile::max_raw_demand() const {
+  int best = 0;
+  for (const ProfileSegment& s : segments_) best = std::max(best, s.raw_demand);
+  return best;
+}
+
+ContinuousInstance pad_to_capacity_multiple(const ContinuousInstance& inst,
+                                            int* dummy_count) {
+  const DemandProfile profile(inst);
+  std::vector<core::ContinuousJob> jobs = inst.jobs();
+  int added = 0;
+  for (const ProfileSegment& s : profile.segments()) {
+    const int target = s.demand * inst.capacity();
+    for (int k = s.raw_demand; k < target; ++k) {
+      jobs.push_back({s.interval.lo, s.interval.hi, s.interval.length()});
+      ++added;
+    }
+  }
+  if (dummy_count != nullptr) *dummy_count = added;
+  return ContinuousInstance(std::move(jobs), inst.capacity());
+}
+
+}  // namespace abt::busy

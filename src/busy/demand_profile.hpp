@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// One interesting interval with its demand (Definitions 11-13): no job
+/// begins or ends strictly inside it, so both the raw demand |A(t)| and the
+/// demand ceil(|A(t)|/g) are constant over it.
+struct ProfileSegment {
+  core::Interval interval;
+  int raw_demand = 0;  ///< |A(t)| for t inside.
+  int demand = 0;      ///< D(t) = ceil(raw/g).
+};
+
+/// The demand profile DeP(J) of an instance of interval jobs.
+class DemandProfile {
+ public:
+  /// Builds the profile from the forced execution intervals of an
+  /// interval-job instance.
+  explicit DemandProfile(const core::ContinuousInstance& inst);
+
+  [[nodiscard]] const std::vector<ProfileSegment>& segments() const {
+    return segments_;
+  }
+
+  /// The lower bound of Observation 4: sum over interesting intervals of
+  /// demand * length. Any feasible solution keeps ceil(|A(I)|/g) machines
+  /// busy throughout I.
+  [[nodiscard]] core::RealTime cost() const;
+
+  /// Max demand over the profile (the profile's "height" in levels of g).
+  [[nodiscard]] int max_demand() const;
+
+  /// Max raw demand.
+  [[nodiscard]] int max_raw_demand() const;
+
+ private:
+  std::vector<ProfileSegment> segments_;
+};
+
+/// Adds dummy interval jobs spanning each interesting interval until every
+/// raw demand is a multiple of g; the demand profile cost is unchanged
+/// (Appendix A.1). Returns the padded instance; `dummy_count` (optional)
+/// receives the number of jobs added. Dummy jobs are appended after the
+/// original jobs, so ids < inst.size() are preserved.
+[[nodiscard]] core::ContinuousInstance pad_to_capacity_multiple(
+    const core::ContinuousInstance& inst, int* dummy_count = nullptr);
+
+}  // namespace abt::busy

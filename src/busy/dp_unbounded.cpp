@@ -1,0 +1,251 @@
+#include "busy/dp_unbounded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::ContinuousInstance;
+using core::Interval;
+using core::JobId;
+
+namespace {
+
+/// Search key: (position, sorted unsatisfied stragglers). Positions come
+/// from a finite derived set, so exact double equality is safe.
+struct StateKey {
+  double t;
+  std::vector<JobId> pending;
+
+  bool operator==(const StateKey& o) const {
+    return t == o.t && pending == o.pending;
+  }
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(key.t));
+    std::memcpy(&bits, &key.t, sizeof(bits));
+    mix(bits);
+    for (JobId j : key.pending) mix(static_cast<std::uint64_t>(j) + 0x9e3779b9ULL);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct StateValue {
+  double cost = std::numeric_limits<double>::infinity();
+  double chosen_x = 0.0;
+  double chosen_y = 0.0;
+  bool terminal = false;
+};
+
+class UnboundedSolver {
+ public:
+  UnboundedSolver(const ContinuousInstance& inst,
+                  const UnboundedOptions& options)
+      : inst_(inst), options_(options) {
+    const int n = inst_.size();
+    r_.resize(static_cast<std::size_t>(n));
+    p_.resize(static_cast<std::size_t>(n));
+    k_.resize(static_cast<std::size_t>(n));
+    for (JobId j = 0; j < n; ++j) {
+      const core::ContinuousJob& job = inst_.job(j);
+      r_[static_cast<std::size_t>(j)] = job.release;
+      p_[static_cast<std::size_t>(j)] = job.length;
+      k_[static_cast<std::size_t>(j)] = job.latest_start();
+    }
+    // Candidate window starts: releases and latest starts. An exchange
+    // argument (push each window's anchor right, merging on collision)
+    // shows some optimal solution anchors every window at one of these.
+    anchors_ = r_;
+    anchors_.insert(anchors_.end(), k_.begin(), k_.end());
+    std::sort(anchors_.begin(), anchors_.end());
+    anchors_.erase(std::unique(anchors_.begin(), anchors_.end()),
+                   anchors_.end());
+  }
+
+  UnboundedSolution run() {
+    UnboundedSolution out;
+    const int n = inst_.size();
+    out.starts.assign(static_cast<std::size_t>(n), 0.0);
+    if (n == 0) return out;
+
+    const double t0 = -std::numeric_limits<double>::infinity();
+    const double best = solve(t0, {});
+    if (exploded_) {
+      // Fallback: push-left at release (valid upper bound; never triggered
+      // by the test/bench workloads, which assert `exact`).
+      for (JobId j = 0; j < n; ++j) {
+        out.starts[static_cast<std::size_t>(j)] = r_[static_cast<std::size_t>(j)];
+      }
+      out.exact = false;
+    } else {
+      reconstruct(t0, {}, out.starts);
+      out.exact = true;
+      (void)best;
+    }
+    std::vector<Interval> runs;
+    runs.reserve(static_cast<std::size_t>(n));
+    for (JobId j = 0; j < n; ++j) {
+      const double s = out.starts[static_cast<std::size_t>(j)];
+      runs.push_back({s, s + p_[static_cast<std::size_t>(j)]});
+    }
+    out.windows = core::interval_union(runs);
+    out.busy_time = core::span_of(out.windows);
+    out.nodes = static_cast<long>(memo_.size());
+    return out;
+  }
+
+ private:
+  /// Obligation of job j for a window anchored at x: the earliest end a
+  /// window starting at x must have to satisfy j (push-left position).
+  [[nodiscard]] double obligation(JobId j, double x) const {
+    return std::max(r_[static_cast<std::size_t>(j)], x) +
+           p_[static_cast<std::size_t>(j)];
+  }
+
+  /// All jobs not yet satisfied at state (t, pending): the carried
+  /// stragglers plus every job released at or after t.
+  [[nodiscard]] std::vector<JobId> unsatisfied_at(
+      double t, const std::vector<JobId>& pending) const {
+    std::vector<JobId> out = pending;
+    for (JobId j = 0; j < inst_.size(); ++j) {
+      if (r_[static_cast<std::size_t>(j)] >= t) out.push_back(j);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  double solve(double t, const std::vector<JobId>& pending) {
+    if (exploded_) return std::numeric_limits<double>::infinity();
+    const StateKey key{t, pending};
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      return it->second.cost;
+    }
+    if (static_cast<long>(memo_.size()) >= options_.state_limit) {
+      exploded_ = true;
+      return std::numeric_limits<double>::infinity();
+    }
+
+    const std::vector<JobId> todo = unsatisfied_at(t, pending);
+    StateValue value;
+    if (todo.empty()) {
+      value.cost = 0.0;
+      value.terminal = true;
+      memo_.emplace(key, value);
+      return 0.0;
+    }
+
+    // The next window is the earliest remaining, so it must start no later
+    // than every unsatisfied job's latest start.
+    double limit = std::numeric_limits<double>::infinity();
+    for (JobId j : todo) {
+      limit = std::min(limit, k_[static_cast<std::size_t>(j)]);
+    }
+
+    for (double x : anchors_) {
+      if (x < t || x > limit + 1e-12) continue;
+      // Candidate ends: obligations of the unsatisfied jobs.
+      std::vector<double> ends;
+      ends.reserve(todo.size());
+      for (JobId j : todo) ends.push_back(obligation(j, x));
+      std::sort(ends.begin(), ends.end());
+      ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+      for (double y : ends) {
+        // Jobs satisfied by window [x, y]; the rest roll forward.
+        std::vector<JobId> next_pending;
+        bool dead = false;
+        for (JobId j : todo) {
+          if (obligation(j, x) <= y + 1e-12) continue;  // satisfied
+          if (r_[static_cast<std::size_t>(j)] >= y) continue;  // future
+          if (k_[static_cast<std::size_t>(j)] < y) {
+            dead = true;  // straggler expired; a longer window may save it
+            break;
+          }
+          next_pending.push_back(j);
+        }
+        if (dead) continue;
+        const double sub = solve(y, next_pending);
+        if (exploded_) return std::numeric_limits<double>::infinity();
+        const double total = (y - x) + sub;
+        if (total < value.cost - 1e-12) {
+          value.cost = total;
+          value.chosen_x = x;
+          value.chosen_y = y;
+        }
+      }
+    }
+    ABT_ASSERT(value.cost < std::numeric_limits<double>::infinity(),
+               "structurally valid instance always has a schedule");
+    memo_.emplace(key, value);
+    return value.cost;
+  }
+
+  void reconstruct(double t, std::vector<JobId> pending,
+                   std::vector<double>& starts) {
+    while (true) {
+      const auto it = memo_.find(StateKey{t, pending});
+      ABT_ASSERT(it != memo_.end(), "state missing during reconstruction");
+      const StateValue& value = it->second;
+      if (value.terminal) return;
+      const double x = value.chosen_x;
+      const double y = value.chosen_y;
+      const std::vector<JobId> todo = unsatisfied_at(t, pending);
+      std::vector<JobId> next_pending;
+      for (JobId j : todo) {
+        if (obligation(j, x) <= y + 1e-12) {
+          starts[static_cast<std::size_t>(j)] =
+              std::max(r_[static_cast<std::size_t>(j)], x);
+        } else if (r_[static_cast<std::size_t>(j)] < y) {
+          next_pending.push_back(j);
+        }
+      }
+      t = y;
+      pending = std::move(next_pending);
+    }
+  }
+
+  const ContinuousInstance& inst_;
+  UnboundedOptions options_;
+  std::vector<double> r_;
+  std::vector<double> p_;
+  std::vector<double> k_;
+  std::vector<double> anchors_;
+  std::unordered_map<StateKey, StateValue, StateKeyHash> memo_;
+  bool exploded_ = false;
+};
+
+}  // namespace
+
+UnboundedSolution solve_unbounded(const ContinuousInstance& inst,
+                                  UnboundedOptions options) {
+  ABT_ASSERT(inst.structurally_valid(), "invalid instance");
+  UnboundedSolver solver(inst, options);
+  return solver.run();
+}
+
+ContinuousInstance freeze_to_interval_instance(
+    const ContinuousInstance& inst, const UnboundedSolution& solution) {
+  std::vector<core::ContinuousJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(inst.size()));
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const double s = solution.starts[static_cast<std::size_t>(j)];
+    const double p = inst.job(j).length;
+    jobs.push_back({s, s + p, p});
+  }
+  return ContinuousInstance(std::move(jobs), inst.capacity());
+}
+
+}  // namespace abt::busy

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Solution of the busy-time problem with unbounded capacity (g = infinity):
+/// a set of disjoint busy windows plus one start time per job. The busy time
+/// equals OPT_inf, the span lower bound of Observation 3.
+struct UnboundedSolution {
+  double busy_time = 0.0;
+  std::vector<double> starts;            ///< Per job.
+  std::vector<core::Interval> windows;   ///< Disjoint busy components.
+  bool exact = true;                     ///< False only if node budget hit.
+  long nodes = 0;                        ///< Search states expanded.
+};
+
+struct UnboundedOptions {
+  /// Upper bound on memoized states; when exceeded the solver returns the
+  /// push-left upper bound (every job at its release) with exact = false.
+  /// The paper's workloads stay far below this.
+  long state_limit = 2'000'000;
+};
+
+/// Computes an optimal g = infinity schedule. This is the subroutine the
+/// paper cites as Khandekar et al.'s dynamic program (Theorem 4): it fixes
+/// every flexible job's position; the busy time of the output lower-bounds
+/// OPT for any finite g, and freezing the positions turns the instance into
+/// interval jobs (section 4.3).
+///
+/// Implementation: memoized search over states (t, pending) where t is the
+/// next admissible window start and `pending` the unsatisfied jobs released
+/// before t. Candidate window starts are {r_j} union {d_j - p_j} (an
+/// exchange argument shows binding constraints are releases and latest
+/// starts); a window [x, y] ends at the obligation e_j(x) = max(r_j, x) +
+/// p_j of one of the jobs it satisfies. Jobs are pushed left within their
+/// window. Identical jobs collapse in the state key, which keeps the state
+/// space polynomial on the paper's gadget families; exactness is
+/// cross-checked against brute force in the test suite.
+[[nodiscard]] UnboundedSolution solve_unbounded(
+    const core::ContinuousInstance& inst, UnboundedOptions options = {});
+
+/// Freezes the starts of `solution` into an interval-job instance with the
+/// same capacity (r'_j = start, d'_j = start + p_j) — the conversion step
+/// of section 4.3.
+[[nodiscard]] core::ContinuousInstance freeze_to_interval_instance(
+    const core::ContinuousInstance& inst, const UnboundedSolution& solution);
+
+}  // namespace abt::busy

@@ -1,0 +1,119 @@
+#include "busy/exact_busy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::BusySchedule;
+using core::ContinuousInstance;
+using core::Interval;
+using core::JobId;
+
+namespace {
+
+class PartitionSearch {
+ public:
+  explicit PartitionSearch(const ContinuousInstance& inst) : inst_(inst) {
+    runs_ = inst.forced_intervals();
+    // Assign longer jobs first: better pruning.
+    order_.resize(static_cast<std::size_t>(inst.size()));
+    std::iota(order_.begin(), order_.end(), JobId{0});
+    std::sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      return inst_.job(a).length > inst_.job(b).length;
+    });
+    assignment_.assign(static_cast<std::size_t>(inst.size()), -1);
+    best_assignment_ = assignment_;
+  }
+
+  BusySchedule run() {
+    dfs(0, 0, 0.0);
+    BusySchedule sched;
+    sched.placements.assign(static_cast<std::size_t>(inst_.size()), {});
+    for (JobId j = 0; j < inst_.size(); ++j) {
+      sched.placements[static_cast<std::size_t>(j)] = {
+          best_assignment_[static_cast<std::size_t>(j)],
+          inst_.job(j).release};
+    }
+    return sched;
+  }
+
+ private:
+  /// Busy time of bundle `b` under the current partial assignment.
+  double bundle_span(int b) const {
+    std::vector<Interval> ivs;
+    for (JobId j = 0; j < inst_.size(); ++j) {
+      if (assignment_[static_cast<std::size_t>(j)] == b) {
+        ivs.push_back(runs_[static_cast<std::size_t>(j)]);
+      }
+    }
+    return core::span_of(ivs);
+  }
+
+  bool fits(int b, JobId candidate) const {
+    // Max concurrency check at candidate's start and at starts of bundle
+    // members inside the candidate.
+    const Interval& run = runs_[static_cast<std::size_t>(candidate)];
+    std::vector<Interval> members;
+    for (JobId j = 0; j < inst_.size(); ++j) {
+      if (assignment_[static_cast<std::size_t>(j)] == b) {
+        members.push_back(runs_[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::vector<double> probes = {run.lo};
+    for (const Interval& iv : members) {
+      if (iv.lo > run.lo && iv.lo < run.hi) probes.push_back(iv.lo);
+    }
+    for (double p : probes) {
+      int overlap = 1;
+      for (const Interval& iv : members) {
+        if (iv.lo <= p && p < iv.hi) ++overlap;
+      }
+      if (overlap > inst_.capacity()) return false;
+    }
+    return true;
+  }
+
+  void dfs(std::size_t index, int bundles_used, double cost_so_far) {
+    if (cost_so_far >= best_cost_ - 1e-12) return;
+    if (index == order_.size()) {
+      best_cost_ = cost_so_far;
+      best_assignment_ = assignment_;
+      return;
+    }
+    const JobId j = order_[index];
+    // Existing bundles plus one fresh bundle (symmetry-broken).
+    for (int b = 0; b <= bundles_used; ++b) {
+      if (!fits(b, j)) continue;
+      const double before = bundle_span(b);
+      assignment_[static_cast<std::size_t>(j)] = b;
+      const double after = bundle_span(b);
+      dfs(index + 1, std::max(bundles_used, b + 1),
+          cost_so_far - before + after);
+      assignment_[static_cast<std::size_t>(j)] = -1;
+    }
+  }
+
+  const ContinuousInstance& inst_;
+  std::vector<Interval> runs_;
+  std::vector<JobId> order_;
+  std::vector<int> assignment_;
+  std::vector<int> best_assignment_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::optional<BusySchedule> solve_exact_interval(const ContinuousInstance& inst,
+                                                 ExactBusyOptions options) {
+  if (inst.size() > options.max_jobs) return std::nullopt;
+  ABT_ASSERT(inst.all_interval_jobs(1e-6),
+             "exact busy solver expects interval jobs");
+  PartitionSearch search(inst);
+  return search.run();
+}
+
+}  // namespace abt::busy

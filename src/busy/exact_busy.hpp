@@ -1,0 +1,22 @@
+#pragma once
+
+#include <optional>
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Exact busy-time solver for *small* instances of interval jobs, by
+/// exhaustive partition search (jobs assigned one at a time to an existing
+/// or fresh bundle, with capacity pruning and a cost bound). The problem is
+/// NP-hard even for g = 2 [Winkler-Zhang 14], so this is strictly a test /
+/// calibration oracle; it refuses instances larger than `max_jobs`.
+struct ExactBusyOptions {
+  int max_jobs = 14;
+};
+
+[[nodiscard]] std::optional<core::BusySchedule> solve_exact_interval(
+    const core::ContinuousInstance& inst, ExactBusyOptions options = {});
+
+}  // namespace abt::busy

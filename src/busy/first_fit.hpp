@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// FIRSTFIT of Flammini et al. [5], the 4-approximate baseline for interval
+/// jobs: consider jobs in non-increasing order of length and pack each into
+/// the first machine whose capacity constraint survives; open a new machine
+/// when none fits. The paper's Fig 6-style instances drive it to ratio 3+.
+[[nodiscard]] core::BusySchedule first_fit(
+    const core::ContinuousInstance& inst);
+
+/// FIRSTFIT ordered by release time instead of length: 2-approximate on
+/// proper instances (Flammini et al., footnote 1 of the paper).
+[[nodiscard]] core::BusySchedule first_fit_by_release(
+    const core::ContinuousInstance& inst);
+
+}  // namespace abt::busy

@@ -1,0 +1,45 @@
+#include "busy/greedy_tracking.hpp"
+
+#include <numeric>
+
+#include "busy/track.hpp"
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::BusySchedule;
+using core::ContinuousInstance;
+using core::JobId;
+
+BusySchedule greedy_tracking(const ContinuousInstance& inst,
+                             GreedyTrackingTrace* trace) {
+  ABT_ASSERT(inst.all_interval_jobs(1e-6),
+             "GREEDYTRACKING expects interval jobs; flexible instances go "
+             "through the g=infinity DP first (busy/flexible_pipeline)");
+  BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+
+  std::vector<JobId> remaining(static_cast<std::size_t>(inst.size()));
+  std::iota(remaining.begin(), remaining.end(), JobId{0});
+
+  int track_index = 0;
+  while (!remaining.empty()) {
+    const std::vector<JobId> track = longest_track(inst, remaining);
+    ABT_ASSERT(!track.empty(), "nonempty job set yields nonempty track");
+    const int bundle = track_index / inst.capacity();
+    for (JobId j : track) {
+      sched.placements[static_cast<std::size_t>(j)] = {bundle,
+                                                       inst.job(j).release};
+    }
+    // Remove the track from the remaining set.
+    std::vector<char> in_track(static_cast<std::size_t>(inst.size()), 0);
+    for (JobId j : track) in_track[static_cast<std::size_t>(j)] = 1;
+    std::erase_if(remaining,
+                  [&](JobId j) { return in_track[static_cast<std::size_t>(j)] != 0; });
+    if (trace != nullptr) trace->tracks.push_back(track);
+    ++track_index;
+  }
+  return sched;
+}
+
+}  // namespace abt::busy

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Diagnostics of a GREEDYTRACKING run, exposing the tracks it extracted.
+struct GreedyTrackingTrace {
+  /// tracks[i] = job ids of the i-th extracted track (longest first);
+  /// track i lands in bundle i / g.
+  std::vector<std::vector<core::JobId>> tracks;
+};
+
+/// GREEDYTRACKING (Algorithm 1, Theorem 5): iteratively extract a longest
+/// track (max total length set of disjoint interval jobs, via weighted
+/// interval scheduling) and bundle g consecutive tracks per machine.
+/// 3-approximate for interval jobs; the Fig 6/7 gadget drives it to 3.
+[[nodiscard]] core::BusySchedule greedy_tracking(
+    const core::ContinuousInstance& inst,
+    GreedyTrackingTrace* trace = nullptr);
+
+}  // namespace abt::busy

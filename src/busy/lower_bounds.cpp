@@ -1,0 +1,27 @@
+#include "busy/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "busy/demand_profile.hpp"
+#include "busy/dp_unbounded.hpp"
+
+namespace abt::busy {
+
+double BusyLowerBounds::best() const {
+  return std::max({mass, span, profile});
+}
+
+BusyLowerBounds busy_lower_bounds(const core::ContinuousInstance& inst,
+                                  bool compute_span_for_flexible) {
+  BusyLowerBounds out;
+  out.mass = inst.mass_lower_bound();
+  if (inst.all_interval_jobs(1e-6)) {
+    out.span = core::span_of(inst.forced_intervals());
+    out.profile = DemandProfile(inst).cost();
+  } else if (compute_span_for_flexible) {
+    out.span = solve_unbounded(inst).busy_time;
+  }
+  return out;
+}
+
+}  // namespace abt::busy

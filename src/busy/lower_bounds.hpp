@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// The three lower bounds on optimal busy time used throughout section 4.
+struct BusyLowerBounds {
+  double mass = 0.0;    ///< l(J)/g (Observation 2).
+  double span = 0.0;    ///< OPT_inf (Observation 3).
+  double profile = 0.0; ///< Demand-profile cost (Observation 4); interval
+                        ///< jobs only, 0 otherwise.
+
+  [[nodiscard]] double best() const;
+};
+
+/// Computes all applicable lower bounds. For interval jobs the span is the
+/// projection Sp(J); for flexible jobs it is the g = infinity optimum
+/// (computed by the DP; pass `compute_span_for_flexible = false` to skip
+/// that cost on large instances).
+[[nodiscard]] BusyLowerBounds busy_lower_bounds(
+    const core::ContinuousInstance& inst,
+    bool compute_span_for_flexible = true);
+
+}  // namespace abt::busy

@@ -1,0 +1,112 @@
+#include "busy/online.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::BusySchedule;
+using core::ContinuousInstance;
+using core::Interval;
+using core::JobId;
+
+namespace {
+
+/// Online view of one machine: committed intervals plus cached busy time.
+class Machine {
+ public:
+  explicit Machine(int capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool fits(const Interval& candidate) const {
+    std::vector<double> probes = {candidate.lo};
+    for (const Interval& iv : jobs_) {
+      if (iv.lo > candidate.lo && iv.lo < candidate.hi) probes.push_back(iv.lo);
+    }
+    for (double p : probes) {
+      int overlap = 1;
+      for (const Interval& iv : jobs_) {
+        if (iv.lo <= p && p < iv.hi) ++overlap;
+      }
+      if (overlap > capacity_) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] double growth(const Interval& candidate) const {
+    std::vector<Interval> with = jobs_;
+    with.push_back(candidate);
+    return core::span_of(with) - busy_;
+  }
+
+  void add(const Interval& iv) {
+    jobs_.push_back(iv);
+    busy_ = core::span_of(jobs_);
+  }
+
+ private:
+  int capacity_;
+  std::vector<Interval> jobs_;
+  double busy_ = 0.0;
+};
+
+}  // namespace
+
+BusySchedule schedule_online(const ContinuousInstance& inst,
+                             OnlinePolicy policy) {
+  ABT_ASSERT(inst.all_interval_jobs(1e-6),
+             "online model presents interval jobs in release order");
+  std::vector<JobId> order(static_cast<std::size_t>(inst.size()));
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return inst.job(a).release < inst.job(b).release;
+  });
+
+  BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  std::vector<Machine> machines;
+
+  for (JobId j : order) {
+    const core::ContinuousJob& job = inst.job(j);
+    const Interval run{job.release, job.release + job.length};
+    int chosen = -1;
+    switch (policy) {
+      case OnlinePolicy::kFirstFit:
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+          if (machines[m].fits(run)) {
+            chosen = static_cast<int>(m);
+            break;
+          }
+        }
+        break;
+      case OnlinePolicy::kBestFit: {
+        double best_growth = std::numeric_limits<double>::infinity();
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+          if (!machines[m].fits(run)) continue;
+          const double g = machines[m].growth(run);
+          if (g < best_growth - 1e-12) {
+            best_growth = g;
+            chosen = static_cast<int>(m);
+          }
+        }
+        break;
+      }
+      case OnlinePolicy::kNextFit:
+        if (!machines.empty() && machines.back().fits(run)) {
+          chosen = static_cast<int>(machines.size()) - 1;
+        }
+        break;
+    }
+    if (chosen < 0) {
+      machines.emplace_back(inst.capacity());
+      chosen = static_cast<int>(machines.size()) - 1;
+    }
+    machines[static_cast<std::size_t>(chosen)].add(run);
+    sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
+  }
+  return sched;
+}
+
+}  // namespace abt::busy

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Online busy-time scheduling of interval jobs (the setting of Shalom et
+/// al. [13], discussed in the paper's related work): jobs arrive in release
+/// order and must be assigned to a machine immediately and irrevocably.
+/// Deterministic algorithms cannot beat Omega(g)-competitive in general;
+/// these are the natural baselines an offline improvement is measured
+/// against.
+enum class OnlinePolicy {
+  kFirstFit,  ///< First machine whose capacity survives.
+  kBestFit,   ///< Machine whose busy time grows the least (ties: first).
+  kNextFit,   ///< Last opened machine, else a new one.
+};
+
+/// Runs the online simulation: jobs are presented sorted by release time
+/// (ties by id) and placed according to `policy`. Output is feasible for
+/// every policy; cost varies.
+[[nodiscard]] core::BusySchedule schedule_online(
+    const core::ContinuousInstance& inst, OnlinePolicy policy);
+
+}  // namespace abt::busy

@@ -1,0 +1,182 @@
+#include "busy/preemptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::ContinuousInstance;
+using core::Interval;
+using core::JobId;
+using core::PreemptiveBusySchedule;
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Measure of window ∩ union(open).
+double measure_in(const std::vector<Interval>& open, const Interval& window) {
+  double total = 0.0;
+  for (const Interval& iv : open) {
+    const double lo = std::max(iv.lo, window.lo);
+    const double hi = std::min(iv.hi, window.hi);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+/// Free sub-intervals of `window` not covered by `open` (sorted, disjoint).
+std::vector<Interval> free_in(const std::vector<Interval>& open,
+                              const Interval& window) {
+  std::vector<Interval> out;
+  double cursor = window.lo;
+  for (const Interval& iv : open) {
+    if (iv.hi <= window.lo || iv.lo >= window.hi) continue;
+    if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, window.hi)});
+    cursor = std::max(cursor, iv.hi);
+    if (cursor >= window.hi) break;
+  }
+  if (cursor < window.hi) out.push_back({cursor, window.hi});
+  std::erase_if(out, [](const Interval& iv) { return iv.length() <= kEps; });
+  return out;
+}
+
+}  // namespace
+
+PreemptiveUnboundedSolution solve_preemptive_unbounded(
+    const ContinuousInstance& inst) {
+  ABT_ASSERT(inst.structurally_valid(), "invalid instance");
+  PreemptiveUnboundedSolution out;
+
+  std::vector<JobId> order(static_cast<std::size_t>(inst.size()));
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return inst.job(a).deadline < inst.job(b).deadline;
+  });
+
+  std::vector<Interval> open;
+  for (JobId j : order) {
+    const core::ContinuousJob& job = inst.job(j);
+    const Interval window{job.release, job.deadline};
+    double deficit = job.length - measure_in(open, window);
+    if (deficit <= kEps) continue;
+    // Open the *latest* free time inside the window (lazy activation: later
+    // jobs all have later deadlines, so late time is most reusable).
+    std::vector<Interval> gaps = free_in(open, window);
+    for (auto it = gaps.rbegin(); it != gaps.rend() && deficit > kEps; ++it) {
+      const double take = std::min(deficit, it->length());
+      open.push_back({it->hi - take, it->hi});
+      deficit -= take;
+    }
+    ABT_ASSERT(deficit <= kEps, "window shorter than job length");
+    open = core::interval_union(std::move(open));
+  }
+
+  out.open = open;
+  out.busy_time = core::span_of(open);
+
+  // Build the schedule: every job takes the latest `p_j` units of
+  // U ∩ window; with unbounded capacity a single machine hosts everything.
+  out.schedule.pieces.assign(static_cast<std::size_t>(inst.size()), {});
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const core::ContinuousJob& job = inst.job(j);
+    double need = job.length;
+    std::vector<Interval> available;
+    for (const Interval& iv : open) {
+      const double lo = std::max(iv.lo, job.release);
+      const double hi = std::min(iv.hi, job.deadline);
+      if (hi > lo + kEps) available.push_back({lo, hi});
+    }
+    for (auto it = available.rbegin(); it != available.rend() && need > kEps;
+         ++it) {
+      const double take = std::min(need, it->length());
+      out.schedule.pieces[static_cast<std::size_t>(j)].push_back(
+          {0, {it->hi - take, it->hi}});
+      need -= take;
+    }
+    ABT_ASSERT(need <= 1e-6, "open set must cover every job's demand");
+    std::reverse(out.schedule.pieces[static_cast<std::size_t>(j)].begin(),
+                 out.schedule.pieces[static_cast<std::size_t>(j)].end());
+  }
+  return out;
+}
+
+PreemptiveBoundedSolution solve_preemptive_bounded(
+    const ContinuousInstance& inst) {
+  const PreemptiveUnboundedSolution unbounded =
+      solve_preemptive_unbounded(inst);
+
+  PreemptiveBoundedSolution out;
+  out.opt_infinity = unbounded.busy_time;
+  out.schedule.pieces.assign(static_cast<std::size_t>(inst.size()), {});
+
+  // Interesting intervals of the unbounded schedule: cut at every piece
+  // endpoint; inside one cell the set of running jobs is fixed.
+  std::vector<double> points;
+  for (JobId j = 0; j < inst.size(); ++j) {
+    for (const auto& piece :
+         unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
+      points.push_back(piece.run.lo);
+      points.push_back(piece.run.hi);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](double a, double b) { return std::abs(a - b) < kEps; }),
+               points.end());
+
+  for (std::size_t c = 0; c + 1 < points.size(); ++c) {
+    const Interval cell{points[c], points[c + 1]};
+    if (cell.length() <= kEps) continue;
+    const double mid = cell.lo + cell.length() / 2;
+    // Jobs running throughout this cell in the unbounded solution.
+    std::vector<JobId> running;
+    for (JobId j = 0; j < inst.size(); ++j) {
+      for (const auto& piece :
+           unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
+        if (piece.run.lo <= mid && mid < piece.run.hi) {
+          running.push_back(j);
+          break;
+        }
+      }
+    }
+    if (running.empty()) continue;
+    // Deal onto ceil(count/g) machines, filling g at a time: at most one
+    // machine per cell is below capacity (charged to the span bound).
+    for (std::size_t idx = 0; idx < running.size(); ++idx) {
+      const int machine = static_cast<int>(idx) / inst.capacity();
+      out.schedule.pieces[static_cast<std::size_t>(running[idx])].push_back(
+          {machine, cell});
+    }
+  }
+
+  // Merge adjacent same-machine pieces per job (cosmetic; keeps piece
+  // counts linear).
+  for (JobId j = 0; j < inst.size(); ++j) {
+    auto& pieces = out.schedule.pieces[static_cast<std::size_t>(j)];
+    std::sort(pieces.begin(), pieces.end(),
+              [](const PreemptiveBusySchedule::Piece& a,
+                 const PreemptiveBusySchedule::Piece& b) {
+                return a.run.lo < b.run.lo;
+              });
+    std::vector<PreemptiveBusySchedule::Piece> merged;
+    for (const auto& piece : pieces) {
+      if (!merged.empty() && merged.back().machine == piece.machine &&
+          std::abs(merged.back().run.hi - piece.run.lo) < kEps) {
+        merged.back().run.hi = piece.run.hi;
+      } else {
+        merged.push_back(piece);
+      }
+    }
+    pieces = std::move(merged);
+  }
+
+  out.busy_time = core::busy_cost(inst, out.schedule);
+  return out;
+}
+
+}  // namespace abt::busy

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Result of the exact preemptive g = infinity algorithm (Theorem 6).
+struct PreemptiveUnboundedSolution {
+  double busy_time = 0.0;               ///< |U|, optimal.
+  std::vector<core::Interval> open;     ///< The busy set U (disjoint, sorted).
+  core::PreemptiveBusySchedule schedule;  ///< Everything on machine 0.
+};
+
+/// Exact preemptive busy time for unbounded capacity (Theorem 6). With
+/// preemption and g = infinity the problem is: choose a minimum-measure set
+/// U with |U intersect [r_j, d_j)| >= p_j for every job. The earliest-
+/// deadline greedy that opens time as late as possible is optimal (the
+/// paper's iterative shrink formulation is equivalent).
+[[nodiscard]] PreemptiveUnboundedSolution solve_preemptive_unbounded(
+    const core::ContinuousInstance& inst);
+
+/// Result of the 2-approximate preemptive algorithm for bounded g
+/// (Theorem 7): cost <= span(U) + mass/g <= 2 OPT.
+struct PreemptiveBoundedSolution {
+  double busy_time = 0.0;
+  double opt_infinity = 0.0;  ///< Lower bound used by the analysis.
+  core::PreemptiveBusySchedule schedule;
+};
+
+/// 2-approximation for preemptive busy time with bounded g (Theorem 7):
+/// solve g = infinity exactly, keep every job exactly where that solution
+/// ran it, then inside each interesting interval deal the active jobs onto
+/// ceil(count/g) machines so at most one machine per interval is not full.
+[[nodiscard]] PreemptiveBoundedSolution solve_preemptive_bounded(
+    const core::ContinuousInstance& inst);
+
+}  // namespace abt::busy

@@ -1,0 +1,76 @@
+#include "busy/proper_cover.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::ContinuousInstance;
+using core::JobId;
+
+std::vector<JobId> proper_cover(const ContinuousInstance& inst,
+                                const std::vector<JobId>& candidates) {
+  struct Item {
+    double start;
+    double end;
+    JobId job;
+  };
+  std::vector<Item> items;
+  items.reserve(candidates.size());
+  for (JobId j : candidates) {
+    const core::ContinuousJob& job = inst.job(j);
+    items.push_back({job.release, job.release + job.length, j});
+  }
+
+  // Drop dominated execution intervals (contained in another candidate's).
+  // Sort by (start asc, end desc): an item is dominated iff some earlier
+  // item in this order has end >= its end. Ties (identical intervals) keep
+  // the first occurrence only.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end > b.end;
+    return a.job < b.job;
+  });
+  std::vector<Item> proper;
+  double max_end = -std::numeric_limits<double>::infinity();
+  for (const Item& it : items) {
+    if (it.end <= max_end) continue;  // contained in an earlier interval
+    proper.push_back(it);
+    max_end = it.end;
+  }
+  // `proper` is sorted by start, and by construction also by end
+  // (strictly increasing), i.e. a proper instance.
+
+  // Sweep: maintain the frontier (max deadline of Q so far). Among the
+  // remaining jobs live at the frontier, keep the furthest-reaching one and
+  // discard the rest; when none is live (a gap), start a new component.
+  std::vector<JobId> q;
+  double frontier = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  while (i < proper.size()) {
+    if (proper[i].start >= frontier) {
+      // Gap (or first job): the next component starts here.
+      q.push_back(proper[i].job);
+      frontier = proper[i].end;
+      ++i;
+      continue;
+    }
+    // Jobs live at the frontier form a contiguous run [i, last]: starts are
+    // increasing, so all with start < frontier. Ends are increasing, so the
+    // furthest-reaching live job is the last of the run.
+    std::size_t last = i;
+    while (last + 1 < proper.size() && proper[last + 1].start < frontier) {
+      ++last;
+    }
+    q.push_back(proper[last].job);
+    ABT_ASSERT(proper[last].end > frontier,
+               "proper set: later start implies later end");
+    frontier = proper[last].end;
+    i = last + 1;  // everything in between is discarded (already covered)
+  }
+  return q;
+}
+
+}  // namespace abt::busy

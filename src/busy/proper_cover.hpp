@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// The Q-extraction from the proof of Theorem 5: from a set of interval
+/// jobs, select a subset Q with
+///   (1) Sp(Q) = Sp(set)   — same projection onto the time axis, and
+///   (2) at most two jobs of Q overlap at any point in time.
+///
+/// Construction: drop every job whose execution interval is contained in
+/// another's (the survivors form a "proper" set), sweep by release time and
+/// repeatedly keep, among the jobs live at the current frontier deadline,
+/// only the one reaching furthest.
+///
+/// Both properties are verified by the test suite; TwoTrackPeeling relies
+/// on them for its 2-approximation charging.
+[[nodiscard]] std::vector<core::JobId> proper_cover(
+    const core::ContinuousInstance& inst,
+    const std::vector<core::JobId>& candidates);
+
+}  // namespace abt::busy

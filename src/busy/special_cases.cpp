@@ -1,0 +1,106 @@
+#include "busy/special_cases.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::BusySchedule;
+using core::ContinuousInstance;
+using core::JobId;
+
+bool is_proper_instance(const ContinuousInstance& inst, core::RealTime eps) {
+  const auto runs = inst.forced_intervals();
+  for (std::size_t a = 0; a < runs.size(); ++a) {
+    for (std::size_t b = 0; b < runs.size(); ++b) {
+      if (a == b) continue;
+      // a strictly inside b.
+      if (runs[a].lo > runs[b].lo + eps && runs[a].hi < runs[b].hi - eps) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_clique_instance(const ContinuousInstance& inst, core::RealTime eps) {
+  if (inst.size() == 0) return true;
+  double latest_start = -std::numeric_limits<double>::infinity();
+  double earliest_end = std::numeric_limits<double>::infinity();
+  for (const auto& iv : inst.forced_intervals()) {
+    latest_start = std::max(latest_start, iv.lo);
+    earliest_end = std::min(earliest_end, iv.hi);
+  }
+  return latest_start < earliest_end + eps;
+}
+
+std::optional<BusySchedule> solve_proper_clique(
+    const ContinuousInstance& inst) {
+  if (!inst.all_interval_jobs(1e-6) || !is_proper_instance(inst) ||
+      !is_clique_instance(inst)) {
+    return std::nullopt;
+  }
+  const int n = inst.size();
+  BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(n), {});
+  if (n == 0) return sched;
+
+  // Release order; in a proper instance this is also deadline order, so a
+  // consecutive run's span is end(last) - start(first).
+  std::vector<JobId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (inst.job(a).release != inst.job(b).release) {
+      return inst.job(a).release < inst.job(b).release;
+    }
+    return inst.job(a).deadline < inst.job(b).deadline;
+  });
+
+  const auto start_of = [&](int i) {
+    return inst.job(order[static_cast<std::size_t>(i)]).release;
+  };
+  const auto end_of = [&](int i) {
+    const auto& job = inst.job(order[static_cast<std::size_t>(i)]);
+    return job.release + job.length;
+  };
+
+  // f[i] = min busy time for the first i jobs in order; choice[i] = size of
+  // the last bundle.
+  std::vector<double> f(static_cast<std::size_t>(n) + 1,
+                        std::numeric_limits<double>::infinity());
+  std::vector<int> choice(static_cast<std::size_t>(n) + 1, 0);
+  f[0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    for (int k = 1; k <= std::min(i, inst.capacity()); ++k) {
+      // Bundle holds jobs order[i-k .. i-1]. All jobs overlap the clique
+      // point, so the bundle's span is one interval. Proper order makes
+      // the latest end belong to the last job.
+      const double span = end_of(i - 1) - start_of(i - k);
+      if (f[static_cast<std::size_t>(i - k)] + span <
+          f[static_cast<std::size_t>(i)]) {
+        f[static_cast<std::size_t>(i)] =
+            f[static_cast<std::size_t>(i - k)] + span;
+        choice[static_cast<std::size_t>(i)] = k;
+      }
+    }
+  }
+
+  int machine = 0;
+  for (int i = n; i > 0;) {
+    const int k = choice[static_cast<std::size_t>(i)];
+    ABT_ASSERT(k >= 1, "DP reconstruction broke");
+    for (int j = i - k; j < i; ++j) {
+      const JobId id = order[static_cast<std::size_t>(j)];
+      sched.placements[static_cast<std::size_t>(id)] = {
+          machine, inst.job(id).release};
+    }
+    ++machine;
+    i -= k;
+  }
+  return sched;
+}
+
+}  // namespace abt::busy

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// True when no job's execution interval is strictly contained in
+/// another's (a "proper" instance — footnote 1 of the paper). FIRSTFIT by
+/// release time is 2-approximate on these.
+[[nodiscard]] bool is_proper_instance(const core::ContinuousInstance& inst,
+                                      core::RealTime eps = 1e-9);
+
+/// True when all execution intervals share a common time point (a "clique"
+/// instance).
+[[nodiscard]] bool is_clique_instance(const core::ContinuousInstance& inst,
+                                      core::RealTime eps = 1e-9);
+
+/// Exact solver for instances that are both proper and a clique, via the
+/// simple dynamic program of Mertzios et al. [12] that the paper's
+/// footnote 1 refers to: in a proper clique there is an optimal solution
+/// whose bundles are consecutive runs of at most g jobs in release order,
+/// so  f(i) = min over k in [1, g] of f(i-k) + (end_i - start_{i-k+1}).
+///
+/// Returns nullopt when the instance is not a proper clique (checked).
+[[nodiscard]] std::optional<core::BusySchedule> solve_proper_clique(
+    const core::ContinuousInstance& inst);
+
+}  // namespace abt::busy

@@ -1,0 +1,81 @@
+#include "busy/track.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace abt::busy {
+
+using core::ContinuousInstance;
+using core::JobId;
+
+std::vector<JobId> max_weight_track(const ContinuousInstance& inst,
+                                    const std::vector<JobId>& candidates,
+                                    const std::vector<double>& weights) {
+  ABT_ASSERT(candidates.size() == weights.size(), "weights size mismatch");
+  const auto m = candidates.size();
+  if (m == 0) return {};
+
+  struct Item {
+    double start;
+    double end;
+    double weight;
+    JobId job;
+  };
+  std::vector<Item> items;
+  items.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const core::ContinuousJob& job = inst.job(candidates[i]);
+    items.push_back(
+        {job.release, job.release + job.length, weights[i], candidates[i]});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.end < b.end; });
+
+  // pred[i] = largest index k < i with items[k].end <= items[i].start, or -1.
+  std::vector<int> pred(m, -1);
+  std::vector<double> ends(m);
+  for (std::size_t i = 0; i < m; ++i) ends[i] = items[i].end;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto it =
+        std::upper_bound(ends.begin(), ends.begin() + static_cast<std::ptrdiff_t>(i),
+                         items[i].start + 1e-12);
+    pred[i] = static_cast<int>(it - ends.begin()) - 1;
+  }
+
+  // best[i] = best weight using items[0..i]; take[i] = whether item i used.
+  std::vector<double> best(m + 1, 0.0);
+  std::vector<char> take(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double with_item =
+        items[i].weight + best[static_cast<std::size_t>(pred[i] + 1)];
+    if (with_item > best[i]) {
+      best[i + 1] = with_item;
+      take[i] = 1;
+    } else {
+      best[i + 1] = best[i];
+    }
+  }
+
+  std::vector<JobId> out;
+  for (auto i = static_cast<std::ptrdiff_t>(m) - 1; i >= 0;) {
+    if (take[static_cast<std::size_t>(i)] != 0) {
+      out.push_back(items[static_cast<std::size_t>(i)].job);
+      i = pred[static_cast<std::size_t>(i)];
+    } else {
+      --i;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<JobId> longest_track(const ContinuousInstance& inst,
+                                 const std::vector<JobId>& candidates) {
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (JobId j : candidates) weights.push_back(inst.job(j).length);
+  return max_weight_track(inst, candidates, weights);
+}
+
+}  // namespace abt::busy

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Weighted interval scheduling over a subset of interval jobs: finds a
+/// *track* (Definition 14: pairwise-disjoint jobs) maximizing total weight.
+/// GreedyTracking uses weight = length so that each extracted track is a
+/// longest track (Algorithm 1, step 3).
+///
+/// `candidates` are job ids into `inst`; `weight[i]` corresponds to
+/// `candidates[i]`. Jobs are treated as their forced execution intervals
+/// [r_j, r_j + p_j) — callers must pass interval jobs.
+///
+/// Classic O(m log m) dynamic program: sort by end, binary-search the latest
+/// compatible predecessor.
+[[nodiscard]] std::vector<core::JobId> max_weight_track(
+    const core::ContinuousInstance& inst,
+    const std::vector<core::JobId>& candidates,
+    const std::vector<double>& weights);
+
+/// Convenience: maximum *length* track (weights = lengths).
+[[nodiscard]] std::vector<core::JobId> longest_track(
+    const core::ContinuousInstance& inst,
+    const std::vector<core::JobId>& candidates);
+
+}  // namespace abt::busy

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy {
+
+/// Diagnostics: the peeled levels. Level l (0-based) is a <=2-overlap cover
+/// of the span of the jobs remaining before it was peeled, so its span is
+/// contained in {t : raw demand >= l+1} — the charging fact behind the
+/// 2-approximation.
+struct PeelingTrace {
+  std::vector<std::vector<core::JobId>> levels;
+};
+
+/// How a level's (2-colorable) jobs are split across its machine pair.
+/// Both policies satisfy the same 2x demand-profile guarantee; they differ
+/// in constants on structured instances.
+enum class PairSplit {
+  /// Greedy interval coloring: reuse color 0 whenever free. Consolidates
+  /// disjoint jobs onto one machine of the pair, often leaving the other
+  /// nearly idle — this is what keeps the library's default far below the
+  /// worst case on the Fig 10-12 family.
+  kConsolidate,
+  /// Alternate machines along each level in release order — the
+  /// parity-based assignment of Kumar-Rudra [11] (and the flavor of
+  /// Alicherry-Bhatia [1]). Spreads every level across both machines of
+  /// the pair; exhibits the paper's factor-4 lower bound on the Fig 10-12
+  /// family organically (Theorem 10).
+  kParity,
+};
+
+/// TwoTrackPeeling: the library's 2-approximation for busy time on interval
+/// jobs. It reimplements the charging scheme that makes the algorithms of
+/// Kumar-Rudra [11] and Alicherry-Bhatia [1] 2-approximate (Theorem 3 /
+/// Appendix A) with a direct combinatorial construction:
+///
+///   1. Repeatedly peel a level: a <=2-overlap subset covering the full
+///      span of the remaining jobs (proper_cover, the Q of Theorem 5).
+///      Level l's span is contained in {t : |A(t)| >= l}, so summing level
+///      spans in groups of g charges the demand profile once.
+///   2. Group g consecutive levels per machine *pair*; 2-color each level
+///      (its interval graph has clique number <= 2) and send the color
+///      classes to the two machines. Each machine holds at most one job
+///      per level at any time, hence at most g.
+///
+/// Total cost <= 2 * demand-profile cost <= 2 * OPT (Observation 4). The
+/// Fig 8 instance shows the factor 2 is tight.
+[[nodiscard]] core::BusySchedule two_track_peeling(
+    const core::ContinuousInstance& inst, PeelingTrace* trace = nullptr,
+    PairSplit split = PairSplit::kConsolidate);
+
+}  // namespace abt::busy

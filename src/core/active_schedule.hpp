@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/slotted_instance.hpp"
+
+namespace abt::core {
+
+/// A feasible solution to the active-time problem: the set A of active slots
+/// plus an assignment of each unit of work to a slot (paper section 2).
+struct ActiveSchedule {
+  /// Sorted, distinct active slots.
+  std::vector<SlotTime> active_slots;
+  /// job_slots[j] = sorted, distinct slots in which one unit of job j runs.
+  std::vector<std::vector<SlotTime>> job_slots;
+
+  /// Active-time cost |A|.
+  [[nodiscard]] SlotTime cost() const {
+    return static_cast<SlotTime>(active_slots.size());
+  }
+};
+
+/// Verifies all feasibility conditions of an active-time schedule:
+///  * every assigned slot is active,
+///  * at most one unit of a job per slot, within the job's window,
+///  * job j receives exactly p_j units,
+///  * at most g jobs share any slot.
+/// On failure returns false and (optionally) explains in `why`.
+[[nodiscard]] bool check_active_schedule(const SlottedInstance& inst,
+                                         const ActiveSchedule& sched,
+                                         std::string* why = nullptr);
+
+/// Number of jobs assigned to each active slot, indexed like
+/// `sched.active_slots`.
+[[nodiscard]] std::vector<int> slot_loads(const SlottedInstance& inst,
+                                          const ActiveSchedule& sched);
+
+}  // namespace abt::core

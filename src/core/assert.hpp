@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// ABT_ASSERT(cond, msg): contract check that stays on in release builds.
+/// The library is a research artifact; silent corruption is worse than an
+/// abort, so violations terminate with a location-stamped message.
+#define ABT_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ABT_ASSERT failed at %s:%d: %s\n  -> %s\n",    \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,194 @@
+#include "core/busy_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abt::core {
+
+namespace {
+
+bool fail(std::string* why, std::string reason) {
+  if (why != nullptr) *why = std::move(reason);
+  return false;
+}
+
+/// Max number of intervals simultaneously overlapping, by plane sweep.
+int max_concurrency(std::vector<Interval> ivs) {
+  struct Event {
+    RealTime t;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(ivs.size() * 2);
+  for (const Interval& iv : ivs) {
+    if (iv.empty()) continue;
+    events.push_back({iv.lo, +1});
+    events.push_back({iv.hi, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    // Process closings before openings at the same coordinate: intervals are
+    // half-open, so [a,b) and [b,c) do not overlap.
+    return a.t < b.t || (a.t == b.t && a.delta < b.delta);
+  });
+  int cur = 0;
+  int best = 0;
+  for (const Event& e : events) {
+    cur += e.delta;
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+int BusySchedule::machine_count() const {
+  int count = 0;
+  for (const Placement& p : placements) count = std::max(count, p.machine + 1);
+  return count;
+}
+
+std::vector<std::vector<Interval>> machine_intervals(
+    const ContinuousInstance& inst, const BusySchedule& sched) {
+  std::vector<std::vector<Interval>> per_machine(
+      static_cast<std::size_t>(sched.machine_count()));
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const Placement& p = sched.placements[static_cast<std::size_t>(j)];
+    per_machine[static_cast<std::size_t>(p.machine)].push_back(
+        {p.start, p.start + inst.job(j).length});
+  }
+  return per_machine;
+}
+
+RealTime busy_cost(const ContinuousInstance& inst, const BusySchedule& sched) {
+  RealTime total = 0.0;
+  for (const auto& ivs : machine_intervals(inst, sched)) {
+    total += span_of(ivs);
+  }
+  return total;
+}
+
+RealTime machine_busy_time(const ContinuousInstance& inst,
+                           const BusySchedule& sched, int machine) {
+  std::vector<Interval> ivs;
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const Placement& p = sched.placements[static_cast<std::size_t>(j)];
+    if (p.machine == machine) {
+      ivs.push_back({p.start, p.start + inst.job(j).length});
+    }
+  }
+  return span_of(ivs);
+}
+
+bool check_busy_schedule(const ContinuousInstance& inst,
+                         const BusySchedule& sched, std::string* why,
+                         RealTime eps) {
+  if (static_cast<int>(sched.placements.size()) != inst.size()) {
+    return fail(why, "placement count mismatch");
+  }
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const ContinuousJob& job = inst.job(j);
+    const Placement& p = sched.placements[static_cast<std::size_t>(j)];
+    if (p.machine < 0) {
+      return fail(why, "job " + std::to_string(j) + " unassigned");
+    }
+    if (p.start < job.release - eps || p.start > job.latest_start() + eps) {
+      return fail(why, "job " + std::to_string(j) + " start " +
+                           std::to_string(p.start) + " outside [" +
+                           std::to_string(job.release) + ", " +
+                           std::to_string(job.latest_start()) + "]");
+    }
+  }
+  const auto per_machine = machine_intervals(inst, sched);
+  for (std::size_t m = 0; m < per_machine.size(); ++m) {
+    // Shrink each interval by eps at the right end so that chains of jobs
+    // with floating-point-adjacent endpoints do not report spurious overlap.
+    std::vector<Interval> shrunk = per_machine[m];
+    for (Interval& iv : shrunk) iv.hi -= eps;
+    const int conc = max_concurrency(std::move(shrunk));
+    if (conc > inst.capacity()) {
+      return fail(why, "machine " + std::to_string(m) + " runs " +
+                           std::to_string(conc) + " jobs > g=" +
+                           std::to_string(inst.capacity()));
+    }
+  }
+  return true;
+}
+
+RealTime busy_cost(const ContinuousInstance& inst,
+                   const PreemptiveBusySchedule& sched) {
+  // Group pieces per machine, then sum spans.
+  int machines = 0;
+  for (const auto& pieces : sched.pieces) {
+    for (const auto& piece : pieces) {
+      machines = std::max(machines, piece.machine + 1);
+    }
+  }
+  std::vector<std::vector<Interval>> per_machine(
+      static_cast<std::size_t>(machines));
+  for (JobId j = 0; j < inst.size(); ++j) {
+    for (const auto& piece : sched.pieces[static_cast<std::size_t>(j)]) {
+      per_machine[static_cast<std::size_t>(piece.machine)].push_back(piece.run);
+    }
+  }
+  RealTime total = 0.0;
+  for (const auto& ivs : per_machine) total += span_of(ivs);
+  return total;
+}
+
+bool check_preemptive_schedule(const ContinuousInstance& inst,
+                               const PreemptiveBusySchedule& sched,
+                               std::string* why, RealTime eps) {
+  if (static_cast<int>(sched.pieces.size()) != inst.size()) {
+    return fail(why, "pieces count mismatch");
+  }
+  int machines = 0;
+  for (JobId j = 0; j < inst.size(); ++j) {
+    const ContinuousJob& job = inst.job(j);
+    std::vector<Interval> runs;
+    RealTime total = 0.0;
+    for (const auto& piece : sched.pieces[static_cast<std::size_t>(j)]) {
+      if (piece.machine < 0) return fail(why, "piece with no machine");
+      machines = std::max(machines, piece.machine + 1);
+      if (piece.run.empty()) return fail(why, "empty piece");
+      if (piece.run.lo < job.release - eps ||
+          piece.run.hi > job.deadline + eps) {
+        return fail(why, "job " + std::to_string(j) + " piece outside window");
+      }
+      total += piece.run.length();
+      runs.push_back(piece.run);
+    }
+    if (std::abs(total - job.length) > eps) {
+      return fail(why, "job " + std::to_string(j) + " scheduled " +
+                           std::to_string(total) + " units, needs " +
+                           std::to_string(job.length));
+    }
+    // Pieces of one job must not overlap (at most one machine at a time).
+    std::sort(runs.begin(), runs.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      if (runs[i].lo < runs[i - 1].hi - eps) {
+        return fail(why, "job " + std::to_string(j) + " overlapping pieces");
+      }
+    }
+  }
+  // Capacity per machine.
+  std::vector<std::vector<Interval>> per_machine(
+      static_cast<std::size_t>(machines));
+  for (JobId j = 0; j < inst.size(); ++j) {
+    for (const auto& piece : sched.pieces[static_cast<std::size_t>(j)]) {
+      Interval iv = piece.run;
+      iv.hi -= eps;
+      per_machine[static_cast<std::size_t>(piece.machine)].push_back(iv);
+    }
+  }
+  for (std::size_t m = 0; m < per_machine.size(); ++m) {
+    const int conc = max_concurrency(per_machine[m]);
+    if (conc > inst.capacity()) {
+      return fail(why, "machine " + std::to_string(m) + " concurrency " +
+                           std::to_string(conc) + " > g");
+    }
+  }
+  return true;
+}
+
+}  // namespace abt::core

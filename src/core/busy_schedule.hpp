@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/continuous_instance.hpp"
+
+namespace abt::core {
+
+/// One job's placement in a busy-time schedule.
+struct Placement {
+  int machine = -1;        ///< Bundle / machine index (>= 0).
+  RealTime start = 0.0;    ///< Start time; the job runs [start, start+length).
+};
+
+/// A solution to the (non-preemptive) busy-time problem: every job is
+/// assigned a machine and a start time. Machines are "virtual": any number
+/// may be used, each with capacity g (paper section 1.1).
+struct BusySchedule {
+  std::vector<Placement> placements;  ///< Indexed by JobId.
+
+  [[nodiscard]] int machine_count() const;
+};
+
+/// Total busy time: sum over machines of the measure of the union of the
+/// execution intervals assigned to that machine.
+[[nodiscard]] RealTime busy_cost(const ContinuousInstance& inst,
+                                 const BusySchedule& sched);
+
+/// Busy time of one machine.
+[[nodiscard]] RealTime machine_busy_time(const ContinuousInstance& inst,
+                                         const BusySchedule& sched,
+                                         int machine);
+
+/// Verifies feasibility: each start within [release, deadline-length], and
+/// on every machine at most g jobs run simultaneously.
+[[nodiscard]] bool check_busy_schedule(const ContinuousInstance& inst,
+                                       const BusySchedule& sched,
+                                       std::string* why = nullptr,
+                                       RealTime eps = 1e-9);
+
+/// Execution intervals per machine.
+[[nodiscard]] std::vector<std::vector<Interval>> machine_intervals(
+    const ContinuousInstance& inst, const BusySchedule& sched);
+
+/// A preemptive busy-time solution: each job is a set of execution pieces,
+/// each piece on some machine (paper section 4.4: a job may migrate, but at
+/// most one machine works on it at any time).
+struct PreemptiveBusySchedule {
+  struct Piece {
+    int machine = -1;
+    Interval run;  ///< Execution interval of this piece.
+  };
+  std::vector<std::vector<Piece>> pieces;  ///< Indexed by JobId.
+};
+
+/// Total busy time of a preemptive schedule.
+[[nodiscard]] RealTime busy_cost(const ContinuousInstance& inst,
+                                 const PreemptiveBusySchedule& sched);
+
+/// Verifies: per job, pieces are disjoint in time, inside the window, total
+/// length p_j; per machine, at most g jobs active at any time.
+[[nodiscard]] bool check_preemptive_schedule(const ContinuousInstance& inst,
+                                             const PreemptiveBusySchedule& sched,
+                                             std::string* why = nullptr,
+                                             RealTime eps = 1e-6);
+
+}  // namespace abt::core

@@ -1,0 +1,67 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abt::core {
+
+std::vector<Interval> interval_union(std::vector<Interval> ivs, RealTime eps) {
+  std::erase_if(ivs, [](const Interval& iv) { return iv.empty(); });
+  std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+  });
+  std::vector<Interval> out;
+  for (const Interval& iv : ivs) {
+    if (!out.empty() && iv.lo <= out.back().hi + eps) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+RealTime span_of(std::span<const Interval> ivs) {
+  std::vector<Interval> copy(ivs.begin(), ivs.end());
+  RealTime total = 0.0;
+  for (const Interval& iv : interval_union(std::move(copy))) {
+    total += iv.length();
+  }
+  return total;
+}
+
+RealTime mass_of(std::span<const Interval> ivs) {
+  RealTime total = 0.0;
+  for (const Interval& iv : ivs) {
+    if (!iv.empty()) total += iv.length();
+  }
+  return total;
+}
+
+std::vector<RealTime> event_points(std::span<const Interval> ivs,
+                                   RealTime eps) {
+  std::vector<RealTime> pts;
+  pts.reserve(ivs.size() * 2);
+  for (const Interval& iv : ivs) {
+    if (iv.empty()) continue;
+    pts.push_back(iv.lo);
+    pts.push_back(iv.hi);
+  }
+  std::sort(pts.begin(), pts.end());
+  std::vector<RealTime> out;
+  for (RealTime p : pts) {
+    if (out.empty() || p > out.back() + eps) out.push_back(p);
+  }
+  return out;
+}
+
+int coverage_at(std::span<const Interval> ivs, RealTime lo, RealTime hi) {
+  const RealTime mid = lo + (hi - lo) / 2;
+  int count = 0;
+  for (const Interval& iv : ivs) {
+    if (iv.contains(mid)) ++count;
+  }
+  return count;
+}
+
+}  // namespace abt::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace abt::core {
+
+/// Half-open interval [lo, hi) on the continuous time axis.
+struct Interval {
+  RealTime lo = 0.0;
+  RealTime hi = 0.0;
+
+  [[nodiscard]] RealTime length() const { return hi - lo; }
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+  [[nodiscard]] bool contains(RealTime t) const { return t >= lo && t < hi; }
+  [[nodiscard]] bool overlaps(const Interval& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Union of a set of intervals as a sorted list of disjoint intervals.
+/// Intervals closer than `eps` are merged (treats touching as merged).
+[[nodiscard]] std::vector<Interval> interval_union(std::vector<Interval> ivs,
+                                                   RealTime eps = 1e-12);
+
+/// Measure (total length) of the union of `ivs` — the paper's Sp(S), the
+/// projection of the set onto the time axis (Definition 10).
+[[nodiscard]] RealTime span_of(std::span<const Interval> ivs);
+
+/// Total length sum — the paper's "mass" l(S) (Definition 10).
+[[nodiscard]] RealTime mass_of(std::span<const Interval> ivs);
+
+/// Event boundaries of a set of intervals: the sorted distinct endpoints.
+/// Consecutive boundaries delimit the paper's "interesting intervals"
+/// (Definition 12): no interval starts or ends strictly inside one.
+[[nodiscard]] std::vector<RealTime> event_points(std::span<const Interval> ivs,
+                                                 RealTime eps = 1e-12);
+
+/// Number of intervals covering the midpoint of [lo,hi). With `ivs`
+/// arbitrary, this is the raw demand |A(t)| of Definition 11 evaluated on an
+/// interesting interval.
+[[nodiscard]] int coverage_at(std::span<const Interval> ivs, RealTime lo,
+                              RealTime hi);
+
+}  // namespace abt::core

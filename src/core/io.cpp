@@ -1,0 +1,111 @@
+#include "core/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace abt::core {
+
+namespace {
+
+bool fail(std::string* error, int line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ParsedInstance> parse_instance(std::istream& in,
+                                             std::string* error) {
+  std::optional<ModelKind> kind;
+  int capacity = -1;
+  std::vector<SlottedJob> slotted_jobs;
+  std::vector<ContinuousJob> continuous_jobs;
+
+  std::string line;
+  int line_no = 0;
+  auto report = [&](const std::string& what) {
+    fail(error, line_no, what);
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+
+    if (keyword == "model") {
+      std::string name;
+      if (!(ls >> name)) return report("model needs a name");
+      if (name == "slotted") {
+        kind = ModelKind::kSlotted;
+      } else if (name == "continuous") {
+        kind = ModelKind::kContinuous;
+      } else {
+        return report("unknown model '" + name + "'");
+      }
+    } else if (keyword == "capacity") {
+      if (!(ls >> capacity) || capacity < 1) {
+        return report("capacity needs a positive integer");
+      }
+    } else if (keyword == "job") {
+      if (!kind.has_value()) return report("job before model directive");
+      if (*kind == ModelKind::kSlotted) {
+        SlotTime r = 0;
+        SlotTime d = 0;
+        SlotTime p = 0;
+        if (!(ls >> r >> d >> p)) {
+          return report("job needs: release deadline length");
+        }
+        slotted_jobs.push_back({r, d, p});
+      } else {
+        RealTime r = 0;
+        RealTime d = 0;
+        RealTime p = 0;
+        if (!(ls >> r >> d >> p)) {
+          return report("job needs: release deadline length");
+        }
+        continuous_jobs.push_back({r, d, p});
+      }
+    } else {
+      return report("unknown directive '" + keyword + "'");
+    }
+  }
+  ++line_no;
+  if (!kind.has_value()) return report("missing 'model' directive");
+  if (capacity < 1) return report("missing 'capacity' directive");
+
+  ParsedInstance out;
+  out.kind = *kind;
+  std::string why;
+  if (*kind == ModelKind::kSlotted) {
+    out.slotted = SlottedInstance(std::move(slotted_jobs), capacity);
+    if (!out.slotted.structurally_valid(&why)) return report(why);
+  } else {
+    out.continuous = ContinuousInstance(std::move(continuous_jobs), capacity);
+    if (!out.continuous.structurally_valid(&why)) return report(why);
+  }
+  return out;
+}
+
+void write_instance(std::ostream& out, const SlottedInstance& inst) {
+  out << "model slotted\ncapacity " << inst.capacity() << "\n";
+  for (const SlottedJob& j : inst.jobs()) {
+    out << "job " << j.release << ' ' << j.deadline << ' ' << j.length << "\n";
+  }
+}
+
+void write_instance(std::ostream& out, const ContinuousInstance& inst) {
+  out << "model continuous\ncapacity " << inst.capacity() << "\n";
+  out.precision(17);
+  for (const ContinuousJob& j : inst.jobs()) {
+    out << "job " << j.release << ' ' << j.deadline << ' ' << j.length << "\n";
+  }
+}
+
+}  // namespace abt::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/continuous_instance.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::core {
+
+/// Plain-text instance format, one directive per line ('#' comments):
+///
+///     model slotted            # or: continuous
+///     capacity 3
+///     job 0 5 2                # release deadline length
+///     job 1 4 1
+///
+/// Slotted instances use integers; continuous instances accept reals.
+enum class ModelKind { kSlotted, kContinuous };
+
+/// Result of parsing: exactly one instance is set, per `kind`.
+struct ParsedInstance {
+  ModelKind kind = ModelKind::kSlotted;
+  SlottedInstance slotted;
+  ContinuousInstance continuous;
+};
+
+/// Parses an instance; on failure returns nullopt and explains in `error`
+/// (with a line number).
+[[nodiscard]] std::optional<ParsedInstance> parse_instance(
+    std::istream& in, std::string* error = nullptr);
+
+/// Serializers (inverse of parse_instance).
+void write_instance(std::ostream& out, const SlottedInstance& inst);
+void write_instance(std::ostream& out, const ContinuousInstance& inst);
+
+}  // namespace abt::core

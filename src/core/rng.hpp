@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace abt::core {
+
+/// Deterministic random source used by generators and tests. A thin wrapper
+/// over mt19937_64 so every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool flip(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace abt::core

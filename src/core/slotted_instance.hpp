@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace abt::core {
+
+/// An active-time instance (paper section 1.1): jobs with integral release
+/// times, deadlines and lengths, one machine of capacity g, slotted time.
+///
+/// Slots are numbered 1..horizon(); slot t is the interval [t-1, t). Job j
+/// may occupy slots {release_j + 1, ..., deadline_j}.
+class SlottedInstance {
+ public:
+  SlottedInstance() = default;
+  SlottedInstance(std::vector<SlottedJob> jobs, int capacity);
+
+  [[nodiscard]] const std::vector<SlottedJob>& jobs() const { return jobs_; }
+  [[nodiscard]] const SlottedJob& job(JobId j) const { return jobs_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] int size() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] int capacity() const { return capacity_; }
+
+  /// Latest relevant slot T = max_j d_j (0 for an empty instance).
+  [[nodiscard]] SlotTime horizon() const { return horizon_; }
+  /// Total work P = sum of job lengths.
+  [[nodiscard]] SlotTime total_work() const { return total_work_; }
+
+  /// Ceiling of P/g — the "full slots" lower bound used in Theorem 1.
+  [[nodiscard]] SlotTime mass_lower_bound() const;
+
+  /// True when every job's window is long enough for its length and
+  /// parameters are sane (release >= 0, length >= 1). Does NOT decide
+  /// instance feasibility (that requires the flow check in abt::active).
+  [[nodiscard]] bool structurally_valid(std::string* why = nullptr) const;
+
+  /// Jobs live in slot t (Definition 1), as job ids.
+  [[nodiscard]] std::vector<JobId> live_jobs(SlotTime t) const;
+
+ private:
+  std::vector<SlottedJob> jobs_;
+  int capacity_ = 1;
+  SlotTime horizon_ = 0;
+  SlotTime total_work_ = 0;
+};
+
+}  // namespace abt::core

@@ -1,0 +1,117 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/assert.hpp"
+
+namespace abt::flow {
+
+Dinic::Dinic(int num_nodes)
+    : graph_(static_cast<std::size_t>(num_nodes)),
+      level_(static_cast<std::size_t>(num_nodes)),
+      iter_(static_cast<std::size_t>(num_nodes)) {
+  ABT_ASSERT(num_nodes >= 0, "negative node count");
+}
+
+Dinic::EdgeRef Dinic::add_edge(int u, int v, Cap cap) {
+  ABT_ASSERT(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+             "edge endpoint out of range");
+  ABT_ASSERT(cap >= 0, "negative capacity");
+  auto& fwd_list = graph_[static_cast<std::size_t>(u)];
+  auto& rev_list = graph_[static_cast<std::size_t>(v)];
+  const auto fwd_idx = static_cast<std::int32_t>(fwd_list.size());
+  auto rev_idx = static_cast<std::int32_t>(rev_list.size());
+  if (u == v) ++rev_idx;  // self loop: the two edges share the list
+  fwd_list.push_back({v, cap, cap, rev_idx});
+  graph_[static_cast<std::size_t>(v)].push_back({u, 0, 0, fwd_idx});
+  edge_locator_.emplace_back(u, fwd_idx);
+  return EdgeRef{static_cast<std::int32_t>(edge_locator_.size()) - 1};
+}
+
+bool Dinic::bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(s)] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(u)]) {
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+Dinic::Cap Dinic::dfs(int u, int t, Cap pushed) {
+  if (u == t) return pushed;
+  for (std::size_t& i = iter_[static_cast<std::size_t>(u)];
+       i < graph_[static_cast<std::size_t>(u)].size(); ++i) {
+    Edge& e = graph_[static_cast<std::size_t>(u)][i];
+    if (e.cap <= 0 || level_[static_cast<std::size_t>(e.to)] !=
+                          level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const Cap got = dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+Dinic::Cap Dinic::max_flow(int s, int t) {
+  ABT_ASSERT(s != t, "source equals sink");
+  Cap total = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const Cap got = dfs(s, t, std::numeric_limits<Cap>::max());
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  return total;
+}
+
+Dinic::Cap Dinic::flow_on(EdgeRef e) const {
+  const auto& [node, idx] = edge_locator_[static_cast<std::size_t>(e.index)];
+  const Edge& edge =
+      graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(idx)];
+  return edge.original - edge.cap;
+}
+
+Dinic::Cap Dinic::residual_on(EdgeRef e) const {
+  const auto& [node, idx] = edge_locator_[static_cast<std::size_t>(e.index)];
+  return graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(idx)]
+      .cap;
+}
+
+std::vector<bool> Dinic::min_cut_side(int s) const {
+  std::vector<bool> seen(graph_.size(), false);
+  std::queue<int> queue;
+  seen[static_cast<std::size_t>(s)] = true;
+  queue.push(s);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(u)]) {
+      if (e.cap > 0 && !seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = true;
+        queue.push(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace abt::flow

@@ -1,0 +1,341 @@
+#include "gen/gadgets.hpp"
+
+#include "core/assert.hpp"
+
+namespace abt::gen {
+
+using core::ContinuousInstance;
+using core::ContinuousJob;
+using core::SlotTime;
+using core::SlottedInstance;
+using core::SlottedJob;
+
+ContinuousInstance fig1_example() {
+  // Seven interval jobs, g = 3; peak demand 6 forces two machines, and the
+  // optimal packing ({1,2,3,7} and {4,5,6}) has busy time 3 + 3 = 6, which
+  // matches the demand-profile lower bound (demand 2 throughout [0,3)).
+  std::vector<ContinuousJob> jobs = {
+      {0.0, 3.0, 3.0},  // 1
+      {0.0, 1.5, 1.5},  // 2
+      {1.5, 3.0, 1.5},  // 3
+      {0.0, 3.0, 3.0},  // 4
+      {0.0, 3.0, 3.0},  // 5
+      {0.0, 3.0, 3.0},  // 6
+      {0.0, 1.5, 1.5},  // 7
+  };
+  return ContinuousInstance(std::move(jobs), 3);
+}
+
+SlottedInstance fig3_instance(int g) {
+  ABT_ASSERT(g >= 3, "Fig 3 needs g >= 3");
+  const SlotTime G = g;
+  std::vector<SlottedJob> jobs;
+  jobs.push_back({0, 2 * G, G});      // long job 1, window [0, 2g)
+  jobs.push_back({G, 3 * G, G});      // long job 2, window [g, 3g)
+  for (int i = 0; i < g - 2; ++i) {
+    jobs.push_back({G + 1, 2 * G - 1, G - 2});  // rigid, window [g+1, 2g-1)
+  }
+  for (int i = 0; i < g - 2; ++i) {
+    jobs.push_back({G + 1, 2 * G, 1});  // unit, window [g+1, 2g)
+  }
+  for (int i = 0; i < g - 2; ++i) {
+    jobs.push_back({G, 2 * G - 1, 1});  // unit, window [g, 2g-1)
+  }
+  return SlottedInstance(std::move(jobs), g);
+}
+
+std::vector<SlotTime> fig3_adversarial_slots(int g) {
+  std::vector<SlotTime> slots;
+  for (SlotTime t = 2; t <= 3 * static_cast<SlotTime>(g) - 1; ++t) {
+    slots.push_back(t);
+  }
+  return slots;
+}
+
+std::vector<SlotTime> fig3_optimal_slots(int g) {
+  std::vector<SlotTime> slots;
+  for (SlotTime t = g + 1; t <= 2 * static_cast<SlotTime>(g); ++t) {
+    slots.push_back(t);
+  }
+  return slots;
+}
+
+SlottedInstance lp_gap_instance(int g) {
+  ABT_ASSERT(g >= 1, "capacity must be positive");
+  std::vector<SlottedJob> jobs;
+  for (int pair = 1; pair <= g; ++pair) {
+    const SlotTime release = 2 * (pair - 1);  // window = slots {2p-1, 2p}
+    for (int k = 0; k < g + 1; ++k) {
+      jobs.push_back({release, release + 2, 1});
+    }
+  }
+  return SlottedInstance(std::move(jobs), g);
+}
+
+namespace {
+constexpr double kFig6GadgetPitch = 3.0;
+}  // namespace
+
+ContinuousInstance fig6_instance(int g, double eps) {
+  ABT_ASSERT(g >= 2 && eps > 0 && eps < 0.5, "need g >= 2, 0 < eps < 1/2");
+  std::vector<ContinuousJob> jobs;
+  for (int k = 0; k < g; ++k) {
+    const double base = k * kFig6GadgetPitch;
+    for (int i = 0; i < g; ++i) jobs.push_back({base, base + 1, 1.0});
+    for (int i = 0; i < g; ++i) {
+      jobs.push_back({base + 1 - eps, base + 2 - eps, 1.0});
+    }
+  }
+  const double span_end = (g - 1) * kFig6GadgetPitch + 2 - eps;
+  const double flex_len = 1 - eps / 2;
+  for (int i = 0; i < 2 * g; ++i) {
+    jobs.push_back({0.0, span_end, flex_len});
+  }
+  return ContinuousInstance(std::move(jobs), g);
+}
+
+ContinuousInstance fig7_adversarial_freeze(int g, double eps) {
+  ABT_ASSERT(g >= 2 && eps > 0 && eps < 0.5, "need g >= 2, 0 < eps < 1/2");
+  std::vector<ContinuousJob> jobs;
+  for (int k = 0; k < g; ++k) {
+    const double base = k * kFig6GadgetPitch;
+    for (int i = 0; i < g; ++i) jobs.push_back({base, base + 1, 1.0});
+    for (int i = 0; i < g; ++i) {
+      jobs.push_back({base + 1 - eps, base + 2 - eps, 1.0});
+    }
+  }
+  // Two flexible jobs pinned inside each gadget, straddling the eps overlap
+  // so they conflict with both unit groups: run [base + eps/2, base + 1).
+  const double flex_len = 1 - eps / 2;
+  for (int k = 0; k < g; ++k) {
+    const double start = k * kFig6GadgetPitch + eps / 2;
+    jobs.push_back({start, start + flex_len, flex_len});
+    jobs.push_back({start, start + flex_len, flex_len});
+  }
+  return ContinuousInstance(std::move(jobs), g);
+}
+
+double fig6_optimal_cost(int g, double eps) {
+  // g gadgets x two unit bundles + two bundles of g flexible jobs each.
+  return 2.0 * g + 2.0 * (1 - eps / 2);
+}
+
+PackedInstance fig7_paper_packing(int g, double eps) {
+  PackedInstance out{fig7_adversarial_freeze(g, eps), {}};
+  const int n = out.instance.size();
+  out.schedule.placements.assign(static_cast<std::size_t>(n), {});
+  auto place = [&](int id, int machine) {
+    out.schedule.placements[static_cast<std::size_t>(id)] = {
+        machine, out.instance.job(id).release};
+  };
+  // Ids follow fig7_adversarial_freeze: gadget k holds A jobs
+  // [2gk, 2gk+g) and B jobs [2gk+g, 2gk+2g); the 2g pinned flexible jobs
+  // come last, two per gadget.
+  const int half_up = (g + 1) / 2;
+  for (int k = 0; k < g; ++k) {
+    const int base = 2 * g * k;
+    // Bundle 0 takes ceil(g/2) A's + floor(g/2) B's per gadget (exactly g
+    // concurrent in the eps overlap); bundle 1 takes the complement.
+    for (int a = 0; a < g; ++a) place(base + a, a < half_up ? 0 : 1);
+    for (int b = 0; b < g; ++b) place(base + g + b, b < g - half_up ? 0 : 1);
+  }
+  for (int k = 0; k < g; ++k) {
+    place(2 * g * g + 2 * k, 2);      // first pinned flexible of gadget k
+    place(2 * g * g + 2 * k + 1, 3);  // second
+  }
+  return out;
+}
+
+ContinuousInstance fig8_instance(double eps, double eps_prime) {
+  ABT_ASSERT(eps > 0 && eps_prime > 0 && eps_prime < eps && eps < 1,
+             "need 0 < eps' < eps < 1");
+  std::vector<ContinuousJob> jobs = {
+      {0.0, 1.0, 1.0},                    // unit job J1
+      {eps, 1.0 + eps, 1.0},              // unit job J2, shifted by eps
+      {0.0, eps_prime, eps_prime},        // filler eps'
+      {eps_prime, eps, eps - eps_prime},  // filler eps - eps'
+      {1.0, 1.0 + eps, eps},              // filler eps at the right end
+  };
+  return ContinuousInstance(std::move(jobs), 2);
+}
+
+namespace {
+
+/// Left edges of the Fig 9 blocks: block 0 holds the standalone unit job,
+/// block i (i >= 1) holds g identical jobs of length 1 + i*eps. Blocks are
+/// separated by unit gaps.
+std::vector<double> fig9_bases(int g, double eps) {
+  std::vector<double> bases(static_cast<std::size_t>(g));
+  double cursor = 0.0;
+  for (int i = 0; i < g; ++i) {
+    bases[static_cast<std::size_t>(i)] = cursor;
+    const double len = 1.0 + i * eps;
+    cursor += len + 1.0;  // block length + unit gap
+  }
+  return bases;
+}
+
+ContinuousInstance fig9_build(int g, double eps, bool freeze,
+                              bool adversarial) {
+  ABT_ASSERT(g >= 2 && eps > 0 && eps < 0.25, "need g >= 2, small eps");
+  const std::vector<double> bases = fig9_bases(g, eps);
+  std::vector<ContinuousJob> jobs;
+  jobs.push_back({bases[0], bases[0] + 1.0, 1.0});  // standalone unit job
+  for (int i = 1; i < g; ++i) {
+    const double len = 1.0 + i * eps;
+    for (int k = 0; k < g; ++k) {
+      jobs.push_back({bases[static_cast<std::size_t>(i)],
+                      bases[static_cast<std::size_t>(i)] + len, len});
+    }
+  }
+  for (int i = 1; i < g; ++i) {
+    const double len = 1.0 + i * eps;
+    if (!freeze) {
+      // Window spans blocks 0..i.
+      jobs.push_back({0.0, bases[static_cast<std::size_t>(i)] + len, len});
+    } else if (adversarial) {
+      // Pinned exactly onto block i (span-optimal, demand becomes g + 1).
+      jobs.push_back({bases[static_cast<std::size_t>(i)],
+                      bases[static_cast<std::size_t>(i)] + len, len});
+    } else {
+      // Pinned at the left, over the standalone unit job.
+      jobs.push_back({0.0, len, len});
+    }
+  }
+  return ContinuousInstance(std::move(jobs), g);
+}
+
+}  // namespace
+
+ContinuousInstance fig9_instance(int g, double eps) {
+  return fig9_build(g, eps, false, false);
+}
+
+ContinuousInstance fig9_adversarial_freeze(int g, double eps) {
+  return fig9_build(g, eps, true, true);
+}
+
+ContinuousInstance fig9_optimal_freeze(int g, double eps) {
+  return fig9_build(g, eps, true, false);
+}
+
+namespace {
+
+constexpr double kFig10GadgetPitch = 3.0;
+
+ContinuousInstance fig10_build(int g, double eps, double eps_prime,
+                               bool freeze, bool adversarial) {
+  ABT_ASSERT(g >= 2 && eps > 0 && eps_prime > 0 && eps_prime < eps &&
+                 eps < 0.5,
+             "need g >= 2, 0 < eps' < eps < 1/2");
+  std::vector<ContinuousJob> jobs;
+  jobs.push_back({0.0, 1.0, 1.0});  // standalone unit job
+  for (int i = 1; i < g; ++i) {
+    const double b = i * kFig10GadgetPitch;
+    for (int k = 0; k < g; ++k) jobs.push_back({b, b + 1, 1.0});  // unit block
+    // Left flank: demand exactly g throughout [b - eps, b).
+    for (int k = 0; k < g - 1; ++k) jobs.push_back({b - eps, b, eps});
+    jobs.push_back({b - eps, b - eps + eps_prime, eps_prime});
+    jobs.push_back({b - eps + eps_prime, b, eps - eps_prime});
+    // Right flank: demand exactly g throughout [b + 1, b + 1 + eps).
+    for (int k = 0; k < g - 1; ++k) {
+      jobs.push_back({b + 1, b + 1 + eps, eps});
+    }
+    jobs.push_back({b + 1, b + 1 + eps - eps_prime, eps - eps_prime});
+    jobs.push_back({b + 1 + eps - eps_prime, b + 1 + eps, eps_prime});
+  }
+  const double span_end = (g - 1) * kFig10GadgetPitch + 1 + eps;
+  for (int i = 1; i < g; ++i) {
+    if (!freeze) {
+      jobs.push_back({0.0, span_end, 1.0});
+    } else if (adversarial) {
+      const double b = i * kFig10GadgetPitch;
+      jobs.push_back({b, b + 1, 1.0});  // on gadget i's unit block
+    } else {
+      jobs.push_back({0.0, 1.0, 1.0});  // with the standalone unit job
+    }
+  }
+  return ContinuousInstance(std::move(jobs), g);
+}
+
+}  // namespace
+
+ContinuousInstance fig10_instance(int g, double eps, double eps_prime) {
+  return fig10_build(g, eps, eps_prime, false, false);
+}
+
+ContinuousInstance fig10_adversarial_freeze(int g, double eps,
+                                            double eps_prime) {
+  return fig10_build(g, eps, eps_prime, true, true);
+}
+
+ContinuousInstance fig10_optimal_freeze(int g, double eps, double eps_prime) {
+  return fig10_build(g, eps, eps_prime, true, false);
+}
+
+PackedInstance fig12_paper_packing(int g, double eps, double eps_prime) {
+  ABT_ASSERT(g >= 2 && eps > 0 && eps_prime > 0 && eps_prime < eps &&
+                 eps < 0.5,
+             "need g >= 2, 0 < eps' < eps < 1/2");
+  // Build the padded adversarial instance (Fig 11) with an explicit id
+  // layout so the packing below can reference job groups directly.
+  std::vector<ContinuousJob> jobs;
+  std::vector<int> standalone_ids;   // unit job + its dummies at [0,1)
+  std::vector<std::vector<int>> unitpos_ids(static_cast<std::size_t>(g));
+  std::vector<std::vector<int>> left_ids(static_cast<std::size_t>(g));
+  std::vector<std::vector<int>> right_ids(static_cast<std::size_t>(g));
+
+  auto add = [&](double lo, double hi) {
+    jobs.push_back({lo, hi, hi - lo});
+    return static_cast<int>(jobs.size()) - 1;
+  };
+
+  standalone_ids.push_back(add(0.0, 1.0));
+  for (int d = 0; d < g - 1; ++d) standalone_ids.push_back(add(0.0, 1.0));
+
+  for (int i = 1; i < g; ++i) {
+    const double b = i * kFig10GadgetPitch;
+    auto& unit = unitpos_ids[static_cast<std::size_t>(i)];
+    auto& left = left_ids[static_cast<std::size_t>(i)];
+    auto& right = right_ids[static_cast<std::size_t>(i)];
+    for (int k = 0; k < g; ++k) unit.push_back(add(b, b + 1));  // unit block
+    unit.push_back(add(b, b + 1));                        // pinned flexible
+    for (int d = 0; d < g - 1; ++d) unit.push_back(add(b, b + 1));  // dummies
+    for (int k = 0; k < g - 1; ++k) left.push_back(add(b - eps, b));
+    left.push_back(add(b - eps, b - eps + eps_prime));
+    left.push_back(add(b - eps + eps_prime, b));
+    for (int k = 0; k < g - 1; ++k) right.push_back(add(b + 1, b + 1 + eps));
+    right.push_back(add(b + 1, b + 1 + eps - eps_prime));
+    right.push_back(add(b + 1 + eps - eps_prime, b + 1 + eps));
+  }
+
+  PackedInstance out{ContinuousInstance(std::move(jobs), g), {}};
+  out.schedule.placements.assign(
+      static_cast<std::size_t>(out.instance.size()), {});
+  auto place = [&](int id, int machine) {
+    out.schedule.placements[static_cast<std::size_t>(id)] = {
+        machine, out.instance.job(id).release};
+  };
+
+  // Machine 0: the standalone unit block (exactly g jobs).
+  for (int id : standalone_ids) place(id, 0);
+  // Four machines per gadget, jobs dealt round-robin so every machine
+  // straddles flank + unit block + flank: span 1 + 2 eps each. This is the
+  // pair-opening behaviour of the Kumar-Rudra / Alicherry-Bhatia runs on
+  // the padded profile (demand 2g at the unit block -> two level groups,
+  // two machines each).
+  for (int i = 1; i < g; ++i) {
+    const int base = 1 + 4 * (i - 1);
+    const auto deal = [&](const std::vector<int>& ids) {
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        place(ids[j], base + static_cast<int>(j % 4));
+      }
+    };
+    deal(unitpos_ids[static_cast<std::size_t>(i)]);
+    deal(left_ids[static_cast<std::size_t>(i)]);
+    deal(right_ids[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace abt::gen

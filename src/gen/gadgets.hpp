@@ -1,0 +1,113 @@
+#pragma once
+
+#include <vector>
+
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::gen {
+
+// ---------------------------------------------------------------------------
+// The paper's worst-case constructions, one per figure / in-text example.
+// Each returns the instance; where the paper exhibits a specific adversarial
+// solution, a companion function returns that solution so experiments can
+// reproduce the claimed ratio deterministically.
+// ---------------------------------------------------------------------------
+
+/// Fig 1: the worked example — 7 interval jobs, g = 3, optimally packed on
+/// two machines.
+[[nodiscard]] core::ContinuousInstance fig1_example();
+
+/// Fig 3: active-time instance where a minimal feasible solution costs
+/// 3g - 2 while OPT = g. Requires g >= 3.
+[[nodiscard]] core::SlottedInstance fig3_instance(int g);
+
+/// The adversarial active-slot set of Fig 3 (slots 2 .. 3g-1, cost 3g-2).
+/// Feasible by construction; minimalizing it keeps cost >= 3g - 3.
+[[nodiscard]] std::vector<core::SlotTime> fig3_adversarial_slots(int g);
+
+/// Optimal slots of Fig 3 (slots g+1 .. 2g, cost g).
+[[nodiscard]] std::vector<core::SlotTime> fig3_optimal_slots(int g);
+
+/// Section 3.5: the LP integrality-gap instance — g pairs of adjacent
+/// slots, each wanted by g+1 unit jobs. Integral OPT = 2g, LP* = g + 1.
+[[nodiscard]] core::SlottedInstance lp_gap_instance(int g);
+
+/// Fig 6: the GREEDYTRACKING factor-3 family. Returns the *flexible*
+/// instance: g disjoint gadgets (g unit jobs, then g unit jobs overlapping
+/// the first by eps) plus 2g flexible jobs of length 1 - eps/2 spanning all
+/// gadgets.
+[[nodiscard]] core::ContinuousInstance fig6_instance(int g, double eps);
+
+/// Fig 7: the adversarial g=infinity output for Fig 6 — flexible jobs
+/// frozen two-per-gadget so they clash with every gadget job (span-optimal,
+/// so a legitimate DP output). All jobs are interval jobs.
+[[nodiscard]] core::ContinuousInstance fig7_adversarial_freeze(int g,
+                                                               double eps);
+
+/// The intended optimal structure for Fig 6 (flexible jobs parked in two
+/// dedicated bundles); busy time 2g + 2 - eps.
+[[nodiscard]] double fig6_optimal_cost(int g, double eps);
+
+/// An instance together with a hand-constructed (feasible) packing — used
+/// to reproduce the paper's figures that depict a *possible* run of an
+/// algorithm rather than a forced one.
+struct PackedInstance {
+  core::ContinuousInstance instance;
+  core::BusySchedule schedule;
+};
+
+/// Fig 7 as the paper costs it: the packing of the adversarially frozen
+/// Fig 6 family whose busy time is (6 - o(eps)) g — unit groups split
+/// half-and-half across two bundles per side (span 2 - eps per gadget
+/// each) and the pinned flexible jobs in two dedicated bundles. A valid
+/// GREEDYTRACKING outcome under adversarial tie-breaking.
+[[nodiscard]] PackedInstance fig7_paper_packing(int g, double eps);
+
+/// Fig 8: the interval-job instance on which the 2-approximations are
+/// tight (g = 2): two unit jobs shifted by eps, plus three filler jobs of
+/// lengths eps', eps - eps', eps. OPT = 1 + eps.
+[[nodiscard]] core::ContinuousInstance fig8_instance(double eps, double eps_prime);
+
+/// Fig 9: the family showing the g=infinity DP's demand profile can cost
+/// twice the optimal solution's profile. Returns the flexible instance:
+/// one unit interval job, g-1 disjoint blocks of g identical interval jobs
+/// (block i has length 1 + i*eps), and g-1 flexible jobs (job i of length
+/// 1 + i*eps, window spanning blocks 0..i).
+[[nodiscard]] core::ContinuousInstance fig9_instance(int g, double eps);
+
+/// Fig 9 (C): the adversarial span-optimal freeze — flexible job i pinned
+/// exactly onto block i.
+[[nodiscard]] core::ContinuousInstance fig9_adversarial_freeze(int g,
+                                                               double eps);
+
+/// Fig 9 (B): the busy-time-optimal structure — flexible job i pinned at
+/// the left, over the standalone unit job.
+[[nodiscard]] core::ContinuousInstance fig9_optimal_freeze(int g, double eps);
+
+/// Fig 10-12: the factor-4 family for flexible jobs under profile-charging
+/// algorithms. Returns the flexible instance: a standalone unit job, g-1
+/// gadgets (g unit interval jobs flanked by eps/eps' filler jobs keeping
+/// side demand exactly g), and g-1 unit flexible jobs spanning everything.
+[[nodiscard]] core::ContinuousInstance fig10_instance(int g, double eps,
+                                                      double eps_prime);
+
+/// Fig 11: adversarial freeze of fig10 — flexible job i pinned onto gadget
+/// i's unit block (span-optimal).
+[[nodiscard]] core::ContinuousInstance fig10_adversarial_freeze(
+    int g, double eps, double eps_prime);
+
+/// Busy-time-optimal freeze of fig10 — flexible jobs pinned on the
+/// standalone unit job.
+[[nodiscard]] core::ContinuousInstance fig10_optimal_freeze(int g, double eps,
+                                                            double eps_prime);
+
+/// Fig 12 as the paper costs it: the padded adversarial freeze of Fig 10
+/// (dummy jobs included, Fig 11) packed the way the Kumar-Rudra /
+/// Alicherry-Bhatia pair-opening runs it — four machines per gadget, each
+/// straddling both flanks, for busy time 1 + 4(g-1)(1 + 2 eps) -> ratio 4.
+[[nodiscard]] PackedInstance fig12_paper_packing(int g, double eps,
+                                                 double eps_prime);
+
+}  // namespace abt::gen

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "core/continuous_instance.hpp"
+#include "core/rng.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::gen {
+
+/// Parameters for random slotted (active-time) instances.
+struct SlottedParams {
+  int num_jobs = 10;
+  core::SlotTime horizon = 20;   ///< Deadlines at most this.
+  int capacity = 3;              ///< g.
+  core::SlotTime max_length = 4;
+  core::SlotTime max_slack = 6;  ///< Window size at most length + slack.
+  bool unit_jobs = false;        ///< Force p_j = 1.
+};
+
+/// Uniformly random slotted instance; may be infeasible.
+[[nodiscard]] core::SlottedInstance random_slotted(core::Rng& rng,
+                                                   const SlottedParams& params);
+
+/// Random slotted instance that is guaranteed feasible (regenerates jobs
+/// that break feasibility; always terminates because a job with a window of
+/// full slack can be retried with smaller length).
+[[nodiscard]] core::SlottedInstance random_feasible_slotted(
+    core::Rng& rng, const SlottedParams& params);
+
+/// Parameters for random continuous (busy-time) instances.
+struct ContinuousParams {
+  int num_jobs = 20;
+  double horizon = 30.0;
+  int capacity = 3;
+  double min_length = 0.5;
+  double max_length = 4.0;
+  /// Window size is length * (1 + slack); slack = 0 gives interval jobs.
+  double max_slack = 0.0;
+};
+
+/// Random continuous instance (interval jobs when max_slack == 0).
+[[nodiscard]] core::ContinuousInstance random_continuous(
+    core::Rng& rng, const ContinuousParams& params);
+
+/// Clique instance: every job's interval contains `focus` (defaults to the
+/// middle of the horizon) — the special case studied by Khandekar et al.
+[[nodiscard]] core::ContinuousInstance random_clique(
+    core::Rng& rng, const ContinuousParams& params);
+
+/// Proper instance: no job's interval is contained in another's (releases
+/// and deadlines are sorted consistently) — Flammini et al.'s special case.
+[[nodiscard]] core::ContinuousInstance random_proper(
+    core::Rng& rng, const ContinuousParams& params);
+
+/// Laminar instance: any two windows are disjoint or nested.
+[[nodiscard]] core::ContinuousInstance random_laminar(
+    core::Rng& rng, const ContinuousParams& params);
+
+/// Proper clique instance: all intervals share a point and none contains
+/// another — the case solved exactly by the DP of Mertzios et al. [12]
+/// (paper footnote 1, implemented in busy/special_cases).
+[[nodiscard]] core::ContinuousInstance random_proper_clique(
+    core::Rng& rng, const ContinuousParams& params);
+
+}  // namespace abt::gen

@@ -1,0 +1,75 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace abt::report {
+
+namespace {
+
+char job_glyph(int id) {
+  static const char* kGlyphs =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kGlyphs[id % 62];
+}
+
+}  // namespace
+
+std::string render_active_gantt(const core::SlottedInstance& inst,
+                                const core::ActiveSchedule& sched) {
+  std::ostringstream os;
+  const auto horizon = static_cast<std::size_t>(inst.horizon());
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    const core::SlottedJob& job = inst.job(j);
+    std::string row(horizon, ' ');
+    for (core::SlotTime t = job.release + 1; t <= job.deadline; ++t) {
+      row[static_cast<std::size_t>(t - 1)] = '.';
+    }
+    for (core::SlotTime t : sched.job_slots[static_cast<std::size_t>(j)]) {
+      row[static_cast<std::size_t>(t - 1)] = '#';
+    }
+    os << "job " << j << " |" << row << "|\n";
+  }
+  std::string footer(horizon, ' ');
+  for (core::SlotTime t : sched.active_slots) {
+    footer[static_cast<std::size_t>(t - 1)] = '^';
+  }
+  os << "  on  |" << footer << "|\n";
+  return os.str();
+}
+
+std::string render_busy_gantt(const core::ContinuousInstance& inst,
+                              const core::BusySchedule& sched, int columns) {
+  std::ostringstream os;
+  if (inst.size() == 0 || columns <= 0) return "";
+  double lo = 1e300;
+  double hi = -1e300;
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    const auto& p = sched.placements[static_cast<std::size_t>(j)];
+    lo = std::min(lo, p.start);
+    hi = std::max(hi, p.start + inst.job(j).length);
+  }
+  if (hi <= lo) return "";
+  const double scale = columns / (hi - lo);
+
+  const int machines = sched.machine_count();
+  for (int m = 0; m < machines; ++m) {
+    std::string row(static_cast<std::size_t>(columns), ' ');
+    for (core::JobId j = 0; j < inst.size(); ++j) {
+      const auto& p = sched.placements[static_cast<std::size_t>(j)];
+      if (p.machine != m) continue;
+      auto begin = static_cast<int>((p.start - lo) * scale);
+      auto end = static_cast<int>((p.start + inst.job(j).length - lo) * scale);
+      begin = std::clamp(begin, 0, columns - 1);
+      end = std::clamp(end, begin + 1, columns);
+      for (int c = begin; c < end; ++c) {
+        row[static_cast<std::size_t>(c)] =
+            row[static_cast<std::size_t>(c)] == ' ' ? job_glyph(j) : '*';
+      }
+    }
+    os << "m" << m << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace abt::report

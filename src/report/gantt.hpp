@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "core/active_schedule.hpp"
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::report {
+
+/// ASCII Gantt chart of an active-time schedule: one row per job, '#' in
+/// occupied slots, '.' inside the window, ' ' elsewhere; a footer row marks
+/// active slots. Debug/teaching aid used by the examples.
+[[nodiscard]] std::string render_active_gantt(
+    const core::SlottedInstance& inst, const core::ActiveSchedule& sched);
+
+/// ASCII Gantt chart of a busy-time schedule: one row per machine showing
+/// the jobs it runs (each job as its id modulo 62 alphanumeric), with
+/// `columns` characters across the instance's time span.
+[[nodiscard]] std::string render_busy_gantt(
+    const core::ContinuousInstance& inst, const core::BusySchedule& sched,
+    int columns = 72);
+
+}  // namespace abt::report

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace abt::report {
+
+/// Fixed-width text table used by the benchmark harness to print the rows
+/// each experiment reproduces. Also serializes to CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Running summary of approximation ratios across a sweep.
+class RatioStats {
+ public:
+  void add(double ratio);
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] long count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 1e300;
+  long count_ = 0;
+};
+
+}  // namespace abt::report

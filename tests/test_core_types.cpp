@@ -1,0 +1,110 @@
+// Unit coverage for the foundational value types: jobs, instances, rng.
+#include <gtest/gtest.h>
+
+#include "core/continuous_instance.hpp"
+#include "core/rng.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::core {
+namespace {
+
+TEST(SlottedJob, WindowAndLiveness) {
+  const SlottedJob j{2, 6, 3};
+  EXPECT_EQ(j.window_size(), 4);
+  EXPECT_TRUE(j.window_fits());
+  EXPECT_FALSE(j.rigid());
+  EXPECT_FALSE(j.live_in_slot(2)) << "slot r is before the window";
+  EXPECT_TRUE(j.live_in_slot(3));
+  EXPECT_TRUE(j.live_in_slot(6));
+  EXPECT_FALSE(j.live_in_slot(7));
+  const SlottedJob rigid{1, 3, 2};
+  EXPECT_TRUE(rigid.rigid());
+}
+
+TEST(ContinuousJob, IntervalDetectionAndLatestStart) {
+  const ContinuousJob interval{1.0, 3.0, 2.0};
+  EXPECT_TRUE(interval.is_interval_job());
+  EXPECT_DOUBLE_EQ(interval.latest_start(), 1.0);
+  const ContinuousJob flexible{0.0, 10.0, 2.0};
+  EXPECT_FALSE(flexible.is_interval_job());
+  EXPECT_DOUBLE_EQ(flexible.latest_start(), 8.0);
+}
+
+TEST(SlottedInstance, AggregatesAndBounds) {
+  const SlottedInstance inst({{0, 4, 2}, {2, 9, 3}}, 2);
+  EXPECT_EQ(inst.size(), 2);
+  EXPECT_EQ(inst.horizon(), 9);
+  EXPECT_EQ(inst.total_work(), 5);
+  EXPECT_EQ(inst.mass_lower_bound(), 3);  // ceil(5/2)
+}
+
+TEST(SlottedInstance, LiveJobsPerSlot) {
+  const SlottedInstance inst({{0, 2, 1}, {1, 3, 1}}, 1);
+  EXPECT_EQ(inst.live_jobs(1), (std::vector<JobId>{0}));
+  EXPECT_EQ(inst.live_jobs(2), (std::vector<JobId>{0, 1}));
+  EXPECT_EQ(inst.live_jobs(3), (std::vector<JobId>{1}));
+  EXPECT_TRUE(inst.live_jobs(4).empty());
+}
+
+TEST(SlottedInstance, StructuralValidationMessages) {
+  std::string why;
+  EXPECT_FALSE(SlottedInstance({{-1, 2, 1}}, 1).structurally_valid(&why));
+  EXPECT_NE(why.find("negative"), std::string::npos);
+  EXPECT_FALSE(SlottedInstance({{0, 2, 0}}, 1).structurally_valid(&why));
+  EXPECT_FALSE(SlottedInstance({{0, 2, 3}}, 1).structurally_valid(&why));
+  EXPECT_NE(why.find("window"), std::string::npos);
+  EXPECT_TRUE(SlottedInstance({{0, 2, 2}}, 1).structurally_valid());
+}
+
+TEST(ContinuousInstance, MassAndWindows) {
+  const ContinuousInstance inst({{0, 4, 2}, {1, 3, 2}}, 2);
+  EXPECT_DOUBLE_EQ(inst.total_mass(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.mass_lower_bound(), 2.0);
+  EXPECT_FALSE(inst.all_interval_jobs()) << "first job has slack";
+  const auto windows = inst.windows();
+  EXPECT_DOUBLE_EQ(windows[0].hi, 4.0);
+  const auto forced = inst.forced_intervals();
+  EXPECT_DOUBLE_EQ(forced[0].hi, 2.0);
+}
+
+TEST(ContinuousInstance, ToleratesFloatRoundingInWindowFit) {
+  // (release + length) - release can round below length; the instance must
+  // still validate (regression test for the generator crash).
+  const double release = 0.1;
+  const double length = 0.30000000000000004;
+  const ContinuousInstance inst({{release, release + length, length}}, 1);
+  std::string why;
+  EXPECT_TRUE(inst.structurally_valid(&why)) << why;
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+  Rng c(43);
+  bool any_different = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.uniform_int(0, 1000) != c.uniform_int(0, 1000)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    const double r = rng.uniform_real(1.5, 2.5);
+    EXPECT_GE(r, 1.5);
+    EXPECT_LT(r, 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace abt::core

@@ -1,0 +1,178 @@
+#include "busy/dp_unbounded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "gen/gadgets.hpp"
+#include "gen/random_instances.hpp"
+#include "test_util.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousInstance;
+
+void expect_valid_solution(const ContinuousInstance& inst,
+                           const UnboundedSolution& sol) {
+  ASSERT_EQ(sol.starts.size(), static_cast<std::size_t>(inst.size()));
+  std::vector<core::Interval> runs;
+  for (int j = 0; j < inst.size(); ++j) {
+    const auto& job = inst.job(j);
+    const double s = sol.starts[static_cast<std::size_t>(j)];
+    EXPECT_GE(s, job.release - 1e-9) << "job " << j;
+    EXPECT_LE(s, job.latest_start() + 1e-9) << "job " << j;
+    runs.push_back({s, s + job.length});
+  }
+  EXPECT_NEAR(core::span_of(runs), sol.busy_time, 1e-9);
+}
+
+TEST(DpUnbounded, EmptyInstance) {
+  const ContinuousInstance inst({}, 1);
+  const auto sol = solve_unbounded(inst);
+  EXPECT_DOUBLE_EQ(sol.busy_time, 0.0);
+  EXPECT_TRUE(sol.exact);
+}
+
+TEST(DpUnbounded, SingleJobCostsItsLength) {
+  const ContinuousInstance inst({{2, 9, 3}}, 1);
+  const auto sol = solve_unbounded(inst);
+  expect_valid_solution(inst, sol);
+  EXPECT_NEAR(sol.busy_time, 3.0, 1e-9);
+}
+
+TEST(DpUnbounded, OverlappingFlexibleJobsStack) {
+  // Two flexible jobs that can fully overlap: cost = max length.
+  const ContinuousInstance inst({{0, 10, 4}, {0, 10, 3}}, 1);
+  const auto sol = solve_unbounded(inst);
+  expect_valid_solution(inst, sol);
+  EXPECT_NEAR(sol.busy_time, 4.0, 1e-9);
+}
+
+TEST(DpUnbounded, BridgingJobLinksTwoRigidOnes) {
+  // Rigid [0,2) and [8,10); flexible length 2 in window [0,10): tucks into
+  // either rigid run -> total 4, no bridge needed.
+  const ContinuousInstance inst({{0, 2, 2}, {8, 10, 2}, {0, 10, 2}}, 1);
+  const auto sol = solve_unbounded(inst);
+  expect_valid_solution(inst, sol);
+  EXPECT_NEAR(sol.busy_time, 4.0, 1e-9);
+}
+
+TEST(DpUnbounded, AnchoredAtLatestStart) {
+  // The [5,13) merge example: A window [0,10) p=5, B rigid [8,13) p=5.
+  // Optimal: A at [5,10) glued to B -> busy time 8.
+  const ContinuousInstance inst({{0, 10, 5}, {8, 13, 5}}, 1);
+  const auto sol = solve_unbounded(inst);
+  expect_valid_solution(inst, sol);
+  EXPECT_NEAR(sol.busy_time, 8.0, 1e-9);
+}
+
+TEST(DpUnbounded, FlexibleParksInEarlyRunDespiteLateDeadline) {
+  // The case that breaks naive consecutive-grouping DPs: rigid [0,10),
+  // rigid [20,21), flexible p=10 window [0,1000) must reuse the *early*
+  // run even though its deadline is the latest.
+  const ContinuousInstance inst({{0, 10, 10}, {20, 21, 1}, {0, 1000, 10}}, 1);
+  const auto sol = solve_unbounded(inst);
+  expect_valid_solution(inst, sol);
+  EXPECT_NEAR(sol.busy_time, 11.0, 1e-9);
+}
+
+TEST(DpUnbounded, IntervalJobsGiveExactlyTheSpan) {
+  core::Rng rng(5);
+  gen::ContinuousParams params;
+  params.num_jobs = 14;
+  params.horizon = 18;
+  const ContinuousInstance inst = gen::random_continuous(rng, params);
+  const auto sol = solve_unbounded(inst);
+  EXPECT_NEAR(sol.busy_time, core::span_of(inst.forced_intervals()), 1e-9);
+}
+
+TEST(DpUnbounded, Fig9FreezeIsSpanOptimal) {
+  const int g = 4;
+  const double eps = 0.01;
+  const auto flexible = gen::fig9_instance(g, eps);
+  const auto adversarial = gen::fig9_adversarial_freeze(g, eps);
+  const auto sol = solve_unbounded(flexible);
+  ASSERT_TRUE(sol.exact);
+  // The adversarial freeze hides every flexible job inside a block, so the
+  // DP value must equal its span (the minimum possible).
+  EXPECT_NEAR(sol.busy_time, core::span_of(adversarial.forced_intervals()),
+              1e-9);
+}
+
+TEST(DpUnbounded, FreezeProducesIntervalInstanceWithSameCapacity) {
+  const ContinuousInstance inst({{0, 10, 5}, {8, 13, 5}}, 7);
+  const auto sol = solve_unbounded(inst);
+  const ContinuousInstance frozen = freeze_to_interval_instance(inst, sol);
+  EXPECT_EQ(frozen.capacity(), 7);
+  EXPECT_TRUE(frozen.all_interval_jobs());
+  EXPECT_NEAR(core::span_of(frozen.forced_intervals()), sol.busy_time, 1e-9);
+}
+
+TEST(DpUnbounded, ManyIdenticalStragglersStayTractable) {
+  // 12 identical flexible jobs spanning three rigid anchors: identical jobs
+  // are satisfied all-or-none by any window, so the pending sets stay
+  // block-structured and the state count stays tiny.
+  std::vector<core::ContinuousJob> jobs;
+  for (int k = 0; k < 3; ++k) {
+    jobs.push_back({10.0 * k, 10.0 * k + 2, 2.0});  // rigid anchors
+  }
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back({0.0, 100.0, 1.5});  // identical straddlers
+  }
+  const ContinuousInstance inst(std::move(jobs), 1);
+  const auto sol = solve_unbounded(inst);
+  ASSERT_TRUE(sol.exact);
+  expect_valid_solution(inst, sol);
+  // Straggers tuck inside the 2-wide anchors: cost = 3 anchors only.
+  EXPECT_NEAR(sol.busy_time, 6.0, 1e-9);
+  EXPECT_LT(sol.nodes, 2000) << "identical jobs must collapse in the state";
+}
+
+TEST(DpUnbounded, StateLimitFallsBackToValidUpperBound) {
+  std::vector<core::ContinuousJob> jobs;
+  core::Rng rng(33);
+  for (int i = 0; i < 10; ++i) {
+    const double r = rng.uniform_real(0, 10);
+    const double p = rng.uniform_real(0.5, 2.0);
+    jobs.push_back({r, r + p + rng.uniform_real(0, 4), p});
+  }
+  const ContinuousInstance inst(std::move(jobs), 1);
+  UnboundedOptions options;
+  options.state_limit = 1;  // force the fallback
+  const auto sol = solve_unbounded(inst, options);
+  EXPECT_FALSE(sol.exact);
+  expect_valid_solution(inst, sol);  // push-left schedule is still feasible
+  const auto exact = solve_unbounded(inst);
+  ASSERT_TRUE(exact.exact);
+  EXPECT_GE(sol.busy_time, exact.busy_time - 1e-9)
+      << "fallback is an upper bound";
+}
+
+/// Property: exact against full enumeration of integral starts.
+class DpVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsBrute, MatchesBruteForceOnIntegerInstances) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 60013ULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 6));
+    std::vector<core::ContinuousJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      const double p = static_cast<double>(rng.uniform_int(1, 4));
+      const double r = static_cast<double>(rng.uniform_int(0, 8));
+      const double slack = static_cast<double>(rng.uniform_int(0, 5));
+      jobs.push_back({r, r + p + slack, p});
+    }
+    const ContinuousInstance inst(std::move(jobs), 1);
+    const double brute = testutil::brute_force_unbounded(inst);
+    const auto sol = solve_unbounded(inst);
+    ASSERT_TRUE(sol.exact);
+    expect_valid_solution(inst, sol);
+    EXPECT_NEAR(sol.busy_time, brute, 1e-9)
+        << "g=infinity DP must be exact (Theorem 4)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVsBrute, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace abt::busy

@@ -1,0 +1,93 @@
+#include "busy/flexible_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "busy/lower_bounds.hpp"
+#include "core/rng.hpp"
+#include "gen/gadgets.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousInstance;
+
+TEST(FlexiblePipeline, IntervalInstancePassesThrough) {
+  core::Rng rng(17);
+  gen::ContinuousParams params;
+  params.num_jobs = 10;
+  params.capacity = 2;
+  const ContinuousInstance inst = gen::random_continuous(rng, params);
+  const auto result = schedule_flexible(inst);
+  ASSERT_TRUE(result.dp_exact);
+  std::string why;
+  EXPECT_TRUE(core::check_busy_schedule(inst, result.schedule, &why)) << why;
+  EXPECT_NEAR(result.opt_infinity, core::span_of(inst.forced_intervals()),
+              1e-9);
+}
+
+TEST(FlexiblePipeline, StartsComeFromTheDp) {
+  const ContinuousInstance inst({{0, 10, 5}, {8, 13, 5}}, 1);
+  const auto result = schedule_flexible(inst);
+  std::string why;
+  EXPECT_TRUE(core::check_busy_schedule(inst, result.schedule, &why)) << why;
+  EXPECT_NEAR(result.opt_infinity, 8.0, 1e-9);
+}
+
+/// Property (section 4.3): the 3-approx pipeline stays within 3x the best
+/// lower bound; the profile-charging variants within 4x.
+class PipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineSweep, AllVariantsFeasibleAndBounded) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 50021ULL);
+  for (int trial = 0; trial < 5; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 10));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 3));
+    params.horizon = 12;
+    params.max_slack = 1.5;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+
+    const BusyLowerBounds lb = busy_lower_bounds(inst);
+    const double bound = std::max(lb.mass, lb.span);
+    ASSERT_GT(bound, 0.0);
+
+    for (const auto algo :
+         {IntervalAlgorithm::kGreedyTracking, IntervalAlgorithm::kTwoTrackPeeling,
+          IntervalAlgorithm::kFirstFit, IntervalAlgorithm::kFirstFitByRelease}) {
+      const auto result = schedule_flexible(inst, algo);
+      ASSERT_TRUE(result.dp_exact);
+      std::string why;
+      EXPECT_TRUE(core::check_busy_schedule(inst, result.schedule, &why))
+          << why;
+      const double cost = core::busy_cost(inst, result.schedule);
+      EXPECT_GE(cost, bound - 1e-6);
+      if (algo == IntervalAlgorithm::kGreedyTracking) {
+        // Theorem 5 + exact DP: Sp(B1) <= OPT_inf and the rest <= 2 mass/g.
+        EXPECT_LE(cost, result.opt_infinity + 2 * lb.mass + 1e-6)
+            << "3-approximation accounting violated";
+      } else {
+        EXPECT_LE(cost, 4 * std::max(lb.mass, lb.span) + 1e-5)
+            << "Theorem 10's factor-4 bound violated";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep, ::testing::Range(1, 9));
+
+TEST(FlexiblePipeline, Fig6FamilyStaysWithinThree) {
+  const int g = 3;
+  const double eps = 0.1;
+  const ContinuousInstance inst = gen::fig6_instance(g, eps);
+  const auto result = schedule_flexible(inst);
+  ASSERT_TRUE(result.dp_exact);
+  std::string why;
+  EXPECT_TRUE(core::check_busy_schedule(inst, result.schedule, &why)) << why;
+  const double opt = gen::fig6_optimal_cost(g, eps);
+  const double cost = core::busy_cost(inst, result.schedule);
+  EXPECT_LE(cost, 3 * opt + 1e-6);
+}
+
+}  // namespace
+}  // namespace abt::busy

@@ -1,0 +1,95 @@
+#include "flow/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "test_util.hpp"
+
+namespace abt::flow {
+namespace {
+
+TEST(Dinic, TextbookNetwork) {
+  Dinic d(6);
+  d.add_edge(0, 1, 16);
+  d.add_edge(0, 2, 13);
+  d.add_edge(1, 2, 10);
+  d.add_edge(2, 1, 4);
+  d.add_edge(1, 3, 12);
+  d.add_edge(3, 2, 9);
+  d.add_edge(2, 4, 14);
+  d.add_edge(4, 3, 7);
+  d.add_edge(3, 5, 20);
+  d.add_edge(4, 5, 4);
+  EXPECT_EQ(d.max_flow(0, 5), 23);  // CLRS example
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic d(4);
+  d.add_edge(0, 1, 5);
+  d.add_edge(2, 3, 5);
+  EXPECT_EQ(d.max_flow(0, 3), 0);
+}
+
+TEST(Dinic, ParallelEdgesAccumulate) {
+  Dinic d(2);
+  d.add_edge(0, 1, 3);
+  d.add_edge(0, 1, 4);
+  EXPECT_EQ(d.max_flow(0, 1), 7);
+}
+
+TEST(Dinic, FlowOnEdgeReporting) {
+  Dinic d(3);
+  const auto a = d.add_edge(0, 1, 5);
+  const auto b = d.add_edge(1, 2, 3);
+  EXPECT_EQ(d.max_flow(0, 2), 3);
+  EXPECT_EQ(d.flow_on(a), 3);
+  EXPECT_EQ(d.flow_on(b), 3);
+  EXPECT_EQ(d.residual_on(a), 2);
+}
+
+TEST(Dinic, MinCutSideSeparatesSourceFromSink) {
+  Dinic d(4);
+  d.add_edge(0, 1, 10);
+  d.add_edge(1, 2, 1);  // bottleneck
+  d.add_edge(2, 3, 10);
+  EXPECT_EQ(d.max_flow(0, 3), 1);
+  const auto side = d.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(Dinic, ZeroCapacityEdgeCarriesNothing) {
+  Dinic d(2);
+  const auto e = d.add_edge(0, 1, 0);
+  EXPECT_EQ(d.max_flow(0, 1), 0);
+  EXPECT_EQ(d.flow_on(e), 0);
+}
+
+/// Property: Dinic matches an independent Ford-Fulkerson on random graphs.
+class DinicRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DinicRandom, MatchesReferenceFlow) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    Dinic dinic(n);
+    testutil::RefFlow ref(n);
+    const int edges = static_cast<int>(rng.uniform_int(0, 20));
+    for (int e = 0; e < edges; ++e) {
+      const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+      const int v = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (u == v) continue;
+      const long c = rng.uniform_int(0, 12);
+      dinic.add_edge(u, v, c);
+      ref.add(u, v, c);
+    }
+    EXPECT_EQ(dinic.max_flow(0, n - 1), ref.max_flow(0, n - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DinicRandom, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace abt::flow

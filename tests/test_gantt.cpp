@@ -1,0 +1,49 @@
+#include "report/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abt::report {
+namespace {
+
+TEST(Gantt, ActiveChartMarksUnitsWindowsAndActiveSlots) {
+  const core::SlottedInstance inst({{0, 3, 2}, {1, 4, 1}}, 2);
+  core::ActiveSchedule sched;
+  sched.active_slots = {2, 3};
+  sched.job_slots = {{2, 3}, {3}};
+  const std::string chart = render_active_gantt(inst, sched);
+  // Job 0: window slots 1..3, units at 2,3 -> ".##"
+  EXPECT_NE(chart.find(".## |"), std::string::npos) << chart;
+  // Footer carets under slots 2 and 3.
+  EXPECT_NE(chart.find(" ^^ "), std::string::npos) << chart;
+  EXPECT_NE(chart.find("job 1"), std::string::npos);
+}
+
+TEST(Gantt, BusyChartOneRowPerMachine) {
+  const core::ContinuousInstance inst({{0, 2, 2}, {2, 4, 2}, {0, 4, 4}}, 1);
+  core::BusySchedule sched;
+  sched.placements = {{0, 0.0}, {0, 2.0}, {1, 0.0}};
+  const std::string chart = render_busy_gantt(inst, sched, 8);
+  EXPECT_NE(chart.find("m0 |"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("m1 |"), std::string::npos) << chart;
+  // Machine 0 shows job 0 then job 1 back to back: "00001111".
+  EXPECT_NE(chart.find("00001111"), std::string::npos) << chart;
+  // Machine 1 shows job 2 across the full width.
+  EXPECT_NE(chart.find("22222222"), std::string::npos) << chart;
+}
+
+TEST(Gantt, OverlapMarkedWithStar) {
+  const core::ContinuousInstance inst({{0, 2, 2}, {0, 2, 2}}, 2);
+  core::BusySchedule sched;
+  sched.placements = {{0, 0.0}, {0, 0.0}};
+  const std::string chart = render_busy_gantt(inst, sched, 4);
+  EXPECT_NE(chart.find("****"), std::string::npos) << chart;
+}
+
+TEST(Gantt, EmptyInputsYieldEmptyCharts) {
+  const core::ContinuousInstance empty({}, 1);
+  core::BusySchedule sched;
+  EXPECT_TRUE(render_busy_gantt(empty, sched).empty());
+}
+
+}  // namespace
+}  // namespace abt::report

@@ -1,0 +1,138 @@
+// Generator properties: every family must actually have the structure its
+// name promises, deterministically per seed.
+#include <gtest/gtest.h>
+
+#include "active/feasibility.hpp"
+#include "busy/special_cases.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::gen {
+namespace {
+
+TEST(Generators, SlottedRespectsParams) {
+  core::Rng rng(1);
+  SlottedParams params;
+  params.num_jobs = 25;
+  params.horizon = 30;
+  params.capacity = 3;
+  params.max_length = 5;
+  params.max_slack = 4;
+  const auto inst = random_slotted(rng, params);
+  EXPECT_EQ(inst.size(), 25);
+  EXPECT_TRUE(inst.structurally_valid());
+  for (const auto& j : inst.jobs()) {
+    EXPECT_GE(j.release, 0);
+    EXPECT_LE(j.deadline, 30);
+    EXPECT_LE(j.length, 5);
+    EXPECT_LE(j.window_size(), j.length + 4);
+  }
+}
+
+TEST(Generators, UnitJobsFlagForcesUnitLengths) {
+  core::Rng rng(2);
+  SlottedParams params;
+  params.unit_jobs = true;
+  params.num_jobs = 15;
+  const auto inst = random_slotted(rng, params);
+  for (const auto& j : inst.jobs()) EXPECT_EQ(j.length, 1);
+}
+
+TEST(Generators, FeasibleSlottedIsFeasible) {
+  core::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    SlottedParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 12));
+    params.horizon = 10;
+    params.capacity = static_cast<int>(rng.uniform_int(1, 3));
+    const auto inst = random_feasible_slotted(rng, params);
+    EXPECT_TRUE(abt::active::is_feasible(inst));
+  }
+}
+
+TEST(Generators, ContinuousSlackZeroGivesIntervalJobs) {
+  core::Rng rng(4);
+  ContinuousParams params;
+  params.num_jobs = 30;
+  const auto inst = random_continuous(rng, params);
+  EXPECT_TRUE(inst.all_interval_jobs());
+  EXPECT_TRUE(inst.structurally_valid());
+}
+
+TEST(Generators, ContinuousSlackGivesFlexibleJobs) {
+  core::Rng rng(5);
+  ContinuousParams params;
+  params.num_jobs = 30;
+  params.max_slack = 2.0;
+  const auto inst = random_continuous(rng, params);
+  EXPECT_TRUE(inst.structurally_valid());
+  int flexible = 0;
+  for (const auto& j : inst.jobs()) {
+    if (!j.is_interval_job()) ++flexible;
+  }
+  EXPECT_GT(flexible, 0);
+}
+
+TEST(Generators, CliqueFamilyIsClique) {
+  core::Rng rng(6);
+  ContinuousParams params;
+  params.num_jobs = 20;
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_TRUE(abt::busy::is_clique_instance(random_clique(rng, params)));
+  }
+}
+
+TEST(Generators, ProperFamilyIsProper) {
+  core::Rng rng(7);
+  ContinuousParams params;
+  params.num_jobs = 20;
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_TRUE(abt::busy::is_proper_instance(random_proper(rng, params)));
+  }
+}
+
+TEST(Generators, ProperCliqueFamilyIsBoth) {
+  core::Rng rng(8);
+  ContinuousParams params;
+  params.num_jobs = 15;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto inst = random_proper_clique(rng, params);
+    EXPECT_TRUE(abt::busy::is_proper_instance(inst));
+    EXPECT_TRUE(abt::busy::is_clique_instance(inst));
+  }
+}
+
+TEST(Generators, LaminarFamilyIsLaminar) {
+  core::Rng rng(9);
+  ContinuousParams params;
+  params.num_jobs = 18;
+  const auto inst = random_laminar(rng, params);
+  EXPECT_EQ(inst.size(), 18);
+  const auto runs = inst.forced_intervals();
+  for (std::size_t a = 0; a < runs.size(); ++a) {
+    for (std::size_t b = 0; b < runs.size(); ++b) {
+      if (a == b) continue;
+      const bool disjoint = !runs[a].overlaps(runs[b]);
+      const bool a_in_b =
+          runs[a].lo >= runs[b].lo - 1e-9 && runs[a].hi <= runs[b].hi + 1e-9;
+      const bool b_in_a =
+          runs[b].lo >= runs[a].lo - 1e-9 && runs[b].hi <= runs[a].hi + 1e-9;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << "[" << runs[a].lo << "," << runs[a].hi << ") vs [" << runs[b].lo
+          << "," << runs[b].hi << ")";
+    }
+  }
+}
+
+TEST(Generators, SameSeedSameInstance) {
+  ContinuousParams params;
+  params.num_jobs = 10;
+  core::Rng r1(123);
+  core::Rng r2(123);
+  const auto a = random_continuous(r1, params);
+  const auto b = random_continuous(r2, params);
+  for (int j = 0; j < a.size(); ++j) EXPECT_EQ(a.job(j), b.job(j));
+}
+
+}  // namespace
+}  // namespace abt::gen

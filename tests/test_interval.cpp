@@ -1,0 +1,88 @@
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace abt::core {
+namespace {
+
+TEST(Interval, BasicsLengthContainsOverlap) {
+  const Interval a{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.length(), 2.0);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(a.contains(1.0));
+  EXPECT_TRUE(a.contains(2.9));
+  EXPECT_FALSE(a.contains(3.0)) << "half-open on the right";
+  EXPECT_FALSE(a.contains(0.999));
+  EXPECT_TRUE(a.overlaps({2.0, 4.0}));
+  EXPECT_FALSE(a.overlaps({3.0, 4.0})) << "touching intervals do not overlap";
+  EXPECT_TRUE((Interval{2.0, 2.0}).empty());
+}
+
+TEST(Interval, UnionMergesOverlapsAndTouching) {
+  const auto merged =
+      interval_union({{0, 1}, {1, 2}, {3, 4}, {3.5, 5}, {10, 9}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].hi, 2.0);
+  EXPECT_DOUBLE_EQ(merged[1].lo, 3.0);
+  EXPECT_DOUBLE_EQ(merged[1].hi, 5.0);
+}
+
+TEST(Interval, UnionOfEmptyAndSingle) {
+  EXPECT_TRUE(interval_union({}).empty());
+  const auto one = interval_union({{2, 7}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].length(), 5.0);
+}
+
+TEST(Interval, SpanVersusMass) {
+  const std::vector<Interval> ivs = {{0, 2}, {1, 3}, {5, 6}};
+  EXPECT_DOUBLE_EQ(span_of(ivs), 4.0);  // [0,3) + [5,6)
+  EXPECT_DOUBLE_EQ(mass_of(ivs), 5.0);  // 2 + 2 + 1
+}
+
+TEST(Interval, MassCountsMultiplicity) {
+  const std::vector<Interval> ivs = {{0, 2}, {0, 2}, {0, 2}};
+  EXPECT_DOUBLE_EQ(mass_of(ivs), 6.0);
+  EXPECT_DOUBLE_EQ(span_of(ivs), 2.0);
+}
+
+TEST(Interval, EventPointsAreSortedDistinct) {
+  const std::vector<Interval> ivs = {{0, 2}, {1, 3}, {1, 3}, {2, 4}};
+  const auto pts = event_points(ivs);
+  const std::vector<RealTime> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(pts, expected);
+}
+
+TEST(Interval, CoverageAtMidpoint) {
+  const std::vector<Interval> ivs = {{0, 2}, {1, 3}, {2, 4}};
+  EXPECT_EQ(coverage_at(ivs, 1.0, 2.0), 2);
+  EXPECT_EQ(coverage_at(ivs, 0.0, 1.0), 1);
+  EXPECT_EQ(coverage_at(ivs, 3.0, 4.0), 1);
+}
+
+TEST(IntervalProperty, SpanNeverExceedsMassAndUnionIsDisjoint) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Interval> ivs;
+    const int count = static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < count; ++i) {
+      const double lo = rng.uniform_real(0, 20);
+      ivs.push_back({lo, lo + rng.uniform_real(0, 5)});
+    }
+    EXPECT_LE(span_of(ivs), mass_of(ivs) + 1e-9);
+    const auto merged = interval_union(ivs);
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      EXPECT_GT(merged[i].lo, merged[i - 1].hi)
+          << "union pieces must be disjoint and separated";
+    }
+    double merged_total = 0;
+    for (const auto& iv : merged) merged_total += iv.length();
+    EXPECT_NEAR(merged_total, span_of(ivs), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace abt::core

@@ -1,0 +1,107 @@
+// Direct unit coverage of the LP1 model builder and the right-shift
+// preprocessing (Lemma 3) — the internals behind the 2-approximation.
+#include "active/lp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "active/lp_rounding.hpp"
+#include "core/rng.hpp"
+#include "gen/gadgets.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::active {
+namespace {
+
+using core::SlottedInstance;
+
+TEST(LpModel, VariableLayout) {
+  const SlottedInstance inst({{0, 3, 2}, {1, 4, 1}}, 2);
+  const ActiveTimeLp model(inst);
+  // y per candidate slot (1..4), x per (job, window slot).
+  EXPECT_EQ(static_cast<int>(model.slots().size()), 4);
+  EXPECT_EQ(model.problem().num_vars, 4 + 3 + 3);
+  EXPECT_GE(model.y_index(1), 0);
+  EXPECT_GE(model.x_index(0, 3), 0);
+  EXPECT_EQ(model.x_index(0, 4), -1) << "slot 4 outside job 0's window";
+  EXPECT_EQ(model.x_index(1, 1), -1) << "slot 1 before job 1's release";
+}
+
+TEST(LpModel, ObjectiveCountsOnlyYVariables) {
+  const SlottedInstance inst({{0, 3, 2}}, 1);
+  const ActiveTimeLp model(inst);
+  double total = 0;
+  for (double c : model.problem().objective) total += c;
+  EXPECT_DOUBLE_EQ(total, 3.0) << "three candidate slots, cost 1 each";
+}
+
+TEST(LpModel, RigidJobForcesFullWindow) {
+  const SlottedInstance inst({{1, 4, 3}}, 1);
+  const ActiveLpSolution lp = solve_active_lp(ActiveTimeLp(inst));
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.objective, 3.0, 1e-7);
+  for (double y : lp.y) EXPECT_NEAR(y, 1.0, 1e-7);
+}
+
+TEST(LpModel, CapacitySharingShowsInObjective) {
+  // Two unit jobs, same slot pair, g = 2: LP opens one slot fully.
+  const SlottedInstance inst({{0, 2, 1}, {0, 2, 1}}, 2);
+  const ActiveLpSolution lp = solve_active_lp(ActiveTimeLp(inst));
+  EXPECT_NEAR(lp.objective, 1.0, 1e-7);
+}
+
+TEST(LpModel, FractionalOptimumOnGapFamily) {
+  // The g=2 gap instance: 3 unit jobs per slot pair, y = (1, 1/2) per pair.
+  const SlottedInstance inst = gen::lp_gap_instance(2);
+  const ActiveLpSolution lp = solve_active_lp(ActiveTimeLp(inst));
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.objective, 3.0, 1e-7);
+}
+
+TEST(RightShift, SegmentMassesSumToObjective) {
+  core::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::SlottedParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 8));
+    params.horizon = 10;
+    params.capacity = 2;
+    const SlottedInstance inst = gen::random_feasible_slotted(rng, params);
+    const ActiveTimeLp model(inst);
+    const ActiveLpSolution lp = solve_active_lp(model);
+    ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+    const RightShiftedLp rs = right_shift(inst, model.slots(), lp.y);
+    double total = 0;
+    for (double m : rs.segment_mass) total += m;
+    EXPECT_NEAR(total, lp.objective, 1e-6)
+        << "right-shifting must conserve the LP mass";
+    EXPECT_NEAR(rs.objective, lp.objective, 1e-6);
+    // Deadlines ascending, one mass per deadline.
+    EXPECT_EQ(rs.deadlines.size(), rs.segment_mass.size());
+    for (std::size_t i = 1; i < rs.deadlines.size(); ++i) {
+      EXPECT_LT(rs.deadlines[i - 1], rs.deadlines[i]);
+    }
+  }
+}
+
+TEST(RightShift, MassFitsSegmentCapacity) {
+  core::Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::SlottedParams params;
+    params.num_jobs = 6;
+    params.horizon = 9;
+    params.capacity = 3;
+    const SlottedInstance inst = gen::random_feasible_slotted(rng, params);
+    const ActiveTimeLp model(inst);
+    const ActiveLpSolution lp = solve_active_lp(model);
+    const RightShiftedLp rs = right_shift(inst, model.slots(), lp.y);
+    core::SlotTime prev = 0;
+    for (std::size_t i = 0; i < rs.deadlines.size(); ++i) {
+      EXPECT_LE(rs.segment_mass[i],
+                static_cast<double>(rs.deadlines[i] - prev) + 1e-6)
+          << "segment mass cannot exceed the number of slots in it";
+      prev = rs.deadlines[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abt::active

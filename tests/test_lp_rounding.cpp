@@ -1,0 +1,146 @@
+#include "active/lp_rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "active/exact.hpp"
+#include "active/lp_model.hpp"
+#include "core/rng.hpp"
+#include "gen/gadgets.hpp"
+#include "gen/random_instances.hpp"
+#include "test_util.hpp"
+
+namespace abt::active {
+namespace {
+
+using core::SlottedInstance;
+
+TEST(ActiveLp, LpLowerBoundsIntegralOptimum) {
+  core::Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::SlottedParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 6));
+    params.horizon = 8;
+    params.capacity = 2;
+    const SlottedInstance inst = gen::random_feasible_slotted(rng, params);
+    const ActiveTimeLp model(inst);
+    const ActiveLpSolution lp = solve_active_lp(model);
+    ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+    const long opt = testutil::brute_force_active_opt(inst);
+    EXPECT_LE(lp.objective, static_cast<double>(opt) + 1e-6)
+        << "LP relaxation must lower-bound OPT";
+  }
+}
+
+TEST(ActiveLp, GapInstanceLpValueIsGPlusOne) {
+  for (int g = 2; g <= 5; ++g) {
+    const SlottedInstance inst = gen::lp_gap_instance(g);
+    const ActiveTimeLp model(inst);
+    const ActiveLpSolution lp = solve_active_lp(model);
+    ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+    // Section 3.5: fractional optimum g(1 + 1/g) = g + 1.
+    EXPECT_NEAR(lp.objective, g + 1.0, 1e-5);
+  }
+}
+
+TEST(ActiveLp, GapInstanceIntegralOptimumIsTwoG) {
+  for (int g = 2; g <= 3; ++g) {
+    const SlottedInstance inst = gen::lp_gap_instance(g);
+    const auto exact = solve_exact(inst);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(exact->proven_optimal);
+    EXPECT_EQ(exact->schedule.cost(), 2 * g);
+  }
+}
+
+TEST(LpRounding, InfeasibleReturnsNullopt) {
+  const SlottedInstance inst({{0, 1, 1}, {0, 1, 1}}, 1);
+  EXPECT_FALSE(solve_lp_rounding(inst).has_value());
+}
+
+TEST(LpRounding, RigidInstanceOpensExactlyItsWindow) {
+  const SlottedInstance inst({{2, 5, 3}}, 4);
+  const auto result = solve_lp_rounding(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schedule.cost(), 3);
+  EXPECT_EQ(result->repair_opens, 0);
+}
+
+TEST(LpRounding, GapInstanceStaysWithinTwiceLp) {
+  for (int g = 2; g <= 4; ++g) {
+    const SlottedInstance inst = gen::lp_gap_instance(g);
+    const auto result = solve_lp_rounding(inst);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(static_cast<double>(result->schedule.cost()),
+              2.0 * result->lp_objective + 1e-6);
+    // Integral OPT is 2g here, so the rounding must hit it exactly (it
+    // cannot do better).
+    EXPECT_EQ(result->schedule.cost(), 2 * g);
+  }
+}
+
+TEST(LpRounding, Fig3InstanceWithinTwiceOpt) {
+  for (int g = 3; g <= 5; ++g) {
+    const SlottedInstance inst = gen::fig3_instance(g);
+    const auto result = solve_lp_rounding(inst);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->schedule.cost(), 2 * g)
+        << "LP rounding should beat the minimal-feasible worst case";
+  }
+}
+
+/// Property (Theorem 2): rounding output is feasible, costs <= 2 LP*, and
+/// the defensive repair never fires.
+class LpRoundingRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRoundingRandom, FeasibleAndWithinTwiceLpOptimum) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 9176ULL + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::SlottedParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 9));
+    params.horizon = static_cast<core::SlotTime>(rng.uniform_int(6, 14));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 4));
+    params.max_length = 4;
+    params.max_slack = 6;
+    const SlottedInstance inst = gen::random_feasible_slotted(rng, params);
+
+    const auto result = solve_lp_rounding(inst);
+    ASSERT_TRUE(result.has_value());
+    std::string why;
+    EXPECT_TRUE(core::check_active_schedule(inst, result->schedule, &why))
+        << why;
+    EXPECT_LE(static_cast<double>(result->schedule.cost()),
+              2.0 * result->lp_objective + 1e-6)
+        << "Theorem 2 bound violated";
+    EXPECT_EQ(result->repair_opens, 0)
+        << "paper's Lemmas 4-6 guarantee prefix feasibility";
+    EXPECT_GE(result->schedule.cost(),
+              static_cast<core::SlotTime>(std::ceil(result->lp_objective - 1e-6)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRoundingRandom, ::testing::Range(1, 9));
+
+/// LP rounding never does worse than twice the exact optimum on tiny
+/// instances (and is usually much closer).
+TEST(LpRounding, WithinTwiceExactOptimum) {
+  core::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::SlottedParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 6));
+    params.horizon = 8;
+    params.capacity = 2;
+    params.max_length = 3;
+    params.max_slack = 4;
+    const SlottedInstance inst = gen::random_feasible_slotted(rng, params);
+    const long opt = testutil::brute_force_active_opt(inst);
+    const auto result = solve_lp_rounding(inst);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->schedule.cost(), 2 * opt);
+    EXPECT_GE(result->schedule.cost(), opt);
+  }
+}
+
+}  // namespace
+}  // namespace abt::active

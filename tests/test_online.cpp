@@ -1,0 +1,81 @@
+#include "busy/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "busy/exact_busy.hpp"
+#include "busy/lower_bounds.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousInstance;
+
+ContinuousInstance intervals(std::vector<std::pair<double, double>> spans,
+                             int g) {
+  std::vector<core::ContinuousJob> jobs;
+  for (auto [lo, hi] : spans) jobs.push_back({lo, hi, hi - lo});
+  return ContinuousInstance(std::move(jobs), g);
+}
+
+TEST(Online, AllPoliciesHandleSingleJob) {
+  const auto inst = intervals({{0, 2}}, 1);
+  for (const auto policy : {OnlinePolicy::kFirstFit, OnlinePolicy::kBestFit,
+                            OnlinePolicy::kNextFit}) {
+    const auto s = schedule_online(inst, policy);
+    std::string why;
+    EXPECT_TRUE(core::check_busy_schedule(inst, s, &why)) << why;
+    EXPECT_NEAR(core::busy_cost(inst, s), 2.0, 1e-9);
+  }
+}
+
+TEST(Online, NextFitOpensMoreMachinesThanFirstFit) {
+  // Alternating short/long jobs: next-fit loses track of earlier machines.
+  const auto inst =
+      intervals({{0, 1}, {0, 1}, {2, 3}, {0, 1}, {2, 3}, {2, 3}}, 1);
+  const auto ff = schedule_online(inst, OnlinePolicy::kFirstFit);
+  const auto nf = schedule_online(inst, OnlinePolicy::kNextFit);
+  EXPECT_LE(core::busy_cost(inst, ff), core::busy_cost(inst, nf) + 1e-9);
+}
+
+TEST(Online, ProcessesInReleaseOrderNotIdOrder) {
+  // Two overlapping long jobs released late, short one first; capacity 1.
+  const auto inst = intervals({{5, 8}, {0, 4}, {5, 8}}, 1);
+  const auto s = schedule_online(inst, OnlinePolicy::kFirstFit);
+  std::string why;
+  EXPECT_TRUE(core::check_busy_schedule(inst, s, &why)) << why;
+  // Job 1 (released 0) shares a machine with one of the late jobs.
+  EXPECT_EQ(s.machine_count(), 2);
+}
+
+/// Property: every policy yields feasible schedules, and the measured
+/// competitive ratio against the exact optimum never exceeds the general
+/// deterministic lower-bound territory on these small instances (sanity:
+/// always >= 1, finite).
+class OnlineRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineRandom, FeasibleAndAboveOptimum) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 883ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 9));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 3));
+    params.horizon = 12;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    const auto exact = solve_exact_interval(inst);
+    const double opt = core::busy_cost(inst, *exact);
+    for (const auto policy : {OnlinePolicy::kFirstFit, OnlinePolicy::kBestFit,
+                              OnlinePolicy::kNextFit}) {
+      const auto s = schedule_online(inst, policy);
+      std::string why;
+      EXPECT_TRUE(core::check_busy_schedule(inst, s, &why)) << why;
+      EXPECT_GE(core::busy_cost(inst, s), opt - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineRandom, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace abt::busy

@@ -1,0 +1,130 @@
+#include "busy/preemptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+#include "lp/simplex.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousInstance;
+
+/// Independent optimum for preemptive g=infinity on *integer* instances:
+/// the covering LP  min sum y_t  s.t.  sum_{t in W_j} y_t >= p_j,
+/// 0 <= y_t <= 1  has an interval constraint matrix, hence is integral and
+/// equals the preemptive unbounded optimum.
+double lp_reference_unbounded(const ContinuousInstance& inst) {
+  long horizon = 0;
+  for (int j = 0; j < inst.size(); ++j) {
+    horizon = std::max(horizon, static_cast<long>(inst.job(j).deadline));
+  }
+  lp::LinearProblem p;
+  for (long t = 0; t < horizon; ++t) p.add_variable(1.0);
+  for (long t = 0; t < horizon; ++t) {
+    p.add_row({{static_cast<int>(t), 1.0}}, lp::Sense::kLessEqual, 1.0);
+  }
+  for (int j = 0; j < inst.size(); ++j) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (long t = static_cast<long>(inst.job(j).release);
+         t < static_cast<long>(inst.job(j).deadline); ++t) {
+      coeffs.emplace_back(static_cast<int>(t), 1.0);
+    }
+    p.add_row(std::move(coeffs), lp::Sense::kGreaterEqual, inst.job(j).length);
+  }
+  const lp::Solution s = lp::SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, lp::SolveStatus::kOptimal);
+  return s.objective;
+}
+
+TEST(PreemptiveUnbounded, SingleJobOpensExactlyItsLength) {
+  const ContinuousInstance inst({{0, 10, 3}}, 1);
+  const auto sol = solve_preemptive_unbounded(inst);
+  EXPECT_NEAR(sol.busy_time, 3.0, 1e-9);
+  std::string why;
+  EXPECT_TRUE(core::check_preemptive_schedule(
+      ContinuousInstance(inst.jobs(), inst.size() + 1), sol.schedule, &why))
+      << why;
+}
+
+TEST(PreemptiveUnbounded, SharedWindowReusesOpenTime) {
+  // Two jobs with the same window: open max(p1, p2) with g = infinity.
+  const ContinuousInstance inst({{0, 10, 4}, {0, 10, 2}}, 2);
+  const auto sol = solve_preemptive_unbounded(inst);
+  EXPECT_NEAR(sol.busy_time, 4.0, 1e-9);
+}
+
+TEST(PreemptiveUnbounded, PreemptionSplitsAroundFullStretch) {
+  // Job A rigid [3,5); job B window [0,8) length 6: B uses [3,5) too but
+  // needs 6 total -> open 6 (B preempts around nothing, runs alongside A).
+  const ContinuousInstance inst({{3, 5, 2}, {0, 8, 6}}, 2);
+  const auto sol = solve_preemptive_unbounded(inst);
+  EXPECT_NEAR(sol.busy_time, 6.0, 1e-9);
+}
+
+TEST(PreemptiveUnbounded, DisjointWindowsAddUp) {
+  const ContinuousInstance inst({{0, 3, 2}, {10, 14, 3}}, 1);
+  const auto sol = solve_preemptive_unbounded(inst);
+  EXPECT_NEAR(sol.busy_time, 5.0, 1e-9);
+}
+
+TEST(PreemptiveUnbounded, OpensTimeAsLateAsPossible) {
+  const ContinuousInstance inst({{0, 10, 2}}, 1);
+  const auto sol = solve_preemptive_unbounded(inst);
+  ASSERT_EQ(sol.open.size(), 1u);
+  EXPECT_NEAR(sol.open[0].lo, 8.0, 1e-9);
+  EXPECT_NEAR(sol.open[0].hi, 10.0, 1e-9);
+}
+
+/// Property (Theorem 6): the greedy equals the integral covering LP on
+/// integer instances.
+class PreemptiveExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreemptiveExactness, GreedyMatchesLpOptimum) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 4391ULL + 11);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 7));
+    std::vector<core::ContinuousJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      const double p = static_cast<double>(rng.uniform_int(1, 4));
+      const double r = static_cast<double>(rng.uniform_int(0, 6));
+      const double slack = static_cast<double>(rng.uniform_int(0, 6));
+      jobs.push_back({r, r + p + slack, p});
+    }
+    const ContinuousInstance inst(std::move(jobs), 2);
+    const auto sol = solve_preemptive_unbounded(inst);
+    EXPECT_NEAR(sol.busy_time, lp_reference_unbounded(inst), 1e-5)
+        << "Theorem 6: lazy greedy is exact for preemptive g=infinity";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreemptiveExactness, ::testing::Range(1, 9));
+
+/// Property (Theorem 7): bounded-g preemptive schedule is feasible and
+/// within twice max(OPT_inf, mass/g) — hence within 2 OPT.
+class PreemptiveBounded : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreemptiveBounded, FeasibleAndWithinTwiceLowerBound) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717ULL + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(2, 15));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 4));
+    params.horizon = 15;
+    params.max_slack = 2.0;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    const auto sol = solve_preemptive_bounded(inst);
+    std::string why;
+    EXPECT_TRUE(core::check_preemptive_schedule(inst, sol.schedule, &why))
+        << why;
+    const double lb = std::max(sol.opt_infinity, inst.mass_lower_bound());
+    EXPECT_LE(sol.busy_time, 2 * lb + 1e-6) << "Theorem 7 bound violated";
+    EXPECT_GE(sol.busy_time, lb - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreemptiveBounded, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace abt::busy

@@ -1,0 +1,101 @@
+#include "busy/proper_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousInstance;
+using core::Interval;
+using core::JobId;
+
+std::vector<Interval> runs_of(const ContinuousInstance& inst,
+                              const std::vector<JobId>& ids) {
+  std::vector<Interval> out;
+  for (JobId j : ids) {
+    out.push_back({inst.job(j).release,
+                   inst.job(j).release + inst.job(j).length});
+  }
+  return out;
+}
+
+int max_overlap(const std::vector<Interval>& ivs) {
+  int best = 0;
+  for (const Interval& iv : ivs) {
+    int count = 0;
+    for (const Interval& other : ivs) {
+      if (other.lo <= iv.lo && iv.lo < other.hi) ++count;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+TEST(ProperCover, SingleJob) {
+  const ContinuousInstance inst({{0, 1, 1}}, 1);
+  EXPECT_EQ(proper_cover(inst, {0}).size(), 1u);
+}
+
+TEST(ProperCover, DropsDominatedJob) {
+  const ContinuousInstance inst({{0, 4, 4}, {1, 3, 2}}, 1);
+  const auto q = proper_cover(inst, {0, 1});
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0], 0);
+}
+
+TEST(ProperCover, KeepsOneOfIdenticalJobs) {
+  const ContinuousInstance inst({{0, 1, 1}, {0, 1, 1}, {0, 1, 1}}, 1);
+  EXPECT_EQ(proper_cover(inst, {0, 1, 2}).size(), 1u);
+}
+
+TEST(ProperCover, ChainKeepsEveryOtherish) {
+  // Staircase: [0,2) [1,3) [2,4) [3,5): span [0,5).
+  const ContinuousInstance inst(
+      {{0, 2, 2}, {1, 3, 2}, {2, 4, 2}, {3, 5, 2}}, 1);
+  std::vector<JobId> all = {0, 1, 2, 3};
+  const auto q = proper_cover(inst, all);
+  EXPECT_NEAR(core::span_of(runs_of(inst, q)), 5.0, 1e-12);
+  EXPECT_LE(max_overlap(runs_of(inst, q)), 2);
+}
+
+TEST(ProperCover, DisjointComponentsAllKept) {
+  const ContinuousInstance inst({{0, 1, 1}, {5, 6, 1}, {10, 11, 1}}, 1);
+  EXPECT_EQ(proper_cover(inst, {0, 1, 2}).size(), 3u);
+}
+
+/// Property (proof of Theorem 5): the cover preserves the span and never
+/// has three jobs live at once.
+class ProperCoverRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProperCoverRandom, SpanPreservedAndOverlapAtMostTwo) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 123457ULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 25));
+    params.horizon = 20;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    std::vector<JobId> all(static_cast<std::size_t>(inst.size()));
+    std::iota(all.begin(), all.end(), JobId{0});
+
+    const auto q = proper_cover(inst, all);
+    EXPECT_NEAR(core::span_of(runs_of(inst, q)),
+                core::span_of(runs_of(inst, all)), 1e-9)
+        << "cover must preserve the projection Sp";
+    EXPECT_LE(max_overlap(runs_of(inst, q)), 2)
+        << "at most two cover jobs may be live at any time";
+    // Q is a subset.
+    for (JobId j : q) {
+      EXPECT_TRUE(std::find(all.begin(), all.end(), j) != all.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProperCoverRandom, ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace abt::busy

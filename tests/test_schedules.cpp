@@ -1,0 +1,147 @@
+// Unit tests for the schedule data types and their feasibility checkers —
+// these checkers gate every algorithm test, so they get their own coverage.
+#include <gtest/gtest.h>
+
+#include "core/active_schedule.hpp"
+#include "core/busy_schedule.hpp"
+
+namespace abt::core {
+namespace {
+
+TEST(ActiveScheduleCheck, AcceptsValidSchedule) {
+  const SlottedInstance inst({{0, 3, 2}, {0, 2, 1}}, 2);
+  ActiveSchedule s;
+  s.active_slots = {1, 2};
+  s.job_slots = {{1, 2}, {1}};
+  std::string why;
+  EXPECT_TRUE(check_active_schedule(inst, s, &why)) << why;
+  EXPECT_EQ(s.cost(), 2);
+  const auto loads = slot_loads(inst, s);
+  EXPECT_EQ(loads, (std::vector<int>{2, 1}));
+}
+
+TEST(ActiveScheduleCheck, RejectsWrongUnitCount) {
+  const SlottedInstance inst({{0, 3, 2}}, 1);
+  ActiveSchedule s;
+  s.active_slots = {1};
+  s.job_slots = {{1}};
+  EXPECT_FALSE(check_active_schedule(inst, s));
+}
+
+TEST(ActiveScheduleCheck, RejectsInactiveSlotUse) {
+  const SlottedInstance inst({{0, 3, 1}}, 1);
+  ActiveSchedule s;
+  s.active_slots = {2};
+  s.job_slots = {{1}};
+  EXPECT_FALSE(check_active_schedule(inst, s));
+}
+
+TEST(ActiveScheduleCheck, RejectsOutOfWindow) {
+  const SlottedInstance inst({{2, 4, 1}}, 1);
+  ActiveSchedule s;
+  s.active_slots = {1, 3};
+  s.job_slots = {{1}};
+  EXPECT_FALSE(check_active_schedule(inst, s)) << "slot 1 predates release 2";
+}
+
+TEST(ActiveScheduleCheck, RejectsOverCapacity) {
+  const SlottedInstance inst({{0, 1, 1}, {0, 1, 1}}, 1);
+  ActiveSchedule s;
+  s.active_slots = {1};
+  s.job_slots = {{1}, {1}};
+  EXPECT_FALSE(check_active_schedule(inst, s));
+}
+
+TEST(ActiveScheduleCheck, RejectsDuplicateUnitInSlot) {
+  const SlottedInstance inst({{0, 4, 2}}, 3);
+  ActiveSchedule s;
+  s.active_slots = {1};
+  s.job_slots = {{1, 1}};
+  EXPECT_FALSE(check_active_schedule(inst, s))
+      << "at most one unit of a job per slot";
+}
+
+TEST(BusyScheduleCheck, AcceptsValidPacking) {
+  const ContinuousInstance inst({{0, 1, 1}, {0.5, 1.5, 1}, {0, 1, 1}}, 2);
+  BusySchedule s;
+  s.placements = {{0, 0.0}, {0, 0.5}, {1, 0.0}};
+  std::string why;
+  EXPECT_TRUE(check_busy_schedule(inst, s, &why)) << why;
+  EXPECT_EQ(s.machine_count(), 2);
+  EXPECT_NEAR(busy_cost(inst, s), 1.5 + 1.0, 1e-9);
+  EXPECT_NEAR(machine_busy_time(inst, s, 0), 1.5, 1e-9);
+}
+
+TEST(BusyScheduleCheck, RejectsCapacityViolation) {
+  const ContinuousInstance inst({{0, 1, 1}, {0, 1, 1}, {0, 1, 1}}, 2);
+  BusySchedule s;
+  s.placements = {{0, 0.0}, {0, 0.0}, {0, 0.0}};
+  EXPECT_FALSE(check_busy_schedule(inst, s));
+}
+
+TEST(BusyScheduleCheck, RejectsStartBeforeRelease) {
+  const ContinuousInstance inst({{1, 3, 1}}, 1);
+  BusySchedule s;
+  s.placements = {{0, 0.5}};
+  EXPECT_FALSE(check_busy_schedule(inst, s));
+}
+
+TEST(BusyScheduleCheck, RejectsStartPastLatestStart) {
+  const ContinuousInstance inst({{1, 3, 1}}, 1);
+  BusySchedule s;
+  s.placements = {{0, 2.5}};
+  EXPECT_FALSE(check_busy_schedule(inst, s));
+}
+
+TEST(BusyScheduleCheck, BackToBackJobsDoNotCollide) {
+  const ContinuousInstance inst({{0, 1, 1}, {1, 2, 1}}, 1);
+  BusySchedule s;
+  s.placements = {{0, 0.0}, {0, 1.0}};
+  std::string why;
+  EXPECT_TRUE(check_busy_schedule(inst, s, &why))
+      << "half-open intervals: " << why;
+}
+
+TEST(PreemptiveCheck, AcceptsSplitJob) {
+  const ContinuousInstance inst({{0, 10, 3}}, 1);
+  PreemptiveBusySchedule s;
+  s.pieces = {{{0, {1, 2}}, {0, {5, 7}}}};
+  std::string why;
+  EXPECT_TRUE(check_preemptive_schedule(inst, s, &why)) << why;
+  EXPECT_NEAR(busy_cost(inst, s), 3.0, 1e-9);
+}
+
+TEST(PreemptiveCheck, RejectsShortfall) {
+  const ContinuousInstance inst({{0, 10, 3}}, 1);
+  PreemptiveBusySchedule s;
+  s.pieces = {{{0, {1, 2}}}};
+  EXPECT_FALSE(check_preemptive_schedule(inst, s));
+}
+
+TEST(PreemptiveCheck, RejectsOverlappingPiecesOfOneJob) {
+  const ContinuousInstance inst({{0, 10, 4}}, 5);
+  PreemptiveBusySchedule s;
+  s.pieces = {{{0, {1, 3}}, {1, {2, 4}}}};
+  EXPECT_FALSE(check_preemptive_schedule(inst, s))
+      << "a job may run on at most one machine at a time";
+}
+
+TEST(PreemptiveCheck, RejectsPieceOutsideWindow) {
+  const ContinuousInstance inst({{2, 5, 1}}, 1);
+  PreemptiveBusySchedule s;
+  s.pieces = {{{0, {0, 1}}}};
+  EXPECT_FALSE(check_preemptive_schedule(inst, s));
+}
+
+TEST(PreemptiveCheck, EnforcesMachineCapacity) {
+  const ContinuousInstance inst({{0, 2, 2}, {0, 2, 2}, {0, 2, 2}}, 2);
+  PreemptiveBusySchedule s;
+  s.pieces = {{{0, {0, 2}}}, {{0, {0, 2}}}, {{0, {0, 2}}}};
+  EXPECT_FALSE(check_preemptive_schedule(inst, s));
+  s.pieces = {{{0, {0, 2}}}, {{0, {0, 2}}}, {{1, {0, 2}}}};
+  std::string why;
+  EXPECT_TRUE(check_preemptive_schedule(inst, s, &why)) << why;
+}
+
+}  // namespace
+}  // namespace abt::core

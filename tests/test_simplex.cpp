@@ -1,0 +1,150 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace abt::lp {
+namespace {
+
+TEST(Simplex, SimpleTwoVariableMin) {
+  // min -x - 2y st x + y <= 4, x <= 3, y <= 2  -> x=2, y=2, obj=-6.
+  LinearProblem p;
+  const int x = p.add_variable(-1.0);
+  const int y = p.add_variable(-2.0);
+  p.add_row({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 4.0);
+  p.add_row({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  p.add_row({{y, 1.0}}, Sense::kLessEqual, 2.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -6.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhaseOne) {
+  // min x + y st x + 2y >= 4, 3x + y >= 6 -> intersection (1.6, 1.2), obj 2.8.
+  LinearProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(1.0);
+  p.add_row({{x, 1.0}, {y, 2.0}}, Sense::kGreaterEqual, 4.0);
+  p.add_row({{x, 3.0}, {y, 1.0}}, Sense::kGreaterEqual, 6.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.8, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 3y st x + y = 5, y >= 2 -> x=3, y=2, obj=9.
+  LinearProblem p;
+  const int x = p.add_variable(1.0);
+  const int y = p.add_variable(3.0);
+  p.add_row({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  p.add_row({{y, 1.0}}, Sense::kGreaterEqual, 2.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProblem p;
+  const int x = p.add_variable(1.0);
+  p.add_row({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_row({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(SimplexSolver().solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProblem p;
+  const int x = p.add_variable(-1.0);
+  p.add_row({{x, -1.0}}, Sense::kLessEqual, 0.0);  // x >= 0 only
+  EXPECT_EQ(SimplexSolver().solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x st -x <= -3  (x >= 3).
+  LinearProblem p;
+  const int x = p.add_variable(1.0);
+  p.add_row({{x, -1.0}}, Sense::kLessEqual, -3.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+}
+
+TEST(Simplex, EmptyProblemIsOptimal) {
+  LinearProblem p;
+  EXPECT_EQ(SimplexSolver().solve(p).status, SolveStatus::kOptimal);
+}
+
+TEST(Simplex, DuplicateCoefficientsAccumulate) {
+  // min x st x + x >= 4 -> x = 2.
+  LinearProblem p;
+  const int x = p.add_variable(1.0);
+  p.add_row({{x, 1.0}, {x, 1.0}}, Sense::kGreaterEqual, 4.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degeneracy: many redundant rows.
+  LinearProblem p;
+  const int x = p.add_variable(-1.0);
+  const int y = p.add_variable(-1.0);
+  for (int i = 0; i < 30; ++i) {
+    p.add_row({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.0);
+  }
+  p.add_row({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-8);
+}
+
+/// Property: on random feasible-by-construction LPs, the returned solution
+/// satisfies every constraint and its objective is no worse than a sample of
+/// random feasible points.
+class SimplexRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandom, OptimalDominatesRandomFeasiblePoints) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003ULL);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int nvars = static_cast<int>(rng.uniform_int(1, 5));
+    LinearProblem p;
+    for (int v = 0; v < nvars; ++v) {
+      p.add_variable(rng.uniform_real(-2.0, 2.0));
+    }
+    // Rows of the form a'x <= b with a >= 0 and b >= 0: x = 0 is feasible,
+    // and adding box rows keeps it bounded.
+    const int rows = static_cast<int>(rng.uniform_int(1, 6));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::pair<int, double>> coeffs;
+      for (int v = 0; v < nvars; ++v) {
+        coeffs.emplace_back(v, rng.uniform_real(0.0, 3.0));
+      }
+      p.add_row(std::move(coeffs), Sense::kLessEqual,
+                rng.uniform_real(0.0, 10.0));
+    }
+    for (int v = 0; v < nvars; ++v) {
+      p.add_row({{v, 1.0}}, Sense::kLessEqual, rng.uniform_real(0.5, 5.0));
+    }
+    const Solution s = SimplexSolver().solve(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    std::string why;
+    EXPECT_TRUE(is_feasible(p, s.x, 1e-6, &why)) << why;
+
+    // Random feasible points (rejection sampling) cannot beat the optimum.
+    for (int probe = 0; probe < 50; ++probe) {
+      std::vector<double> x(static_cast<std::size_t>(nvars));
+      for (auto& xi : x) xi = rng.uniform_real(0.0, 5.0);
+      if (!is_feasible(p, x, 1e-9)) continue;
+      EXPECT_GE(objective_value(p, x), s.objective - 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace abt::lp

@@ -1,0 +1,143 @@
+// Mid-size randomized integration stress: no exact oracles, only the
+// paper's invariants — every algorithm must produce checker-clean output
+// whose cost sits between the lower bounds and its proven factor times a
+// lower-bound-based ceiling, across instance shapes well beyond the unit
+// tests' sizes.
+#include <gtest/gtest.h>
+
+#include "active/lp_rounding.hpp"
+#include "active/minimal_feasible.hpp"
+#include "busy/demand_profile.hpp"
+#include "busy/first_fit.hpp"
+#include "busy/flexible_pipeline.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "busy/lower_bounds.hpp"
+#include "busy/preemptive.hpp"
+#include "busy/two_track_peeling.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt {
+namespace {
+
+struct StressParam {
+  int seed;
+  int jobs;
+  int capacity;
+};
+
+class ActiveStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(ActiveStress, MinimalAndRoundingAgreeOnInvariants) {
+  const auto [seed, jobs, capacity] = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(seed) * 6700417ULL);
+  gen::SlottedParams params;
+  params.num_jobs = jobs;
+  params.horizon = 3 * jobs;
+  params.capacity = capacity;
+  params.max_length = 5;
+  params.max_slack = 8;
+  const auto inst = gen::random_feasible_slotted(rng, params);
+
+  const auto minimal = active::solve_minimal_feasible(inst);
+  ASSERT_TRUE(minimal.has_value());
+  const auto rounding = active::solve_lp_rounding(inst);
+  ASSERT_TRUE(rounding.has_value());
+
+  std::string why;
+  EXPECT_TRUE(core::check_active_schedule(inst, *minimal, &why)) << why;
+  EXPECT_TRUE(core::check_active_schedule(inst, rounding->schedule, &why))
+      << why;
+  EXPECT_EQ(rounding->repair_opens, 0);
+
+  // LP is a valid lower bound for both algorithms' guarantees.
+  const double lp = rounding->lp_objective;
+  EXPECT_GE(static_cast<double>(minimal->cost()), lp - 1e-6);
+  EXPECT_LE(static_cast<double>(rounding->schedule.cost()), 2 * lp + 1e-6);
+  EXPECT_LE(static_cast<double>(minimal->cost()), 3 * lp * 1.5 + 3)
+      << "sanity ceiling; Theorem 1 is vs OPT >= LP";
+  EXPECT_GE(minimal->cost(), inst.mass_lower_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ActiveStress,
+    ::testing::Values(StressParam{1, 20, 2}, StressParam{2, 20, 4},
+                      StressParam{3, 35, 3}, StressParam{4, 35, 6},
+                      StressParam{5, 50, 4}));
+
+class BusyStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(BusyStress, AllAlgorithmsRespectBoundsAtScale) {
+  const auto [seed, jobs, capacity] = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(seed) * 2147483647ULL);
+  gen::ContinuousParams params;
+  params.num_jobs = jobs;
+  params.capacity = capacity;
+  params.horizon = 6 + jobs / 3.0;
+  const auto inst = gen::random_continuous(rng, params);
+
+  const auto lb = busy::busy_lower_bounds(inst);
+  const double profile = busy::DemandProfile(inst).cost();
+  EXPECT_NEAR(profile, lb.profile, 1e-9);
+
+  std::string why;
+  for (const auto& [name, sched] :
+       {std::pair{"ff", busy::first_fit(inst)},
+        std::pair{"gt", busy::greedy_tracking(inst)},
+        std::pair{"peel", busy::two_track_peeling(inst)},
+        std::pair{"parity", busy::two_track_peeling(
+                                inst, nullptr, busy::PairSplit::kParity)}}) {
+    EXPECT_TRUE(core::check_busy_schedule(inst, sched, &why))
+        << name << ": " << why;
+    const double cost = core::busy_cost(inst, sched);
+    EXPECT_GE(cost, lb.best() - 1e-6) << name;
+    EXPECT_LE(cost, 4 * lb.best() + 4 * lb.mass + 1e-6)
+        << name << ": sanity ceiling blown";
+  }
+  // Peeling variants obey the profile charging exactly.
+  EXPECT_LE(core::busy_cost(inst, busy::two_track_peeling(inst)),
+            2 * profile + 1e-6);
+
+  // Preemption can only help: the preemptive 2-approx on the same jobs
+  // (windows = forced intervals, so identical) may not beat mass/g.
+  const auto preemptive = busy::solve_preemptive_bounded(inst);
+  EXPECT_TRUE(core::check_preemptive_schedule(inst, preemptive.schedule, &why))
+      << why;
+  EXPECT_GE(preemptive.busy_time, inst.mass_lower_bound() - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BusyStress,
+    ::testing::Values(StressParam{1, 60, 3}, StressParam{2, 60, 6},
+                      StressParam{3, 120, 4}, StressParam{4, 120, 8},
+                      StressParam{5, 200, 5}));
+
+class FlexibleStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(FlexibleStress, PipelineScalesAndStaysExact) {
+  const auto [seed, jobs, capacity] = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(seed) * 998244353ULL);
+  gen::ContinuousParams params;
+  params.num_jobs = jobs;
+  params.capacity = capacity;
+  params.horizon = 10 + jobs / 2.0;
+  params.max_slack = 1.5;
+  const auto inst = gen::random_continuous(rng, params);
+
+  const auto result = busy::schedule_flexible(inst);
+  ASSERT_TRUE(result.dp_exact) << "g=infinity DP blew its state budget";
+  std::string why;
+  EXPECT_TRUE(core::check_busy_schedule(inst, result.schedule, &why)) << why;
+  const double cost = core::busy_cost(inst, result.schedule);
+  EXPECT_GE(cost, result.opt_infinity - 1e-6);
+  EXPECT_LE(cost, result.opt_infinity + 2 * inst.mass_lower_bound() + 1e-6)
+      << "Theorem 5 accounting: Sp(B1) <= OPT_inf, rest <= 2 mass/g";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FlexibleStress,
+    ::testing::Values(StressParam{1, 25, 3}, StressParam{2, 40, 4},
+                      StressParam{3, 60, 5}));
+
+}  // namespace
+}  // namespace abt

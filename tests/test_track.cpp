@@ -1,0 +1,123 @@
+#include "busy/track.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousInstance;
+using core::JobId;
+
+ContinuousInstance intervals(std::vector<std::pair<double, double>> spans,
+                             int g = 1) {
+  std::vector<core::ContinuousJob> jobs;
+  for (auto [lo, hi] : spans) jobs.push_back({lo, hi, hi - lo});
+  return ContinuousInstance(std::move(jobs), g);
+}
+
+double track_length(const ContinuousInstance& inst,
+                    const std::vector<JobId>& track) {
+  double total = 0;
+  for (JobId j : track) total += inst.job(j).length;
+  return total;
+}
+
+bool is_disjoint(const ContinuousInstance& inst,
+                 const std::vector<JobId>& track) {
+  for (std::size_t a = 0; a < track.size(); ++a) {
+    for (std::size_t b = a + 1; b < track.size(); ++b) {
+      const auto& ja = inst.job(track[a]);
+      const auto& jb = inst.job(track[b]);
+      const core::Interval ia{ja.release, ja.release + ja.length};
+      const core::Interval ib{jb.release, jb.release + jb.length};
+      if (ia.overlaps(ib)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Track, EmptyInput) {
+  const auto inst = intervals({});
+  EXPECT_TRUE(longest_track(inst, {}).empty());
+}
+
+TEST(Track, SingleJob) {
+  const auto inst = intervals({{0, 2}});
+  const auto track = longest_track(inst, {0});
+  EXPECT_EQ(track.size(), 1u);
+}
+
+TEST(Track, PicksLongerOfTwoOverlapping) {
+  const auto inst = intervals({{0, 2}, {1, 5}});
+  const auto track = longest_track(inst, {0, 1});
+  ASSERT_EQ(track.size(), 1u);
+  EXPECT_EQ(track[0], 1);
+}
+
+TEST(Track, ChainsDisjointJobs) {
+  const auto inst = intervals({{0, 2}, {2, 4}, {4, 6}});
+  const auto track = longest_track(inst, {0, 1, 2});
+  EXPECT_EQ(track.size(), 3u) << "touching intervals are compatible";
+}
+
+TEST(Track, ClassicWeightedExample) {
+  // Jobs: [0,3) w3, [2,5) w3, [4,7) w3: best = {0,2} weight 6.
+  const auto inst = intervals({{0, 3}, {2, 5}, {4, 7}});
+  const auto track = longest_track(inst, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(track_length(inst, track), 6.0);
+  EXPECT_TRUE(is_disjoint(inst, track));
+}
+
+TEST(Track, RespectsCandidateSubset) {
+  const auto inst = intervals({{0, 3}, {2, 5}, {4, 7}});
+  const auto track = longest_track(inst, {1});
+  ASSERT_EQ(track.size(), 1u);
+  EXPECT_EQ(track[0], 1);
+}
+
+TEST(Track, CustomWeightsOverrideLengths) {
+  // Short middle job with huge weight wins over the two long ones.
+  const auto inst = intervals({{0, 3}, {2.5, 3.5}, {3, 6}});
+  const auto track = max_weight_track(inst, {0, 1, 2}, {1.0, 100.0, 1.0});
+  ASSERT_EQ(track.size(), 1u);
+  EXPECT_EQ(track[0], 1);
+}
+
+/// Property: DP result matches bitmask brute force on random sets.
+class TrackRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrackRandom, MatchesBruteForce) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 99991ULL);
+  for (int trial = 0; trial < 25; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 12));
+    params.horizon = 15;
+    params.max_slack = 0.0;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    std::vector<JobId> all(static_cast<std::size_t>(inst.size()));
+    std::iota(all.begin(), all.end(), JobId{0});
+
+    double brute = 0;
+    for (std::uint32_t mask = 0; mask < (1U << inst.size()); ++mask) {
+      std::vector<JobId> subset;
+      for (int j = 0; j < inst.size(); ++j) {
+        if ((mask >> j) & 1U) subset.push_back(j);
+      }
+      if (!is_disjoint(inst, subset)) continue;
+      brute = std::max(brute, track_length(inst, subset));
+    }
+    const auto track = longest_track(inst, all);
+    EXPECT_TRUE(is_disjoint(inst, track));
+    EXPECT_NEAR(track_length(inst, track), brute, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackRandom, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace abt::busy

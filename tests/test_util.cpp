@@ -1,0 +1,70 @@
+#include "test_util.hpp"
+
+#include <cmath>
+
+#include "active/feasibility.hpp"
+#include "core/assert.hpp"
+#include "core/interval.hpp"
+
+namespace abt::testutil {
+
+long brute_force_active_opt(const core::SlottedInstance& inst) {
+  const std::vector<core::SlotTime> candidates =
+      abt::active::candidate_slots(inst);
+  const std::size_t m = candidates.size();
+  ABT_ASSERT(m <= 22, "brute force limited to 22 candidate slots");
+  long best = -1;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    const int bits = __builtin_popcountll(mask);
+    if (best >= 0 && bits >= best) continue;
+    std::vector<core::SlotTime> open;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1ULL) open.push_back(candidates[i]);
+    }
+    if (abt::active::is_feasible_with_slots(inst, open)) best = bits;
+  }
+  return best;
+}
+
+namespace {
+
+void enumerate_starts(const core::ContinuousInstance& inst, std::size_t index,
+                      std::vector<core::Interval>& runs, double& best) {
+  if (index == static_cast<std::size_t>(inst.size())) {
+    best = std::min(best, core::span_of(runs));
+    return;
+  }
+  const core::ContinuousJob& job = inst.job(static_cast<core::JobId>(index));
+  const auto lo = static_cast<long>(std::llround(job.release));
+  const auto hi = static_cast<long>(std::llround(job.latest_start()));
+  for (long s = lo; s <= hi; ++s) {
+    runs.push_back({static_cast<double>(s), static_cast<double>(s) + job.length});
+    enumerate_starts(inst, index + 1, runs, best);
+    runs.pop_back();
+  }
+}
+
+}  // namespace
+
+double brute_force_unbounded(const core::ContinuousInstance& inst) {
+  ABT_ASSERT(inst.size() <= 7, "brute force limited to 7 jobs");
+  std::vector<core::Interval> runs;
+  double best = 1e300;
+  enumerate_starts(inst, 0, runs, best);
+  return best;
+}
+
+int max_overlap(const std::vector<core::Interval>& ivs) {
+  int best = 0;
+  for (const core::Interval& iv : ivs) {
+    const double probe = iv.lo;
+    int count = 0;
+    for (const core::Interval& other : ivs) {
+      if (other.lo <= probe && probe < other.hi) ++count;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+}  // namespace abt::testutil

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/continuous_instance.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::testutil {
+
+/// Independent reference max-flow: Ford-Fulkerson with BFS on an adjacency
+/// matrix. O(V^2) memory; only for tiny graphs.
+class RefFlow {
+ public:
+  explicit RefFlow(int n) : n_(n), cap_(static_cast<std::size_t>(n * n), 0) {}
+
+  void add(int u, int v, long c) {
+    cap_[static_cast<std::size_t>(u * n_ + v)] += c;
+  }
+
+  long max_flow(int s, int t) {
+    long total = 0;
+    while (true) {
+      std::vector<int> parent(static_cast<std::size_t>(n_), -1);
+      parent[static_cast<std::size_t>(s)] = s;
+      std::vector<int> queue = {s};
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const int u = queue[qi];
+        for (int v = 0; v < n_; ++v) {
+          if (parent[static_cast<std::size_t>(v)] < 0 &&
+              cap_[static_cast<std::size_t>(u * n_ + v)] > 0) {
+            parent[static_cast<std::size_t>(v)] = u;
+            queue.push_back(v);
+          }
+        }
+      }
+      if (parent[static_cast<std::size_t>(t)] < 0) break;
+      long push = 1L << 60;
+      for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+        const int u = parent[static_cast<std::size_t>(v)];
+        push = std::min(push, cap_[static_cast<std::size_t>(u * n_ + v)]);
+      }
+      for (int v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+        const int u = parent[static_cast<std::size_t>(v)];
+        cap_[static_cast<std::size_t>(u * n_ + v)] -= push;
+        cap_[static_cast<std::size_t>(v * n_ + u)] += push;
+      }
+      total += push;
+    }
+    return total;
+  }
+
+ private:
+  int n_;
+  std::vector<long> cap_;
+};
+
+/// Brute-force optimal active time: smallest k such that some k-subset of
+/// candidate slots is feasible. Exponential; keep horizons tiny.
+long brute_force_active_opt(const core::SlottedInstance& inst);
+
+/// Brute-force g = infinity busy time for *integer* flexible instances:
+/// enumerates every integral start vector and minimizes the union measure.
+double brute_force_unbounded(const core::ContinuousInstance& inst);
+
+/// Max concurrency of a set of half-open intervals.
+int max_overlap(const std::vector<core::Interval>& ivs);
+
+}  // namespace abt::testutil

@@ -1,0 +1,161 @@
+#include "busy/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "busy/first_fit.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt::busy {
+namespace {
+
+using core::ContinuousJob;
+
+WeightedInstance make(std::vector<std::tuple<double, double, int>> spec,
+                      int g) {
+  std::vector<WeightedJob> jobs;
+  for (const auto& [lo, hi, w] : spec) {
+    jobs.push_back({{lo, hi, hi - lo}, w});
+  }
+  return WeightedInstance(std::move(jobs), g);
+}
+
+TEST(Weighted, StructuralValidation) {
+  std::string why;
+  EXPECT_FALSE(make({{0, 1, 5}}, 4).structurally_valid(&why))
+      << "width above g";
+  EXPECT_FALSE(make({{0, 1, 0}}, 4).structurally_valid());
+  EXPECT_TRUE(make({{0, 1, 4}}, 4).structurally_valid());
+}
+
+TEST(Weighted, MassBoundWeighsByWidth) {
+  const auto inst = make({{0, 2, 3}, {0, 2, 1}}, 4);
+  EXPECT_DOUBLE_EQ(inst.mass_lower_bound(), (3 * 2 + 1 * 2) / 4.0);
+  EXPECT_DOUBLE_EQ(inst.span_lower_bound(), 2.0);
+}
+
+TEST(Weighted, CheckerEnforcesCumulativeWidth) {
+  const auto inst = make({{0, 1, 2}, {0, 1, 2}, {0, 1, 1}}, 4);
+  core::BusySchedule sched;
+  sched.placements = {{0, 0.0}, {0, 0.0}, {0, 0.0}};
+  EXPECT_FALSE(check_weighted_schedule(inst, sched)) << "width 5 > 4";
+  sched.placements = {{0, 0.0}, {0, 0.0}, {1, 0.0}};
+  std::string why;
+  EXPECT_TRUE(check_weighted_schedule(inst, sched, &why)) << why;
+}
+
+TEST(Weighted, UnitWidthFirstFitMatchesPlainFirstFit) {
+  core::Rng rng(11);
+  gen::ContinuousParams params;
+  params.num_jobs = 20;
+  params.capacity = 3;
+  const auto plain = gen::random_continuous(rng, params);
+  std::vector<WeightedJob> jobs;
+  for (const auto& j : plain.jobs()) jobs.push_back({j, 1});
+  const WeightedInstance weighted(std::move(jobs), plain.capacity());
+
+  const double plain_cost = core::busy_cost(plain, first_fit(plain));
+  const auto wsched = weighted_first_fit(weighted);
+  EXPECT_TRUE(check_weighted_schedule(weighted, wsched));
+  EXPECT_NEAR(core::busy_cost(plain, wsched), plain_cost, 1e-9)
+      << "width-1 model must reduce to the standard one";
+}
+
+TEST(Weighted, WideJobsNeverShareCapacity) {
+  // Three overlapping wide jobs (w = 3 of g = 4): three machines.
+  const auto inst = make({{0, 2, 3}, {0, 2, 3}, {0, 2, 3}}, 4);
+  const auto sched = narrow_wide_split(inst);
+  EXPECT_TRUE(check_weighted_schedule(inst, sched));
+  EXPECT_EQ(sched.machine_count(), 3);
+}
+
+TEST(Weighted, DisjointWideJobsShareAMachine) {
+  const auto inst = make({{0, 1, 3}, {2, 3, 3}, {4, 5, 3}}, 4);
+  const auto sched = narrow_wide_split(inst);
+  EXPECT_TRUE(check_weighted_schedule(inst, sched));
+  EXPECT_EQ(sched.machine_count(), 1);
+}
+
+TEST(Weighted, NarrowJobsPackByWidth) {
+  // Four overlapping narrow jobs of width 2, g = 4: two per machine.
+  const auto inst = make({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, 4);
+  const auto sched = narrow_wide_split(inst);
+  EXPECT_TRUE(check_weighted_schedule(inst, sched));
+  EXPECT_EQ(sched.machine_count(), 2);
+}
+
+TEST(Weighted, ExactBeatsOrMatchesHeuristics) {
+  const auto inst =
+      make({{0, 2, 2}, {1, 3, 2}, {0, 3, 1}, {2, 4, 3}, {0, 1, 1}}, 4);
+  const auto exact = solve_exact_weighted(inst);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(check_weighted_schedule(inst, *exact));
+  const double opt = core::busy_cost(inst.unweighted(), *exact);
+  const double ff = core::busy_cost(inst.unweighted(), weighted_first_fit(inst));
+  const double nw = core::busy_cost(inst.unweighted(), narrow_wide_split(inst));
+  EXPECT_LE(opt, ff + 1e-9);
+  EXPECT_LE(opt, nw + 1e-9);
+  EXPECT_GE(opt, std::max(inst.mass_lower_bound(), 0.0) - 1e-9);
+}
+
+/// Property (Khandekar et al. [9]): the narrow/wide split stays within 5x
+/// the exact optimum; width-aware FIRSTFIT stays feasible; both respect the
+/// weighted lower bounds.
+class WeightedRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedRandom, FactorsAgainstExactOnSmallInstances) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 35742ULL + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int g = static_cast<int>(rng.uniform_int(2, 5));
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    std::vector<WeightedJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      const double len = rng.uniform_real(0.5, 3.0);
+      const double lo = rng.uniform_real(0.0, 8.0);
+      jobs.push_back({{lo, lo + len, len},
+                      static_cast<int>(rng.uniform_int(1, g))});
+    }
+    const WeightedInstance inst(std::move(jobs), g);
+    ASSERT_TRUE(inst.structurally_valid());
+
+    const auto exact = solve_exact_weighted(inst);
+    ASSERT_TRUE(exact.has_value());
+    const double opt = core::busy_cost(inst.unweighted(), *exact);
+
+    const auto ff = weighted_first_fit(inst);
+    const auto nw = narrow_wide_split(inst);
+    std::string why;
+    EXPECT_TRUE(check_weighted_schedule(inst, ff, &why)) << why;
+    EXPECT_TRUE(check_weighted_schedule(inst, nw, &why)) << why;
+    EXPECT_LE(core::busy_cost(inst.unweighted(), nw), 5 * opt + 1e-6)
+        << "narrow/wide split is 5-approximate";
+    EXPECT_GE(core::busy_cost(inst.unweighted(), ff), opt - 1e-6);
+    const double lb =
+        std::max(inst.mass_lower_bound(), inst.span_lower_bound());
+    EXPECT_GE(opt, lb - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedRandom, ::testing::Range(1, 9));
+
+TEST(Weighted, FlexiblePipelineFeasible) {
+  core::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int g = 4;
+    std::vector<WeightedJob> jobs;
+    for (int i = 0; i < 10; ++i) {
+      const double len = rng.uniform_real(0.5, 2.0);
+      const double lo = rng.uniform_real(0.0, 8.0);
+      const double slack = rng.uniform_real(0.0, 2.0);
+      jobs.push_back({{lo, lo + len + slack, len},
+                      static_cast<int>(rng.uniform_int(1, g))});
+    }
+    const WeightedInstance inst(std::move(jobs), g);
+    const auto sched = schedule_weighted_flexible(inst);
+    std::string why;
+    EXPECT_TRUE(check_weighted_schedule(inst, sched, &why)) << why;
+  }
+}
+
+}  // namespace
+}  // namespace abt::busy
