@@ -9,8 +9,10 @@
 #include "active/lp_model.hpp"
 #include "active/lp_rounding.hpp"
 #include "active/minimal_feasible.hpp"
+#include "busy/demand_profile.hpp"
 #include "busy/dp_unbounded.hpp"
 #include "busy/first_fit.hpp"
+#include "busy/naive_baselines.hpp"
 #include "busy/greedy_tracking.hpp"
 #include "busy/preemptive.hpp"
 #include "busy/two_track_peeling.hpp"
@@ -84,7 +86,7 @@ void BM_GreedyTracking(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_GreedyTracking)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_GreedyTracking)->Range(16, 8192)->Complexity();
 
 void BM_TwoTrackPeeling(benchmark::State& state) {
   const auto inst = make_interval(static_cast<int>(state.range(0)), 6);
@@ -100,8 +102,41 @@ void BM_FirstFit(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(busy::first_fit(inst));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_FirstFit)->Range(16, 1024);
+BENCHMARK(BM_FirstFit)->Range(16, 8192)->Complexity();
+
+void BM_DemandProfile(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::DemandProfile(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DemandProfile)->Range(16, 8192)->Complexity();
+
+// --------------------------------------------------------------------------
+// Pre-sweep quadratic baselines (busy/naive_baselines.hpp, shared with the
+// equivalence suite) so every BENCH_PR<k>.json records the speedup of the
+// sweep engine against the original hot paths.
+
+void BM_FirstFitNaive(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::naive::first_fit(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FirstFitNaive)->Range(16, 4096)->Complexity();
+
+void BM_DemandProfileNaive(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::naive::demand_profile(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DemandProfileNaive)->Range(16, 4096)->Complexity();
 
 void BM_UnboundedDp(benchmark::State& state) {
   const auto inst = make_interval(static_cast<int>(state.range(0)), 8, 1.0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "core/sweep.hpp"
 
 namespace abt::busy {
 
@@ -13,15 +14,13 @@ using core::RealTime;
 DemandProfile::DemandProfile(const ContinuousInstance& inst) {
   ABT_ASSERT(inst.all_interval_jobs(1e-6),
              "demand profile is defined for interval jobs");
-  const std::vector<Interval> runs = inst.forced_intervals();
-  const std::vector<RealTime> points = core::event_points(runs);
-  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
-    const RealTime lo = points[i];
-    const RealTime hi = points[i + 1];
-    const int raw = core::coverage_at(runs, lo, hi);
-    if (raw == 0) continue;
-    const int demand = (raw + inst.capacity() - 1) / inst.capacity();
-    segments_.push_back({{lo, hi}, raw, demand});
+  // One O(n log n) sweep yields every interesting interval with its raw
+  // demand; only the rounding to D(t) = ceil(|A(t)|/g) is ours.
+  const core::CoverageProfile profile(inst.forced_intervals());
+  segments_.reserve(profile.segments().size());
+  for (const core::CoverageSegment& s : profile.segments()) {
+    const int demand = (s.count + inst.capacity() - 1) / inst.capacity();
+    segments_.push_back({s.interval, s.count, demand});
   }
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <numeric>
 #include <unordered_map>
 
 #include "core/assert.hpp"
@@ -17,8 +18,9 @@ using core::JobId;
 
 namespace {
 
-/// Search key: (position, sorted unsatisfied stragglers). Positions come
-/// from a finite derived set, so exact double equality is safe.
+/// Search key: (position, unsatisfied stragglers in canonical (release, id)
+/// order). Positions come from a finite derived set, so exact double
+/// equality is safe.
 struct StateKey {
   double t;
   std::vector<JobId> pending;
@@ -74,6 +76,20 @@ class UnboundedSolver {
     std::sort(anchors_.begin(), anchors_.end());
     anchors_.erase(std::unique(anchors_.begin(), anchors_.end()),
                    anchors_.end());
+    // Jobs indexed by release once, so unsatisfied_at binary-searches the
+    // released-at-or-after-t suffix instead of scanning and sorting all n
+    // jobs per memoized state.
+    by_release_.resize(static_cast<std::size_t>(n));
+    std::iota(by_release_.begin(), by_release_.end(), JobId{0});
+    std::sort(by_release_.begin(), by_release_.end(), [this](JobId a, JobId b) {
+      const double ra = r_[static_cast<std::size_t>(a)];
+      const double rb = r_[static_cast<std::size_t>(b)];
+      return ra < rb || (ra == rb && a < b);
+    });
+    release_sorted_.reserve(by_release_.size());
+    for (JobId j : by_release_) {
+      release_sorted_.push_back(r_[static_cast<std::size_t>(j)]);
+    }
   }
 
   UnboundedSolution run() {
@@ -117,20 +133,27 @@ class UnboundedSolver {
   }
 
   /// All jobs not yet satisfied at state (t, pending): the carried
-  /// stragglers plus every job released at or after t.
+  /// stragglers plus every job released at or after t. Pending jobs are all
+  /// released strictly before t and kept in (release, id) order, and the
+  /// suffix of `by_release_` from the binary-searched cut is in the same
+  /// order, so concatenation yields the canonical ordering with no sort.
   [[nodiscard]] std::vector<JobId> unsatisfied_at(
       double t, const std::vector<JobId>& pending) const {
-    std::vector<JobId> out = pending;
-    for (JobId j = 0; j < inst_.size(); ++j) {
-      if (r_[static_cast<std::size_t>(j)] >= t) out.push_back(j);
-    }
-    std::sort(out.begin(), out.end());
+    const auto cut =
+        std::lower_bound(release_sorted_.begin(), release_sorted_.end(), t);
+    const auto first =
+        by_release_.begin() + (cut - release_sorted_.begin());
+    std::vector<JobId> out;
+    out.reserve(pending.size() +
+                static_cast<std::size_t>(by_release_.end() - first));
+    out.insert(out.end(), pending.begin(), pending.end());
+    out.insert(out.end(), first, by_release_.end());
     return out;
   }
 
   double solve(double t, const std::vector<JobId>& pending) {
     if (exploded_) return std::numeric_limits<double>::infinity();
-    const StateKey key{t, pending};
+    StateKey key{t, pending};
     if (const auto it = memo_.find(key); it != memo_.end()) {
       return it->second.cost;
     }
@@ -144,7 +167,7 @@ class UnboundedSolver {
     if (todo.empty()) {
       value.cost = 0.0;
       value.terminal = true;
-      memo_.emplace(key, value);
+      memo_.emplace(std::move(key), value);
       return 0.0;
     }
 
@@ -166,6 +189,7 @@ class UnboundedSolver {
       for (double y : ends) {
         // Jobs satisfied by window [x, y]; the rest roll forward.
         std::vector<JobId> next_pending;
+        next_pending.reserve(todo.size());
         bool dead = false;
         for (JobId j : todo) {
           if (obligation(j, x) <= y + 1e-12) continue;  // satisfied
@@ -189,8 +213,9 @@ class UnboundedSolver {
     }
     ABT_ASSERT(value.cost < std::numeric_limits<double>::infinity(),
                "structurally valid instance always has a schedule");
-    memo_.emplace(key, value);
-    return value.cost;
+    const double cost = value.cost;
+    memo_.emplace(std::move(key), value);
+    return cost;
   }
 
   void reconstruct(double t, std::vector<JobId> pending,
@@ -223,6 +248,8 @@ class UnboundedSolver {
   std::vector<double> p_;
   std::vector<double> k_;
   std::vector<double> anchors_;
+  std::vector<JobId> by_release_;        ///< Ids in (release, id) order.
+  std::vector<double> release_sorted_;   ///< r_ values along by_release_.
   std::unordered_map<StateKey, StateValue, StateKeyHash> memo_;
   bool exploded_ = false;
 };

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/assert.hpp"
+#include "core/sweep.hpp"
 
 namespace abt::busy {
 
@@ -14,58 +15,30 @@ using core::JobId;
 
 namespace {
 
-/// Per-machine occupancy tracked as per-job intervals; a candidate fits if
-/// adding it keeps max concurrency <= g.
-class MachineState {
- public:
-  explicit MachineState(int capacity) : capacity_(capacity) {}
-
-  [[nodiscard]] bool fits(const Interval& candidate) const {
-    // Concurrency only changes at interval endpoints; count overlap of the
-    // candidate against existing jobs at every event inside the candidate.
-    int max_overlap = 0;
-    std::vector<double> probes = {candidate.lo};
-    for (const Interval& iv : jobs_) {
-      if (iv.lo > candidate.lo && iv.lo < candidate.hi) probes.push_back(iv.lo);
-    }
-    for (double p : probes) {
-      int overlap = 0;
-      for (const Interval& iv : jobs_) {
-        if (iv.lo <= p && p < iv.hi) ++overlap;
-      }
-      max_overlap = std::max(max_overlap, overlap);
-    }
-    return max_overlap + 1 <= capacity_;
-  }
-
-  void add(const Interval& iv) { jobs_.push_back(iv); }
-
- private:
-  int capacity_;
-  std::vector<Interval> jobs_;
-};
-
 BusySchedule first_fit_ordered(const ContinuousInstance& inst,
                                const std::vector<JobId>& order) {
   ABT_ASSERT(inst.all_interval_jobs(1e-6), "FIRSTFIT expects interval jobs");
   BusySchedule sched;
   sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
-  std::vector<MachineState> machines;
+  // A candidate fits a machine iff adding it keeps max concurrency <= g,
+  // i.e. the machine's occupancy over the candidate's run stays below g.
+  std::vector<core::OccupancyIndex> machines;
+  const int capacity = inst.capacity();
   for (JobId j : order) {
     const core::ContinuousJob& job = inst.job(j);
     const Interval run{job.release, job.release + job.length};
     int chosen = -1;
     for (std::size_t m = 0; m < machines.size(); ++m) {
-      if (machines[m].fits(run)) {
+      if (machines[m].max_coverage_in(run.lo, run.hi) + 1 <= capacity) {
         chosen = static_cast<int>(m);
         break;
       }
     }
     if (chosen < 0) {
-      machines.emplace_back(inst.capacity());
+      machines.emplace_back();
       chosen = static_cast<int>(machines.size()) - 1;
     }
-    machines[static_cast<std::size_t>(chosen)].add(run);
+    machines[static_cast<std::size_t>(chosen)].insert(run);
     sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
   }
   return sched;

@@ -19,24 +19,25 @@ BusySchedule greedy_tracking(const ContinuousInstance& inst,
   BusySchedule sched;
   sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
 
-  std::vector<JobId> remaining(static_cast<std::size_t>(inst.size()));
-  std::iota(remaining.begin(), remaining.end(), JobId{0});
+  std::vector<JobId> all(static_cast<std::size_t>(inst.size()));
+  std::iota(all.begin(), all.end(), JobId{0});
+  std::vector<double> lengths;
+  lengths.reserve(all.size());
+  for (JobId j : all) lengths.push_back(inst.job(j).length);
 
+  // The peeler sorts by end once and keeps survivors in end order, so the
+  // whole peel loop never re-sorts.
+  TrackPeeler peeler(inst, all, lengths);
   int track_index = 0;
-  while (!remaining.empty()) {
-    const std::vector<JobId> track = longest_track(inst, remaining);
+  while (!peeler.empty()) {
+    std::vector<JobId> track = peeler.extract_max_weight_track();
     ABT_ASSERT(!track.empty(), "nonempty job set yields nonempty track");
     const int bundle = track_index / inst.capacity();
     for (JobId j : track) {
       sched.placements[static_cast<std::size_t>(j)] = {bundle,
                                                        inst.job(j).release};
     }
-    // Remove the track from the remaining set.
-    std::vector<char> in_track(static_cast<std::size_t>(inst.size()), 0);
-    for (JobId j : track) in_track[static_cast<std::size_t>(j)] = 1;
-    std::erase_if(remaining,
-                  [&](JobId j) { return in_track[static_cast<std::size_t>(j)] != 0; });
-    if (trace != nullptr) trace->tracks.push_back(track);
+    if (trace != nullptr) trace->tracks.push_back(std::move(track));
     ++track_index;
   }
   return sched;

@@ -1,0 +1,191 @@
+#pragma once
+
+// Pre-sweep (PR 1) implementations of the busy-time hot paths, kept
+// verbatim as the single source of truth for (a) the equivalence suite in
+// tests/test_sweep.cpp, which asserts the sweep-backed algorithms reproduce
+// these placement-for-placement, and (b) the BM_*Naive baselines in
+// bench/bench_perf.cpp, which record the speedup in every BENCH_PR<k>.json.
+// Do not optimize this header; its value is staying frozen.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "busy/demand_profile.hpp"
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+
+namespace abt::busy::naive {
+
+/// busy/first_fit's original MachineState: per-job interval list with an
+/// O(k^2) probe per candidate (rescan all k jobs at every event point).
+class NaiveMachineState {
+ public:
+  explicit NaiveMachineState(int capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool fits(const core::Interval& candidate) const {
+    int max_overlap = 0;
+    std::vector<double> probes = {candidate.lo};
+    for (const core::Interval& iv : jobs_) {
+      if (iv.lo > candidate.lo && iv.lo < candidate.hi) probes.push_back(iv.lo);
+    }
+    for (double p : probes) {
+      int overlap = 0;
+      for (const core::Interval& iv : jobs_) {
+        if (iv.lo <= p && p < iv.hi) ++overlap;
+      }
+      max_overlap = std::max(max_overlap, overlap);
+    }
+    return max_overlap + 1 <= capacity_;
+  }
+
+  void add(const core::Interval& iv) { jobs_.push_back(iv); }
+
+ private:
+  int capacity_;
+  std::vector<core::Interval> jobs_;
+};
+
+/// busy/first_fit's original driver (non-increasing length order).
+inline core::BusySchedule first_fit(const core::ContinuousInstance& inst) {
+  std::vector<core::JobId> order(static_cast<std::size_t>(inst.size()));
+  std::iota(order.begin(), order.end(), core::JobId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](core::JobId a, core::JobId b) {
+                     return inst.job(a).length > inst.job(b).length;
+                   });
+  core::BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  std::vector<NaiveMachineState> machines;
+  for (core::JobId j : order) {
+    const core::ContinuousJob& job = inst.job(j);
+    const core::Interval run{job.release, job.release + job.length};
+    int chosen = -1;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (machines[m].fits(run)) {
+        chosen = static_cast<int>(m);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      machines.emplace_back(inst.capacity());
+      chosen = static_cast<int>(machines.size()) - 1;
+    }
+    machines[static_cast<std::size_t>(chosen)].add(run);
+    sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
+  }
+  return sched;
+}
+
+/// busy/demand_profile's original constructor body: one naive O(n)
+/// coverage count per event-point gap.
+inline std::vector<ProfileSegment> demand_profile(
+    const core::ContinuousInstance& inst) {
+  const std::vector<core::Interval> runs = inst.forced_intervals();
+  const std::vector<core::RealTime> points = core::event_points(runs);
+  std::vector<ProfileSegment> segments;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const int raw = core::coverage_at(runs, points[i], points[i + 1]);
+    if (raw == 0) continue;
+    const int demand = (raw + inst.capacity() - 1) / inst.capacity();
+    segments.push_back({{points[i], points[i + 1]}, raw, demand});
+  }
+  return segments;
+}
+
+/// busy/track's original one-shot max-weight track: sorts the candidates
+/// by end on every call (the per-peel re-sort TrackPeeler eliminates).
+inline std::vector<core::JobId> max_weight_track(
+    const core::ContinuousInstance& inst,
+    const std::vector<core::JobId>& candidates,
+    const std::vector<double>& weights) {
+  const auto m = candidates.size();
+  if (m == 0) return {};
+
+  struct Item {
+    double start;
+    double end;
+    double weight;
+    core::JobId job;
+  };
+  std::vector<Item> items;
+  items.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const core::ContinuousJob& job = inst.job(candidates[i]);
+    items.push_back(
+        {job.release, job.release + job.length, weights[i], candidates[i]});
+  }
+  // The original used std::sort, leaving tie order among equal ends
+  // unspecified; the frozen reference pins it stably (candidate order) so
+  // placement-for-placement equivalence with TrackPeeler — which also
+  // stable-sorts its initial pool — is well-defined even under ties.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.end < b.end; });
+
+  std::vector<int> pred(m, -1);
+  std::vector<double> ends(m);
+  for (std::size_t i = 0; i < m; ++i) ends[i] = items[i].end;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto it = std::upper_bound(
+        ends.begin(), ends.begin() + static_cast<std::ptrdiff_t>(i),
+        items[i].start + 1e-12);
+    pred[i] = static_cast<int>(it - ends.begin()) - 1;
+  }
+
+  std::vector<double> best(m + 1, 0.0);
+  std::vector<char> take(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double with_item =
+        items[i].weight + best[static_cast<std::size_t>(pred[i] + 1)];
+    if (with_item > best[i]) {
+      best[i + 1] = with_item;
+      take[i] = 1;
+    } else {
+      best[i + 1] = best[i];
+    }
+  }
+
+  std::vector<core::JobId> out;
+  for (auto i = static_cast<std::ptrdiff_t>(m) - 1; i >= 0;) {
+    if (take[static_cast<std::size_t>(i)] != 0) {
+      out.push_back(items[static_cast<std::size_t>(i)].job);
+      i = pred[static_cast<std::size_t>(i)];
+    } else {
+      --i;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+/// busy/greedy_tracking's original loop: re-extract a longest track from
+/// the remaining pool with a fresh sort per peel.
+inline core::BusySchedule greedy_tracking(
+    const core::ContinuousInstance& inst) {
+  core::BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  std::vector<core::JobId> remaining(static_cast<std::size_t>(inst.size()));
+  std::iota(remaining.begin(), remaining.end(), core::JobId{0});
+  int track_index = 0;
+  while (!remaining.empty()) {
+    std::vector<double> weights;
+    weights.reserve(remaining.size());
+    for (core::JobId j : remaining) weights.push_back(inst.job(j).length);
+    const std::vector<core::JobId> track =
+        max_weight_track(inst, remaining, weights);
+    const int bundle = track_index / inst.capacity();
+    for (core::JobId j : track) {
+      sched.placements[static_cast<std::size_t>(j)] = {bundle,
+                                                       inst.job(j).release};
+    }
+    std::vector<char> in_track(static_cast<std::size_t>(inst.size()), 0);
+    for (core::JobId j : track) in_track[static_cast<std::size_t>(j)] = 1;
+    std::erase_if(remaining, [&](core::JobId j) {
+      return in_track[static_cast<std::size_t>(j)] != 0;
+    });
+    ++track_index;
+  }
+  return sched;
+}
+
+}  // namespace abt::busy::naive

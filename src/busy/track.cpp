@@ -9,65 +9,78 @@ namespace abt::busy {
 using core::ContinuousInstance;
 using core::JobId;
 
-std::vector<JobId> max_weight_track(const ContinuousInstance& inst,
-                                    const std::vector<JobId>& candidates,
-                                    const std::vector<double>& weights) {
+TrackPeeler::TrackPeeler(const ContinuousInstance& inst,
+                         const std::vector<JobId>& candidates,
+                         const std::vector<double>& weights) {
   ABT_ASSERT(candidates.size() == weights.size(), "weights size mismatch");
-  const auto m = candidates.size();
-  if (m == 0) return {};
-
-  struct Item {
-    double start;
-    double end;
-    double weight;
-    JobId job;
-  };
-  std::vector<Item> items;
-  items.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
+  items_.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
     const core::ContinuousJob& job = inst.job(candidates[i]);
-    items.push_back(
+    items_.push_back(
         {job.release, job.release + job.length, weights[i], candidates[i]});
   }
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.end < b.end; });
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const Item& a, const Item& b) { return a.end < b.end; });
+}
 
+std::vector<JobId> TrackPeeler::extract_max_weight_track() {
+  const std::size_t m = items_.size();
+  if (m == 0) return {};
+
+  // Classic weighted-interval-scheduling DP over the end-sorted items.
   // pred[i] = largest index k < i with items[k].end <= items[i].start, or -1.
-  std::vector<int> pred(m, -1);
-  std::vector<double> ends(m);
-  for (std::size_t i = 0; i < m; ++i) ends[i] = items[i].end;
+  ends_.resize(m);
+  pred_.resize(m);
+  best_.assign(m + 1, 0.0);
+  take_.assign(m, 0);
+  for (std::size_t i = 0; i < m; ++i) ends_[i] = items_[i].end;
   for (std::size_t i = 0; i < m; ++i) {
-    const auto it =
-        std::upper_bound(ends.begin(), ends.begin() + static_cast<std::ptrdiff_t>(i),
-                         items[i].start + 1e-12);
-    pred[i] = static_cast<int>(it - ends.begin()) - 1;
+    const auto it = std::upper_bound(
+        ends_.begin(), ends_.begin() + static_cast<std::ptrdiff_t>(i),
+        items_[i].start + 1e-12);
+    pred_[i] = static_cast<int>(it - ends_.begin()) - 1;
   }
 
   // best[i] = best weight using items[0..i]; take[i] = whether item i used.
-  std::vector<double> best(m + 1, 0.0);
-  std::vector<char> take(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
     const double with_item =
-        items[i].weight + best[static_cast<std::size_t>(pred[i] + 1)];
-    if (with_item > best[i]) {
-      best[i + 1] = with_item;
-      take[i] = 1;
+        items_[i].weight + best_[static_cast<std::size_t>(pred_[i] + 1)];
+    if (with_item > best_[i]) {
+      best_[i + 1] = with_item;
+      take_[i] = 1;
     } else {
-      best[i + 1] = best[i];
+      best_[i + 1] = best_[i];
     }
   }
 
   std::vector<JobId> out;
+  std::vector<char> chosen(m, 0);
   for (auto i = static_cast<std::ptrdiff_t>(m) - 1; i >= 0;) {
-    if (take[static_cast<std::size_t>(i)] != 0) {
-      out.push_back(items[static_cast<std::size_t>(i)].job);
-      i = pred[static_cast<std::size_t>(i)];
+    if (take_[static_cast<std::size_t>(i)] != 0) {
+      chosen[static_cast<std::size_t>(i)] = 1;
+      out.push_back(items_[static_cast<std::size_t>(i)].job);
+      i = pred_[static_cast<std::size_t>(i)];
     } else {
       --i;
     }
   }
   std::reverse(out.begin(), out.end());
+
+  // Compact the survivors in place; end order is preserved, so the next
+  // peel needs no sort.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (chosen[i] == 0) items_[w++] = items_[i];
+  }
+  items_.resize(w);
   return out;
+}
+
+std::vector<JobId> max_weight_track(const ContinuousInstance& inst,
+                                    const std::vector<JobId>& candidates,
+                                    const std::vector<double>& weights) {
+  TrackPeeler peeler(inst, candidates, weights);
+  return peeler.extract_max_weight_track();
 }
 
 std::vector<JobId> longest_track(const ContinuousInstance& inst,

@@ -27,4 +27,39 @@ namespace abt::busy {
     const core::ContinuousInstance& inst,
     const std::vector<core::JobId>& candidates);
 
+/// Incremental peeler for repeated track extraction over a shrinking pool
+/// (GreedyTracking's loop): sorts the candidates by end once at
+/// construction and keeps the surviving items in end order across peels, so
+/// each extraction is a single pass with binary-searched predecessors —
+/// no per-track re-sort.
+class TrackPeeler {
+ public:
+  /// `weights[i]` corresponds to `candidates[i]`; jobs are treated as their
+  /// forced execution intervals, so callers must pass interval jobs.
+  TrackPeeler(const core::ContinuousInstance& inst,
+              const std::vector<core::JobId>& candidates,
+              const std::vector<double>& weights);
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t remaining() const { return items_.size(); }
+
+  /// Extracts a max-weight track and removes its jobs from the pool.
+  /// Returns the track's job ids in increasing end order.
+  std::vector<core::JobId> extract_max_weight_track();
+
+ private:
+  struct Item {
+    double start;
+    double end;
+    double weight;
+    core::JobId job;
+  };
+  std::vector<Item> items_;  ///< Alive candidates, sorted by end.
+  // Scratch buffers reused across peels to keep extraction allocation-light.
+  std::vector<double> ends_;
+  std::vector<int> pred_;
+  std::vector<double> best_;
+  std::vector<char> take_;
+};
+
 }  // namespace abt::busy

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/sweep.hpp"
+
 namespace abt::core {
 
 namespace {
@@ -10,33 +12,6 @@ namespace {
 bool fail(std::string* why, std::string reason) {
   if (why != nullptr) *why = std::move(reason);
   return false;
-}
-
-/// Max number of intervals simultaneously overlapping, by plane sweep.
-int max_concurrency(std::vector<Interval> ivs) {
-  struct Event {
-    RealTime t;
-    int delta;
-  };
-  std::vector<Event> events;
-  events.reserve(ivs.size() * 2);
-  for (const Interval& iv : ivs) {
-    if (iv.empty()) continue;
-    events.push_back({iv.lo, +1});
-    events.push_back({iv.hi, -1});
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    // Process closings before openings at the same coordinate: intervals are
-    // half-open, so [a,b) and [b,c) do not overlap.
-    return a.t < b.t || (a.t == b.t && a.delta < b.delta);
-  });
-  int cur = 0;
-  int best = 0;
-  for (const Event& e : events) {
-    cur += e.delta;
-    best = std::max(best, cur);
-  }
-  return best;
 }
 
 }  // namespace
@@ -104,7 +79,7 @@ bool check_busy_schedule(const ContinuousInstance& inst,
     // with floating-point-adjacent endpoints do not report spurious overlap.
     std::vector<Interval> shrunk = per_machine[m];
     for (Interval& iv : shrunk) iv.hi -= eps;
-    const int conc = max_concurrency(std::move(shrunk));
+    const int conc = max_concurrency(shrunk);
     if (conc > inst.capacity()) {
       return fail(why, "machine " + std::to_string(m) + " runs " +
                            std::to_string(conc) + " jobs > g=" +

@@ -1,0 +1,126 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+
+namespace abt::core {
+
+CoverageProfile::CoverageProfile(std::span<const Interval> ivs, RealTime eps) {
+  const std::vector<RealTime> points = event_points(ivs, eps);
+  if (points.size() < 2) return;
+
+  // Each endpoint was merged into the cluster representative at or just
+  // below it, so the greatest boundary <= the endpoint recovers its index.
+  const auto snap = [&points](RealTime t) -> std::size_t {
+    const auto it = std::upper_bound(points.begin(), points.end(), t);
+    return static_cast<std::size_t>(it - points.begin()) - 1;
+  };
+
+  std::vector<int> delta(points.size(), 0);
+  for (const Interval& iv : ivs) {
+    if (iv.empty()) continue;
+    ++delta[snap(iv.lo)];
+    --delta[snap(iv.hi)];
+  }
+
+  segments_.reserve(points.size() - 1);
+  int count = 0;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    count += delta[i];
+    if (count > 0) {
+      segments_.push_back({{points[i], points[i + 1]}, count});
+    }
+  }
+}
+
+RealTime CoverageProfile::cost() const {
+  RealTime total = 0.0;
+  for (const CoverageSegment& s : segments_) {
+    total += s.count * s.interval.length();
+  }
+  return total;
+}
+
+int CoverageProfile::max() const {
+  int best = 0;
+  for (const CoverageSegment& s : segments_) best = std::max(best, s.count);
+  return best;
+}
+
+int CoverageProfile::coverage_at(RealTime t) const {
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](RealTime v, const CoverageSegment& s) { return v < s.interval.lo; });
+  if (it == segments_.begin()) return 0;
+  const CoverageSegment& s = *std::prev(it);
+  return s.interval.contains(t) ? s.count : 0;
+}
+
+int CoverageProfile::max_coverage_in(RealTime lo, RealTime hi) const {
+  if (hi <= lo) return 0;
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), lo,
+      [](RealTime v, const CoverageSegment& s) { return v < s.interval.lo; });
+  int best = 0;
+  if (it != segments_.begin() && std::prev(it)->interval.contains(lo)) {
+    best = std::prev(it)->count;
+  }
+  for (; it != segments_.end() && it->interval.lo < hi; ++it) {
+    best = std::max(best, it->count);
+  }
+  return best;
+}
+
+int max_concurrency(std::span<const Interval> ivs) {
+  struct Event {
+    RealTime t;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(ivs.size() * 2);
+  for (const Interval& iv : ivs) {
+    if (iv.empty()) continue;
+    events.push_back({iv.lo, +1});
+    events.push_back({iv.hi, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    // Closings before openings at the same coordinate: half-open intervals
+    // [a,b) and [b,c) do not overlap.
+    return a.t < b.t || (a.t == b.t && a.delta < b.delta);
+  });
+  int cur = 0;
+  int best = 0;
+  for (const Event& e : events) {
+    cur += e.delta;
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+int OccupancyIndex::max_coverage_in(RealTime lo, RealTime hi) const {
+  if (hi <= lo || steps_.empty()) return 0;
+  auto it = steps_.upper_bound(lo);
+  int best = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+  for (; it != steps_.end() && it->first < hi; ++it) {
+    best = std::max(best, it->second);
+  }
+  return best;
+}
+
+void OccupancyIndex::insert(const Interval& iv) {
+  if (iv.empty()) return;
+  // Split a breakpoint at each endpoint (carrying the incumbent level), then
+  // raise every step inside [lo, hi) by one.
+  const auto split = [this](RealTime t) {
+    auto it = steps_.lower_bound(t);
+    if (it == steps_.end() || it->first != t) {
+      const int level = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+      it = steps_.emplace_hint(it, t, level);
+    }
+    return it;
+  };
+  const auto it_hi = split(iv.hi);
+  for (auto it = split(iv.lo); it != it_hi; ++it) ++it->second;
+  ++count_;
+}
+
+}  // namespace abt::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/interval.hpp"
+
+namespace abt::core {
+
+/// One maximal piece of a coverage step function: exactly `count` of the
+/// input intervals cover every point of `interval`.
+struct CoverageSegment {
+  Interval interval;
+  int count = 0;
+
+  friend bool operator==(const CoverageSegment&, const CoverageSegment&) =
+      default;
+};
+
+/// Coordinate-compressed coverage step function of a set of intervals, built
+/// in one O(n log n) sweep. Segment boundaries are the event points of the
+/// input (endpoints merged within `eps`, exactly as `event_points`), so a
+/// segment is one of the paper's "interesting intervals" (Definition 12) and
+/// its `count` is the raw demand |A(t)| (Definition 11). Segments with zero
+/// coverage are not stored; adjacent equal-count segments are kept separate
+/// so that each segment spans exactly one interesting interval.
+class CoverageProfile {
+ public:
+  CoverageProfile() = default;
+  explicit CoverageProfile(std::span<const Interval> ivs, RealTime eps = 1e-12);
+
+  [[nodiscard]] const std::vector<CoverageSegment>& segments() const {
+    return segments_;
+  }
+
+  /// Integral of the step function = total mass of the input intervals.
+  [[nodiscard]] RealTime cost() const;
+
+  /// Height of the step function = max concurrency of the input.
+  [[nodiscard]] int max() const;
+
+  /// Coverage at point t (0 outside every stored segment). O(log n).
+  [[nodiscard]] int coverage_at(RealTime t) const;
+
+  /// Max coverage over [lo, hi). O(log n + segments intersected).
+  [[nodiscard]] int max_coverage_in(RealTime lo, RealTime hi) const;
+
+ private:
+  std::vector<CoverageSegment> segments_;  ///< Sorted, disjoint, count > 0.
+};
+
+/// Max number of intervals simultaneously overlapping (intervals are
+/// half-open, so [a,b) and [b,c) never overlap). One O(n log n) sweep with
+/// no profile materialization — the lean form of CoverageProfile::max().
+[[nodiscard]] int max_concurrency(std::span<const Interval> ivs);
+
+/// Incremental occupancy structure for one machine: a sorted endpoint map
+/// from coordinate to coverage level on [coordinate, next coordinate).
+/// `insert` and `max_coverage_in` cost O(log k) to locate the boundary plus
+/// one step per breakpoint spanned by the query interval — O(log k) whenever
+/// interval lengths are bounded relative to the machine's span, which turns
+/// first-fit's per-candidate probe from O(k^2) into a logarithmic lookup.
+class OccupancyIndex {
+ public:
+  /// Max coverage over [lo, hi); 0 for empty ranges or an empty index.
+  [[nodiscard]] int max_coverage_in(RealTime lo, RealTime hi) const;
+
+  /// Adds one covering interval (no-op when empty).
+  void insert(const Interval& iv);
+
+  /// Number of intervals inserted so far.
+  [[nodiscard]] int size() const { return count_; }
+
+ private:
+  std::map<RealTime, int> steps_;  ///< coordinate -> level on [key, next).
+  int count_ = 0;
+};
+
+}  // namespace abt::core

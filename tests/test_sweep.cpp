@@ -1,0 +1,233 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "busy/first_fit.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "busy/naive_baselines.hpp"
+#include "core/rng.hpp"
+#include "gen/random_instances.hpp"
+#include "test_util.hpp"
+
+namespace abt::core {
+namespace {
+
+std::vector<Interval> random_intervals(Rng& rng, int n, double horizon) {
+  std::vector<Interval> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double lo = rng.uniform_real(0.0, horizon);
+    const double len = rng.uniform_real(0.1, horizon / 4);
+    out.push_back({lo, lo + len});
+  }
+  return out;
+}
+
+TEST(CoverageProfile, EmptyAndDegenerate) {
+  const std::vector<Interval> none;
+  EXPECT_TRUE(CoverageProfile(none).segments().empty());
+  const std::vector<Interval> only_empty = {{2.0, 2.0}, {5.0, 3.0}};
+  EXPECT_TRUE(CoverageProfile(only_empty).segments().empty());
+  EXPECT_EQ(CoverageProfile(none).max(), 0);
+  EXPECT_DOUBLE_EQ(CoverageProfile(none).cost(), 0.0);
+}
+
+TEST(CoverageProfile, HandBuiltStepFunction) {
+  //   [0,4) and [1,2): counts 1,2,1 over [0,1), [1,2), [2,4).
+  const std::vector<Interval> ivs = {{0, 4}, {1, 2}};
+  const CoverageProfile profile(ivs);
+  ASSERT_EQ(profile.segments().size(), 3u);
+  EXPECT_EQ(profile.segments()[0], (CoverageSegment{{0, 1}, 1}));
+  EXPECT_EQ(profile.segments()[1], (CoverageSegment{{1, 2}, 2}));
+  EXPECT_EQ(profile.segments()[2], (CoverageSegment{{2, 4}, 1}));
+  EXPECT_EQ(profile.max(), 2);
+  EXPECT_DOUBLE_EQ(profile.cost(), 5.0) << "integral equals total mass";
+  EXPECT_EQ(profile.coverage_at(0.5), 1);
+  EXPECT_EQ(profile.coverage_at(1.0), 2);
+  EXPECT_EQ(profile.coverage_at(2.0), 1) << "half-open: [1,2) closed at 2";
+  EXPECT_EQ(profile.coverage_at(4.0), 0);
+  EXPECT_EQ(profile.coverage_at(-1.0), 0);
+  EXPECT_EQ(profile.max_coverage_in(0.0, 1.0), 1);
+  EXPECT_EQ(profile.max_coverage_in(0.0, 4.0), 2);
+  EXPECT_EQ(profile.max_coverage_in(2.0, 4.0), 1);
+  EXPECT_EQ(profile.max_coverage_in(5.0, 6.0), 0);
+  EXPECT_EQ(profile.max_coverage_in(3.0, 3.0), 0) << "empty query range";
+}
+
+TEST(CoverageProfile, SkipsZeroCoverageGaps) {
+  const std::vector<Interval> ivs = {{0, 1}, {3, 4}};
+  const CoverageProfile profile(ivs);
+  ASSERT_EQ(profile.segments().size(), 2u);
+  EXPECT_EQ(profile.coverage_at(2.0), 0);
+  EXPECT_EQ(profile.max_coverage_in(1.0, 3.0), 0);
+  EXPECT_EQ(profile.max_coverage_in(1.0, 3.5), 1);
+}
+
+/// Property: every segment's count matches the naive midpoint count, the
+/// segment boundaries are exactly the event points, and the aggregates
+/// match their independent definitions.
+TEST(CoverageProfile, MatchesNaiveCoverageOnRandomSets) {
+  Rng rng(20140623);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    const std::vector<Interval> ivs = random_intervals(rng, n, 20.0);
+    const CoverageProfile profile(ivs);
+
+    // Reference: the pre-sweep construction, one naive O(n) count per
+    // event-point gap.
+    const std::vector<RealTime> points = event_points(ivs);
+    std::vector<CoverageSegment> expected;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      const int raw = coverage_at(ivs, points[i], points[i + 1]);
+      if (raw > 0) expected.push_back({{points[i], points[i + 1]}, raw});
+    }
+    EXPECT_EQ(profile.segments(), expected);
+
+    EXPECT_NEAR(profile.cost(), mass_of(ivs), 1e-9);
+    EXPECT_EQ(profile.max(), testutil::max_overlap(ivs));
+
+    for (int q = 0; q < 20; ++q) {
+      const double t = rng.uniform_real(-1.0, 21.0);
+      int naive = 0;
+      for (const Interval& iv : ivs) {
+        if (iv.contains(t)) ++naive;
+      }
+      EXPECT_EQ(profile.coverage_at(t), naive) << "t=" << t;
+    }
+  }
+}
+
+TEST(MaxConcurrency, MatchesReferenceSweep) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 40));
+    const std::vector<Interval> ivs = random_intervals(rng, n, 10.0);
+    EXPECT_EQ(max_concurrency(ivs), testutil::max_overlap(ivs));
+  }
+  const std::vector<Interval> touching = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(max_concurrency(touching), 1) << "half-open endpoints never meet";
+}
+
+/// Reference for OccupancyIndex queries: max coverage over [lo, hi) of a
+/// plain interval list, probing every event point inside the range.
+int naive_range_max(const std::vector<Interval>& ivs, double lo, double hi) {
+  if (hi <= lo) return 0;
+  std::vector<double> probes = {lo};
+  for (const Interval& iv : ivs) {
+    if (iv.lo > lo && iv.lo < hi) probes.push_back(iv.lo);
+    if (iv.hi > lo && iv.hi < hi) probes.push_back(iv.hi);
+  }
+  int best = 0;
+  for (double p : probes) {
+    int count = 0;
+    for (const Interval& iv : ivs) {
+      if (iv.contains(p)) ++count;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+TEST(OccupancyIndex, EmptyIndexAndEmptyRanges) {
+  OccupancyIndex occ;
+  EXPECT_EQ(occ.size(), 0);
+  EXPECT_EQ(occ.max_coverage_in(0.0, 10.0), 0);
+  occ.insert({1.0, 1.0});
+  EXPECT_EQ(occ.size(), 0) << "empty intervals are ignored";
+  occ.insert({1.0, 3.0});
+  EXPECT_EQ(occ.size(), 1);
+  EXPECT_EQ(occ.max_coverage_in(2.0, 2.0), 0);
+}
+
+TEST(OccupancyIndex, HalfOpenBoundaries) {
+  OccupancyIndex occ;
+  occ.insert({0.0, 2.0});
+  occ.insert({2.0, 4.0});
+  EXPECT_EQ(occ.max_coverage_in(0.0, 4.0), 1) << "touching jobs never stack";
+  EXPECT_EQ(occ.max_coverage_in(4.0, 9.0), 0) << "query starting at last end";
+  occ.insert({1.0, 3.0});
+  EXPECT_EQ(occ.max_coverage_in(0.0, 4.0), 2);
+  EXPECT_EQ(occ.max_coverage_in(3.0, 4.0), 1);
+  EXPECT_EQ(occ.max_coverage_in(1.5, 1.6), 2) << "query inside one step";
+}
+
+/// Property: after every insert, range-max queries agree with the naive
+/// probe-every-event reference on random ranges.
+TEST(OccupancyIndex, MatchesNaiveRangeMaxOnRandomWorkloads) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 25; ++trial) {
+    OccupancyIndex occ;
+    std::vector<Interval> inserted;
+    const int ops = static_cast<int>(rng.uniform_int(1, 60));
+    for (int op = 0; op < ops; ++op) {
+      const double lo = rng.uniform_real(0.0, 10.0);
+      const Interval iv{lo, lo + rng.uniform_real(0.1, 3.0)};
+      occ.insert(iv);
+      inserted.push_back(iv);
+      for (int q = 0; q < 5; ++q) {
+        const double qlo = rng.uniform_real(-1.0, 11.0);
+        const double qhi = qlo + rng.uniform_real(0.0, 4.0);
+        EXPECT_EQ(occ.max_coverage_in(qlo, qhi),
+                  naive_range_max(inserted, qlo, qhi))
+            << "range [" << qlo << ", " << qhi << ") after " << op + 1
+            << " inserts";
+      }
+    }
+    EXPECT_EQ(occ.size(), static_cast<int>(inserted.size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: the sweep-backed algorithms must reproduce the pre-refactor
+// quadratic implementations (kept verbatim in busy/naive_baselines.hpp)
+// placement-for-placement.
+
+bool same_schedule(const BusySchedule& a, const BusySchedule& b) {
+  if (a.placements.size() != b.placements.size()) return false;
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    if (a.placements[i].machine != b.placements[i].machine ||
+        a.placements[i].start != b.placements[i].start) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class SweepEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepEquivalence, FirstFitIdenticalToNaive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003ULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 120));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 5));
+    params.horizon = params.num_jobs / 2.0 + 10;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    EXPECT_TRUE(
+        same_schedule(busy::first_fit(inst), busy::naive::first_fit(inst)));
+    std::string why;
+    EXPECT_TRUE(check_busy_schedule(inst, busy::first_fit(inst), &why)) << why;
+  }
+}
+
+TEST_P(SweepEquivalence, GreedyTrackingIdenticalToNaive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919ULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 120));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 5));
+    params.horizon = params.num_jobs / 2.0 + 10;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    EXPECT_TRUE(same_schedule(busy::greedy_tracking(inst),
+                              busy::naive::greedy_tracking(inst)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepEquivalence, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace abt::core
