@@ -11,10 +11,7 @@
 #include "active/minimal_feasible.hpp"
 #include "bench_util.hpp"
 #include "busy/demand_profile.hpp"
-#include "busy/greedy_tracking.hpp"
 #include "busy/lower_bounds.hpp"
-#include "busy/online.hpp"
-#include "busy/two_track_peeling.hpp"
 #include "core/rng.hpp"
 #include "gen/gadgets.hpp"
 #include "gen/random_instances.hpp"
@@ -87,12 +84,12 @@ int main() {
     report::Table table({"family", "consolidate", "parity"});
     core::Rng rng(626);
     const auto run_family = [&](const std::string& name,
-                                const core::ContinuousInstance& inst) {
-      const double profile = busy::DemandProfile(inst).cost();
-      const double cons = core::busy_cost(inst, busy::two_track_peeling(inst));
-      const double par = core::busy_cost(
-          inst,
-          busy::two_track_peeling(inst, nullptr, busy::PairSplit::kParity));
+                                const core::ContinuousInstance& raw) {
+      const core::ProblemInstance inst = core::make_instance(raw);
+      const double profile = busy::DemandProfile(raw).cost();
+      const double cons =
+          bench::solver_cost("busy/two-track-peeling", inst);
+      const double par = bench::solver_cost("busy/two-track-parity", inst);
       table.add_row({name, report::Table::num(cons / profile),
                      report::Table::num(par / profile)});
     };
@@ -116,35 +113,27 @@ int main() {
     report::Table table({"n", "g", "online first-fit", "online best-fit",
                          "online next-fit", "offline GT"});
     core::Rng rng(737);
+    const std::vector<std::string> solvers = {
+        "busy/online-first-fit", "busy/online-best-fit",
+        "busy/online-next-fit", "busy/greedy-tracking"};
     for (const auto& [n, g] : {std::pair{30, 3}, std::pair{80, 5}}) {
-      report::RatioStats ff;
-      report::RatioStats bf;
-      report::RatioStats nf;
-      report::RatioStats gt;
-      for (int t = 0; t < 8; ++t) {
-        gen::ContinuousParams params;
-        params.num_jobs = n;
-        params.capacity = g;
-        params.horizon = 8 + n / 4.0;
-        const auto inst = gen::random_continuous(rng, params);
-        const double lb = busy::busy_lower_bounds(inst).best();
-        ff.add(core::busy_cost(
-                   inst, busy::schedule_online(
-                             inst, busy::OnlinePolicy::kFirstFit)) /
-               lb);
-        bf.add(core::busy_cost(inst, busy::schedule_online(
-                                         inst, busy::OnlinePolicy::kBestFit)) /
-               lb);
-        nf.add(core::busy_cost(inst, busy::schedule_online(
-                                         inst, busy::OnlinePolicy::kNextFit)) /
-               lb);
-        gt.add(core::busy_cost(inst, busy::greedy_tracking(inst)) / lb);
-      }
+      const auto stats = bench::ratio_sweep(
+          solvers, 8,
+          [&](int) {
+            gen::ContinuousParams params;
+            params.num_jobs = n;
+            params.capacity = g;
+            params.horizon = 8 + n / 4.0;
+            return core::make_instance(gen::random_continuous(rng, params));
+          },
+          [](const core::ProblemInstance& inst) {
+            return busy::busy_lower_bounds(inst.continuous).best();
+          });
       table.add_row({std::to_string(n), std::to_string(g),
-                     report::Table::num(ff.mean()),
-                     report::Table::num(bf.mean()),
-                     report::Table::num(nf.mean()),
-                     report::Table::num(gt.mean())});
+                     report::Table::num(stats[0].mean()),
+                     report::Table::num(stats[1].mean()),
+                     report::Table::num(stats[2].mean()),
+                     report::Table::num(stats[3].mean())});
     }
     table.print(std::cout);
   }

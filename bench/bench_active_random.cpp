@@ -3,11 +3,11 @@
 // 2-approximation against the exact optimum (branch and bound) and the LP
 // lower bound. The shape to reproduce: LP rounding dominates minimal
 // feasible, both stay well under their worst-case factors on average.
+//
+// Solvers run through the registry (bench_util): shared applicability,
+// timing and checker validation with abt_solve and the tests.
 #include <iostream>
 
-#include "active/exact.hpp"
-#include "active/lp_rounding.hpp"
-#include "active/minimal_feasible.hpp"
 #include "bench_util.hpp"
 #include "core/rng.hpp"
 #include "gen/random_instances.hpp"
@@ -41,18 +41,16 @@ int main() {
       params.capacity = g;
       params.max_length = 3;
       params.max_slack = 5;
-      const core::SlottedInstance inst =
-          gen::random_feasible_slotted(rng, params);
+      const core::ProblemInstance inst =
+          core::make_instance(gen::random_feasible_slotted(rng, params));
 
-      const auto exact = active::solve_exact(inst);
-      const double opt = static_cast<double>(exact->schedule.cost());
+      const double opt = bench::solver_cost("active/exact", inst);
       if (opt == 0) continue;
 
-      const auto mf = active::solve_minimal_feasible(inst);
-      const auto lr = active::solve_lp_rounding(inst);
-      minimal.add(static_cast<double>(mf->cost()) / opt);
-      rounding.add(static_cast<double>(lr->schedule.cost()) / opt);
-      lp_tightness.add(lr->lp_objective / opt);
+      const core::Solution lr = bench::checked_run("active/lp-rounding", inst);
+      minimal.add(bench::solver_cost("active/minimal-feasible", inst) / opt);
+      rounding.add(lr.cost / opt);
+      lp_tightness.add(lr.stat("lp_objective") / opt);
     }
     table.add_row({std::to_string(n), std::to_string(g),
                    std::to_string(minimal.count()),

@@ -4,15 +4,13 @@
 // the best lower bound on larger ones. Shape to reproduce: peeling <=
 // tracking <= firstfit in worst-case factor; on random data all three sit
 // close to the lower bounds, with the paper's algorithm competitive.
+//
+// All solver invocations go through the registry (bench_util), sharing the
+// engine's timing + checker path with abt_solve and the tests.
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "busy/exact_busy.hpp"
-#include "busy/first_fit.hpp"
-#include "busy/flexible_pipeline.hpp"
-#include "busy/greedy_tracking.hpp"
 #include "busy/lower_bounds.hpp"
-#include "busy/two_track_peeling.hpp"
 #include "core/rng.hpp"
 #include "gen/random_instances.hpp"
 
@@ -26,7 +24,19 @@ int main() {
 
   core::Rng rng(8154);  // arXiv id vintage
 
+  const auto make_interval = [&rng](int n, int g, double horizon,
+                                    double slack) {
+    gen::ContinuousParams params;
+    params.num_jobs = n;
+    params.capacity = g;
+    params.horizon = horizon;
+    params.max_slack = slack;
+    return core::make_instance(gen::random_continuous(rng, params));
+  };
+
   {
+    const std::vector<std::string> solvers = {
+        "busy/first-fit", "busy/greedy-tracking", "busy/two-track-peeling"};
     report::Table table({"n", "g", "trials", "FF mean", "FF max", "GT mean",
                          "GT max", "Peel mean", "Peel max"});
     struct Config {
@@ -35,34 +45,27 @@ int main() {
     };
     for (const auto& [n, g] :
          {Config{6, 2}, Config{8, 2}, Config{8, 3}, Config{10, 3}}) {
-      report::RatioStats ff_s;
-      report::RatioStats gt_s;
-      report::RatioStats pe_s;
-      for (int t = 0; t < 15; ++t) {
-        gen::ContinuousParams params;
-        params.num_jobs = n;
-        params.capacity = g;
-        params.horizon = 12;
-        const auto inst = gen::random_continuous(rng, params);
-        const auto exact = busy::solve_exact_interval(inst);
-        const double opt = core::busy_cost(inst, *exact);
-        ff_s.add(core::busy_cost(inst, busy::first_fit(inst)) / opt);
-        gt_s.add(core::busy_cost(inst, busy::greedy_tracking(inst)) / opt);
-        pe_s.add(core::busy_cost(inst, busy::two_track_peeling(inst)) / opt);
-      }
+      const auto stats = bench::ratio_sweep(
+          solvers, 15,
+          [&](int) { return make_interval(n, g, 12.0, 0.0); },
+          [](const core::ProblemInstance& inst) {
+            return bench::solver_cost("busy/exact", inst);
+          });
       table.add_row({std::to_string(n), std::to_string(g), "15",
-                     report::Table::num(ff_s.mean()),
-                     report::Table::num(ff_s.max()),
-                     report::Table::num(gt_s.mean()),
-                     report::Table::num(gt_s.max()),
-                     report::Table::num(pe_s.mean()),
-                     report::Table::num(pe_s.max())});
+                     report::Table::num(stats[0].mean()),
+                     report::Table::num(stats[0].max()),
+                     report::Table::num(stats[1].mean()),
+                     report::Table::num(stats[1].max()),
+                     report::Table::num(stats[2].mean()),
+                     report::Table::num(stats[2].max())});
     }
     std::cout << "interval jobs vs exact OPT:\n";
     table.print(std::cout);
   }
 
   {
+    const std::vector<std::string> solvers = {
+        "busy/first-fit", "busy/greedy-tracking", "busy/two-track-peeling"};
     report::Table table({"n", "g", "trials", "FF/LB", "GT/LB", "Peel/LB"});
     struct Config {
       int n;
@@ -70,32 +73,25 @@ int main() {
     };
     for (const auto& [n, g] :
          {Config{40, 3}, Config{80, 4}, Config{150, 5}, Config{300, 8}}) {
-      report::RatioStats ff_s;
-      report::RatioStats gt_s;
-      report::RatioStats pe_s;
-      for (int t = 0; t < 5; ++t) {
-        gen::ContinuousParams params;
-        params.num_jobs = n;
-        params.capacity = g;
-        params.horizon = 10 + n / 4.0;
-        const auto inst = gen::random_continuous(rng, params);
-        const auto lb = busy::busy_lower_bounds(inst);
-        ff_s.add(core::busy_cost(inst, busy::first_fit(inst)) / lb.best());
-        gt_s.add(core::busy_cost(inst, busy::greedy_tracking(inst)) /
-                 lb.best());
-        pe_s.add(core::busy_cost(inst, busy::two_track_peeling(inst)) /
-                 lb.best());
-      }
+      const auto stats = bench::ratio_sweep(
+          solvers, 5,
+          [&](int) { return make_interval(n, g, 10 + n / 4.0, 0.0); },
+          [](const core::ProblemInstance& inst) {
+            return busy::busy_lower_bounds(inst.continuous).best();
+          });
       table.add_row({std::to_string(n), std::to_string(g), "5",
-                     report::Table::num(ff_s.mean()),
-                     report::Table::num(gt_s.mean()),
-                     report::Table::num(pe_s.mean())});
+                     report::Table::num(stats[0].mean()),
+                     report::Table::num(stats[1].mean()),
+                     report::Table::num(stats[2].mean())});
     }
     std::cout << "\nlarger interval instances vs best lower bound:\n";
     table.print(std::cout);
   }
 
   {
+    const std::vector<std::string> solvers = {
+        "busy/pipeline-greedy-tracking", "busy/pipeline-two-track-peeling",
+        "busy/pipeline-first-fit"};
     report::Table table({"n", "g", "slack", "trials", "GT pipeline/LB",
                          "Peel pipeline/LB", "FF pipeline/LB"});
     struct Config {
@@ -105,39 +101,17 @@ int main() {
     };
     for (const auto& [n, g, slack] :
          {Config{10, 2, 1.0}, Config{14, 3, 1.5}, Config{18, 3, 2.0}}) {
-      report::RatioStats gt_s;
-      report::RatioStats pe_s;
-      report::RatioStats ff_s;
-      for (int t = 0; t < 8; ++t) {
-        gen::ContinuousParams params;
-        params.num_jobs = n;
-        params.capacity = g;
-        params.horizon = 16;
-        params.max_slack = slack;
-        const auto inst = gen::random_continuous(rng, params);
-        const auto lb = busy::busy_lower_bounds(inst);
-        const double bound = lb.best();
-        gt_s.add(core::busy_cost(
-                     inst, busy::schedule_flexible(
-                               inst, busy::IntervalAlgorithm::kGreedyTracking)
-                               .schedule) /
-                 bound);
-        pe_s.add(core::busy_cost(
-                     inst, busy::schedule_flexible(
-                               inst, busy::IntervalAlgorithm::kTwoTrackPeeling)
-                               .schedule) /
-                 bound);
-        ff_s.add(core::busy_cost(
-                     inst, busy::schedule_flexible(
-                               inst, busy::IntervalAlgorithm::kFirstFit)
-                               .schedule) /
-                 bound);
-      }
+      const auto stats = bench::ratio_sweep(
+          solvers, 8,
+          [&](int) { return make_interval(n, g, 16.0, slack); },
+          [](const core::ProblemInstance& inst) {
+            return busy::busy_lower_bounds(inst.continuous).best();
+          });
       table.add_row({std::to_string(n), std::to_string(g),
                      report::Table::num(slack, 1), "8",
-                     report::Table::num(gt_s.mean()),
-                     report::Table::num(pe_s.mean()),
-                     report::Table::num(ff_s.mean())});
+                     report::Table::num(stats[0].mean()),
+                     report::Table::num(stats[1].mean()),
+                     report::Table::num(stats[2].mean())});
     }
     std::cout << "\nflexible jobs through the DP pipeline (section 4.3):\n";
     table.print(std::cout);

@@ -4,9 +4,6 @@
 // general, matching Theorem 2.
 #include <iostream>
 
-#include "active/exact.hpp"
-#include "active/lp_model.hpp"
-#include "active/lp_rounding.hpp"
 #include "bench_util.hpp"
 #include "gen/gadgets.hpp"
 
@@ -20,28 +17,26 @@ int main() {
   report::Table table({"g", "LP*", "IP* (=2g)", "gap", "rounded cost",
                        "rounded/LP*"});
   for (int g = 2; g <= 12; g += 2) {
-    const core::SlottedInstance inst = gen::lp_gap_instance(g);
+    const core::ProblemInstance inst =
+        core::make_instance(gen::lp_gap_instance(g));
 
-    const active::ActiveTimeLp model(inst);
-    const active::ActiveLpSolution lp = active::solve_active_lp(model);
+    // Registry run of the rounding; its LP1 optimum arrives as the
+    // lp_objective stat, the cost is checker-validated.
+    const core::Solution rounded =
+        bench::checked_run("active/lp-rounding", inst);
+    const double lp_objective = rounded.stat("lp_objective");
 
     // Integral optimum: each of the g slot pairs must open both slots
-    // (g+1 unit jobs in 2 slots of capacity g), verified exactly for small
-    // g by branch and bound.
+    // (g+1 unit jobs in 2 slots of capacity g), verified by branch and
+    // bound while the instance is inside the exact solver's size gate.
     double ip = 2.0 * g;
-    if (g <= 4) {
-      const auto exact = active::solve_exact(inst);
-      ip = static_cast<double>(exact->schedule.cost());
-    }
-
-    const auto rounded = active::solve_lp_rounding(inst);
+    if (g <= 3) ip = bench::solver_cost("active/exact", inst);
 
     table.add_row(
-        {std::to_string(g), report::Table::num(lp.objective),
-         report::Table::num(ip, 0), report::Table::num(ip / lp.objective),
-         std::to_string(rounded->schedule.cost()),
-         report::Table::num(static_cast<double>(rounded->schedule.cost()) /
-                            lp.objective)});
+        {std::to_string(g), report::Table::num(lp_objective),
+         report::Table::num(ip, 0), report::Table::num(ip / lp_objective),
+         report::Table::num(rounded.cost, 0),
+         report::Table::num(rounded.cost / lp_objective)});
   }
   table.print(std::cout);
   std::cout << "\npaper: gap = 2g/(g+1) -> 2 as g -> infinity.\n";

@@ -5,6 +5,9 @@
 // realistic instance sizes.
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+#include <vector>
+
 #include "active/feasibility.hpp"
 #include "active/lp_model.hpp"
 #include "active/lp_rounding.hpp"
@@ -15,6 +18,7 @@
 #include "busy/naive_baselines.hpp"
 #include "busy/greedy_tracking.hpp"
 #include "busy/preemptive.hpp"
+#include "busy/proper_cover.hpp"
 #include "busy/two_track_peeling.hpp"
 #include "core/rng.hpp"
 #include "gen/random_instances.hpp"
@@ -95,7 +99,9 @@ void BM_TwoTrackPeeling(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_TwoTrackPeeling)->Range(16, 1024)->Complexity();
+// Range extended to 8192 in PR 2: the LevelPeeler removed the per-level
+// re-sort, so the peel loop now scales with the other sweep-backed paths.
+BENCHMARK(BM_TwoTrackPeeling)->Range(16, 8192)->Complexity();
 
 void BM_FirstFit(benchmark::State& state) {
   const auto inst = make_interval(static_cast<int>(state.range(0)), 7);
@@ -105,6 +111,17 @@ void BM_FirstFit(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FirstFit)->Range(16, 8192)->Complexity();
+
+// PR 2: release-ordered FIRSTFIT through the MachineFreeIndex — one
+// O(log m) first-fit query per job instead of a per-machine probing scan.
+void BM_FirstFitByRelease(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::first_fit_by_release(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FirstFitByRelease)->Range(16, 8192)->Complexity();
 
 void BM_DemandProfile(benchmark::State& state) {
   const auto inst = make_interval(static_cast<int>(state.range(0)), 10);
@@ -128,6 +145,42 @@ void BM_FirstFitNaive(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FirstFitNaive)->Range(16, 4096)->Complexity();
+
+// The pre-PR-2 two_track_peeling inner loop: re-run the one-shot
+// proper_cover (fresh sort + rescan) on the remaining pool per level.
+void BM_LevelPeelNaive(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    std::vector<core::JobId> remaining(static_cast<std::size_t>(inst.size()));
+    std::iota(remaining.begin(), remaining.end(), core::JobId{0});
+    while (!remaining.empty()) {
+      const std::vector<core::JobId> level = busy::proper_cover(inst, remaining);
+      std::vector<char> taken(static_cast<std::size_t>(inst.size()), 0);
+      for (core::JobId j : level) taken[static_cast<std::size_t>(j)] = 1;
+      std::erase_if(remaining, [&](core::JobId j) {
+        return taken[static_cast<std::size_t>(j)] != 0;
+      });
+      benchmark::DoNotOptimize(level);
+    }
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LevelPeelNaive)->Range(16, 4096)->Complexity();
+
+// The PR-2 replacement: LevelPeeler sorts once and peels linearly.
+void BM_LevelPeel(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 6);
+  std::vector<core::JobId> all(static_cast<std::size_t>(inst.size()));
+  std::iota(all.begin(), all.end(), core::JobId{0});
+  for (auto _ : state) {
+    busy::LevelPeeler peeler(inst, all);
+    while (!peeler.empty()) {
+      benchmark::DoNotOptimize(peeler.extract_level());
+    }
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LevelPeel)->Range(16, 4096)->Complexity();
 
 void BM_DemandProfileNaive(benchmark::State& state) {
   const auto inst = make_interval(static_cast<int>(state.range(0)), 10);

@@ -1,13 +1,18 @@
 #pragma once
 
-// Shared helpers for the experiment binaries. Each binary regenerates one
-// of the paper's figures / in-text bounds and prints the series as a table
-// (see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
-// recorded paper-vs-measured values).
+// Shared scaffolding for the experiment binaries. Each binary regenerates
+// one of the paper's figures / in-text bounds and prints the series as a
+// table. Since PR 2 the solver invocations go through the registry
+// (engine/builtin_solvers): one shared path for applicability, timing and
+// checker validation, so a bench can never chart an infeasible cost.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "core/solver.hpp"
+#include "engine/builtin_solvers.hpp"
 #include "report/table.hpp"
 
 namespace abt::bench {
@@ -15,6 +20,51 @@ namespace abt::bench {
 inline void banner(const std::string& experiment_id,
                    const std::string& claim) {
   std::cout << "\n=== " << experiment_id << " ===\n" << claim << "\n\n";
+}
+
+/// The registry every experiment binary draws its solvers from.
+inline const core::SolverRegistry& registry() {
+  return engine::shared_registry();
+}
+
+/// Runs a registered solver and insists on a checker-validated result.
+/// Experiments measure costs, so a declined run or an infeasible schedule
+/// is a hard error, not a data point.
+inline core::Solution checked_run(const std::string& solver,
+                                  const core::ProblemInstance& inst) {
+  core::Solution sol = registry().run(solver, inst);
+  if (!sol.ok || !sol.feasible) {
+    std::cerr << "bench: solver '" << solver << "' failed: " << sol.message
+              << "\n";
+    std::abort();
+  }
+  return sol;
+}
+
+inline double solver_cost(const std::string& solver,
+                          const core::ProblemInstance& inst) {
+  return checked_run(solver, inst).cost;
+}
+
+/// Ratio sweep over generated instances: for each trial, `make_instance`
+/// produces the workload and `reference` its comparison baseline (exact
+/// OPT, a lower bound, ...); each named solver contributes
+/// cost / reference to its RatioStats. Trials with reference <= 0 are
+/// skipped (e.g. empty optimal schedules).
+template <typename MakeInstance, typename Reference>
+std::vector<report::RatioStats> ratio_sweep(
+    const std::vector<std::string>& solvers, int trials,
+    MakeInstance make_instance, Reference reference) {
+  std::vector<report::RatioStats> stats(solvers.size());
+  for (int t = 0; t < trials; ++t) {
+    const core::ProblemInstance inst = make_instance(t);
+    const double ref = reference(inst);
+    if (ref <= 0.0) continue;
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      stats[s].add(solver_cost(solvers[s], inst) / ref);
+    }
+  }
+  return stats;
 }
 
 }  // namespace abt::bench

@@ -1,93 +1,48 @@
-// abt_solve — command-line front end for the library: read an instance
-// file (see core/io.hpp for the format), run every applicable algorithm,
-// print costs, lower bounds and a Gantt chart.
+// abt_solve — registry-driven command-line front end: drive any instance
+// (parsed file, stdin, or generator scenario) through any subset of the
+// registered solvers, with shared checker validation, timing, lower bounds
+// and table/CSV/JSON reporting.
 //
-//   abt_solve <instance-file> [--gantt]
-//   abt_solve --demo-slotted | --demo-continuous   (print a sample file)
+//   abt_solve --list                          list registered solvers
+//   abt_solve --scenarios                     list generator scenarios
+//   abt_solve <instance-file|-> [options]     solve a file ('-' = stdin)
+//   abt_solve --gen <scenario> [options]      solve a generated instance
+//   abt_solve --demo-slotted | --demo-continuous
 //
-// Exit code: 0 on success, 1 on unreadable/infeasible input.
+// options:
+//   --solvers a,b,c   registry names (default: every applicable solver)
+//   --n K --g G --seed N --slack S --horizon H --eps E   scenario knobs
+//   --json | --csv    machine-readable report instead of the text table
+//   --emit            print the generated instance (core/io format) and exit
+//   --gantt           append a Gantt chart of the best feasible schedule
+//
+// Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when any
+// solver produced an infeasible schedule (checker verdict).
+#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
-#include "active/exact.hpp"
-#include "active/lp_rounding.hpp"
-#include "active/minimal_feasible.hpp"
-#include "busy/first_fit.hpp"
-#include "busy/flexible_pipeline.hpp"
-#include "busy/lower_bounds.hpp"
 #include "core/io.hpp"
+#include "core/solver.hpp"
+#include "engine/builtin_solvers.hpp"
+#include "engine/runner.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
 
 namespace {
 
-int solve_slotted(const abt::core::SlottedInstance& inst, bool gantt) {
-  using namespace abt;
-  std::cout << "active-time instance: " << inst.size() << " jobs, g = "
-            << inst.capacity() << ", horizon " << inst.horizon() << "\n\n";
-  const auto minimal = active::solve_minimal_feasible(inst);
-  if (!minimal.has_value()) {
-    std::cerr << "instance is infeasible\n";
-    return 1;
-  }
-  const auto rounded = active::solve_lp_rounding(inst);
+using namespace abt;
 
-  report::Table table({"algorithm", "active slots", "guarantee"});
-  table.add_row({"minimal feasible", std::to_string(minimal->cost()),
-                 "<= 3 OPT"});
-  table.add_row({"LP rounding", std::to_string(rounded->schedule.cost()),
-                 "<= 2 OPT"});
-  const bool small = inst.size() <= 10 && inst.horizon() <= 16;
-  if (small) {
-    const auto exact = active::solve_exact(inst);
-    table.add_row({"exact", std::to_string(exact->schedule.cost()),
-                   exact->proven_optimal ? "optimal" : "incumbent"});
-  }
-  table.print(std::cout);
-  std::cout << "\nLP lower bound: " << rounded->lp_objective << "\n";
-  if (gantt) {
-    std::cout << "\n" << report::render_active_gantt(inst, rounded->schedule);
-  }
-  return 0;
-}
-
-int solve_continuous(const abt::core::ContinuousInstance& inst, bool gantt) {
-  using namespace abt;
-  std::cout << "busy-time instance: " << inst.size() << " jobs, g = "
-            << inst.capacity() << ", "
-            << (inst.all_interval_jobs() ? "interval" : "flexible")
-            << " jobs\n\n";
-  const auto bounds = busy::busy_lower_bounds(inst);
-  report::Table table({"algorithm", "busy time", "machines", "guarantee"});
-  const auto add = [&](const std::string& name,
-                       const core::BusySchedule& sched,
-                       const std::string& guarantee) {
-    table.add_row({name, report::Table::num(core::busy_cost(inst, sched)),
-                   std::to_string(sched.machine_count()), guarantee});
-  };
-  const auto gt =
-      busy::schedule_flexible(inst, busy::IntervalAlgorithm::kGreedyTracking);
-  const auto pe =
-      busy::schedule_flexible(inst, busy::IntervalAlgorithm::kTwoTrackPeeling);
-  const auto ff =
-      busy::schedule_flexible(inst, busy::IntervalAlgorithm::kFirstFit);
-  add("GreedyTracking", gt.schedule, "<= 3 OPT");
-  add("TwoTrackPeeling", pe.schedule,
-      inst.all_interval_jobs() ? "<= 2 OPT" : "<= 4 OPT");
-  add("FirstFit", ff.schedule, "<= 4 OPT");
-  table.print(std::cout);
-  std::cout << "\nlower bounds: mass/g = " << report::Table::num(bounds.mass)
-            << ", span = " << report::Table::num(bounds.span);
-  if (bounds.profile > 0) {
-    std::cout << ", profile = " << report::Table::num(bounds.profile);
-  }
-  std::cout << "\n";
-  if (gantt) {
-    std::cout << "\n" << report::render_busy_gantt(inst, gt.schedule, 96);
-  }
-  return 0;
-}
+constexpr const char* kUsage =
+    "usage: abt_solve --list | --scenarios\n"
+    "       abt_solve <instance-file|-> [options]\n"
+    "       abt_solve --gen <scenario> [options]\n"
+    "       abt_solve --demo-slotted | --demo-continuous\n"
+    "options: --solvers a,b,c  --n K --g G --seed N --slack S --horizon H\n"
+    "         --eps E  --json | --csv  --emit  --gantt\n";
 
 constexpr const char* kDemoSlotted =
     "model slotted\n"
@@ -105,12 +60,156 @@ constexpr const char* kDemoContinuous =
     "job 2.5 7.0 2.0\n"
     "job 4.0 9.0 3.0\n";
 
+struct CliOptions {
+  std::string input;             ///< File path, "-", or empty when --gen.
+  std::string scenario;          ///< Non-empty when --gen.
+  engine::ScenarioSpec spec;
+  std::vector<std::string> solvers;
+  bool list = false;
+  bool list_scenarios = false;
+  bool json = false;
+  bool csv = false;
+  bool emit = false;
+  bool gantt = false;
+};
+
+/// Strict full-string numeric parse: trailing garbage ("40x2") is an error,
+/// not a silently truncated value.
+template <typename T>
+bool parse_full(const std::string& text, T& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end && !text.empty();
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options,
+                std::string& error) {
+  const auto need_value = [&](int i, const std::string& flag) {
+    if (i + 1 >= argc) {
+      error = flag + " needs a value";
+      return false;
+    }
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--scenarios") {
+      options.list_scenarios = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--emit") {
+      options.emit = true;
+    } else if (arg == "--gantt") {
+      options.gantt = true;
+    } else if (arg == "--gen") {
+      if (!need_value(i, arg)) return false;
+      options.scenario = argv[++i];
+      options.spec.name = options.scenario;
+    } else if (arg == "--solvers") {
+      if (!need_value(i, arg)) return false;
+      options.solvers = split_csv(argv[++i]);
+    } else if (arg == "--n" || arg == "--g" || arg == "--seed" ||
+               arg == "--slack" || arg == "--horizon" || arg == "--eps") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      bool parsed = false;
+      if (arg == "--n") {
+        parsed = parse_full(value, options.spec.n);
+      } else if (arg == "--g") {
+        parsed = parse_full(value, options.spec.g);
+      } else if (arg == "--seed") {
+        parsed = parse_full(value, options.spec.seed);
+      } else if (arg == "--slack") {
+        parsed = parse_full(value, options.spec.slack);
+      } else if (arg == "--horizon") {
+        parsed = parse_full(value, options.spec.horizon);
+      } else {
+        parsed = parse_full(value, options.spec.eps);
+      }
+      if (!parsed) {
+        error = "bad value for " + arg + ": '" + value + "'";
+        return false;
+      }
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    } else if (options.input.empty()) {
+      options.input = arg;
+    } else {
+      error = "multiple input files";
+      return false;
+    }
+  }
+  return true;
+}
+
+void list_solvers(const core::SolverRegistry& registry) {
+  report::Table table({"solver", "family", "guarantee", "exact"});
+  for (const core::Solver& solver : registry.all()) {
+    table.add_row({solver.name, std::string(core::family_name(solver.family)),
+                   solver.guarantee, solver.exact ? "yes" : ""});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << registry.size() << " solvers registered\n";
+}
+
+void list_scenarios() {
+  report::Table table({"scenario", "family", "description"});
+  for (const engine::ScenarioInfo& info : engine::scenarios()) {
+    table.add_row({info.name, std::string(core::family_name(info.family)),
+                   info.description});
+  }
+  table.print(std::cout);
+  std::cout << "\nknobs: --n --g --seed --slack --horizon --eps\n";
+}
+
+int emit_instance(const core::ProblemInstance& inst) {
+  if (inst.family == core::Family::kActive) {
+    core::write_instance(std::cout, inst.slotted);
+  } else {
+    core::write_instance(std::cout, inst.continuous);
+  }
+  return 0;
+}
+
+void append_gantt(std::ostream& os, const engine::RunReport& report) {
+  const core::Solution* best = nullptr;
+  for (const core::Solution& sol : report.solutions) {
+    if (!sol.ok || !sol.feasible || sol.preemptive.has_value()) continue;
+    if (best == nullptr || sol.cost < best->cost) best = &sol;
+  }
+  if (best == nullptr) return;
+  os << "\nbest feasible schedule (" << best->solver << "):\n";
+  if (best->active.has_value()) {
+    os << report::render_active_gantt(report.instance.slotted, *best->active);
+  } else if (best->busy.has_value()) {
+    os << report::render_busy_gantt(report.instance.continuous, *best->busy,
+                                    96);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  CliOptions options;
+  std::string error;
   if (argc < 2) {
-    std::cerr << "usage: abt_solve <instance-file> [--gantt]\n"
-              << "       abt_solve --demo-slotted | --demo-continuous\n";
+    std::cerr << kUsage;
     return 1;
   }
   const std::string first = argv[1];
@@ -122,23 +221,93 @@ int main(int argc, char** argv) {
     std::cout << kDemoContinuous;
     return 0;
   }
-  bool gantt = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::string(argv[i]) == "--gantt") gantt = true;
+  if (!parse_args(argc, argv, options, error)) {
+    std::cerr << error << "\n" << kUsage;
+    return 1;
   }
 
-  std::ifstream file(first);
-  if (!file) {
-    std::cerr << "cannot open '" << first << "'\n";
+  const core::SolverRegistry& registry = engine::shared_registry();
+  if (options.list) {
+    list_solvers(registry);
+    return 0;
+  }
+  if (options.list_scenarios) {
+    list_scenarios();
+    return 0;
+  }
+
+  // Resolve the instance: generator scenario, stdin, or file.
+  core::ProblemInstance instance;
+  if (!options.scenario.empty()) {
+    const auto generated = engine::make_scenario(options.spec, &error);
+    if (!generated.has_value()) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    instance = *generated;
+  } else if (!options.input.empty()) {
+    std::optional<core::ParsedInstance> parsed;
+    if (options.input == "-") {
+      parsed = core::parse_instance(std::cin, &error);
+    } else {
+      std::ifstream file(options.input);
+      if (!file) {
+        std::cerr << "cannot open '" << options.input << "'\n";
+        return 1;
+      }
+      parsed = core::parse_instance(file, &error);
+    }
+    if (!parsed.has_value()) {
+      std::cerr << "parse error: " << error << "\n";
+      return 1;
+    }
+    instance = parsed->kind == core::ModelKind::kSlotted
+                   ? core::make_instance(parsed->slotted)
+                   : core::make_instance(parsed->continuous);
+  } else {
+    std::cerr << "no instance given (file, '-', or --gen)\n" << kUsage;
     return 1;
   }
-  std::string error;
-  const auto parsed = abt::core::parse_instance(file, &error);
-  if (!parsed.has_value()) {
-    std::cerr << "parse error in '" << first << "': " << error << "\n";
+
+  if (options.emit) return emit_instance(instance);
+
+  // Unknown solver names are a usage error, not a silent no-op.
+  for (const std::string& name : options.solvers) {
+    if (registry.find(name) == nullptr) {
+      std::cerr << "unknown solver '" << name << "' (see --list)\n";
+      return 1;
+    }
+  }
+
+  engine::RunOptions run_options;
+  run_options.solvers = options.solvers;
+  const engine::RunReport report =
+      engine::run_instance(registry, instance, run_options);
+
+  if (report.solutions.empty()) {
+    std::cerr << "no applicable solver for this instance\n";
     return 1;
   }
-  return parsed->kind == abt::core::ModelKind::kSlotted
-             ? solve_slotted(parsed->slotted, gantt)
-             : solve_continuous(parsed->continuous, gantt);
+  if (options.json) {
+    engine::write_json(std::cout, report);
+  } else if (options.csv) {
+    engine::write_csv(std::cout, report);
+  } else {
+    engine::print_report(std::cout, report);
+    if (options.gantt) append_gantt(std::cout, report);
+  }
+
+  // Exit contract: 2 when any produced schedule failed the checker, 1 when
+  // nothing was solved at all (e.g. an infeasible instance declines every
+  // solver), 0 otherwise.
+  bool any_ok = false;
+  for (const core::Solution& sol : report.solutions) {
+    if (sol.ok && !sol.feasible) return 2;
+    any_ok = any_ok || sol.ok;
+  }
+  if (!any_ok) {
+    std::cerr << "no solver produced a schedule (infeasible instance?)\n";
+    return 1;
+  }
+  return 0;
 }

@@ -18,16 +18,16 @@ using core::JobId;
 
 namespace {
 
-/// Search key: (position, unsatisfied stragglers in canonical (release, id)
-/// order). Positions come from a finite derived set, so exact double
-/// equality is safe.
+/// Search key: (position, interned id of the unsatisfied stragglers in
+/// canonical (release, id) order). Positions come from a finite derived
+/// set, so exact double equality is safe. Pending sets are hash-consed into
+/// a pool — many states share the same straggler set, so the memo key is 16
+/// bytes and each distinct set is stored (and hashed) once.
 struct StateKey {
   double t;
-  std::vector<JobId> pending;
+  int pending_id;
 
-  bool operator==(const StateKey& o) const {
-    return t == o.t && pending == o.pending;
-  }
+  bool operator==(const StateKey& o) const = default;
 };
 
 struct StateKeyHash {
@@ -41,7 +41,18 @@ struct StateKeyHash {
     static_assert(sizeof(bits) == sizeof(key.t));
     std::memcpy(&bits, &key.t, sizeof(bits));
     mix(bits);
-    for (JobId j : key.pending) mix(static_cast<std::uint64_t>(j) + 0x9e3779b9ULL);
+    mix(static_cast<std::uint64_t>(key.pending_id) + 0x9e3779b9ULL);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct PendingVecHash {
+  std::size_t operator()(const std::vector<JobId>& v) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (JobId j : v) {
+      h ^= static_cast<std::uint64_t>(j) + 0x9e3779b9ULL;
+      h *= 1099511628211ULL;
+    }
     return static_cast<std::size_t>(h);
   }
 };
@@ -99,7 +110,8 @@ class UnboundedSolver {
     if (n == 0) return out;
 
     const double t0 = -std::numeric_limits<double>::infinity();
-    const double best = solve(t0, {});
+    const int empty_id = intern({});
+    const double best = solve(t0, empty_id);
     if (exploded_) {
       // Fallback: push-left at release (valid upper bound; never triggered
       // by the test/bench workloads, which assert `exact`).
@@ -108,7 +120,7 @@ class UnboundedSolver {
       }
       out.exact = false;
     } else {
-      reconstruct(t0, {}, out.starts);
+      reconstruct(t0, empty_id, out.starts);
       out.exact = true;
       (void)best;
     }
@@ -121,6 +133,7 @@ class UnboundedSolver {
     out.windows = core::interval_union(runs);
     out.busy_time = core::span_of(out.windows);
     out.nodes = static_cast<long>(memo_.size());
+    out.interned = static_cast<long>(interner_.size());
     return out;
   }
 
@@ -151,9 +164,28 @@ class UnboundedSolver {
     return out;
   }
 
-  double solve(double t, const std::vector<JobId>& pending) {
+  /// Interns a pending vector, returning its pool id (hash-consing: equal
+  /// vectors share one id and one stored copy). Lookup-first: the common
+  /// hit path allocates nothing — emplace would build and discard a map
+  /// node per call.
+  int intern(std::vector<JobId> pending) {
+    if (const auto it = interner_.find(pending); it != interner_.end()) {
+      return it->second;
+    }
+    const auto it =
+        interner_.emplace(std::move(pending), static_cast<int>(pool_.size()))
+            .first;
+    pool_.push_back(&it->first);
+    return it->second;
+  }
+
+  [[nodiscard]] const std::vector<JobId>& pending_set(int id) const {
+    return *pool_[static_cast<std::size_t>(id)];
+  }
+
+  double solve(double t, int pending_id) {
     if (exploded_) return std::numeric_limits<double>::infinity();
-    StateKey key{t, pending};
+    StateKey key{t, pending_id};
     if (const auto it = memo_.find(key); it != memo_.end()) {
       return it->second.cost;
     }
@@ -162,7 +194,7 @@ class UnboundedSolver {
       return std::numeric_limits<double>::infinity();
     }
 
-    const std::vector<JobId> todo = unsatisfied_at(t, pending);
+    const std::vector<JobId> todo = unsatisfied_at(t, pending_set(pending_id));
     StateValue value;
     if (todo.empty()) {
       value.cost = 0.0;
@@ -201,7 +233,7 @@ class UnboundedSolver {
           next_pending.push_back(j);
         }
         if (dead) continue;
-        const double sub = solve(y, next_pending);
+        const double sub = solve(y, intern(std::move(next_pending)));
         if (exploded_) return std::numeric_limits<double>::infinity();
         const double total = (y - x) + sub;
         if (total < value.cost - 1e-12) {
@@ -218,16 +250,15 @@ class UnboundedSolver {
     return cost;
   }
 
-  void reconstruct(double t, std::vector<JobId> pending,
-                   std::vector<double>& starts) {
+  void reconstruct(double t, int pending_id, std::vector<double>& starts) {
     while (true) {
-      const auto it = memo_.find(StateKey{t, pending});
+      const auto it = memo_.find(StateKey{t, pending_id});
       ABT_ASSERT(it != memo_.end(), "state missing during reconstruction");
       const StateValue& value = it->second;
       if (value.terminal) return;
       const double x = value.chosen_x;
       const double y = value.chosen_y;
-      const std::vector<JobId> todo = unsatisfied_at(t, pending);
+      const std::vector<JobId> todo = unsatisfied_at(t, pending_set(pending_id));
       std::vector<JobId> next_pending;
       for (JobId j : todo) {
         if (obligation(j, x) <= y + 1e-12) {
@@ -238,7 +269,7 @@ class UnboundedSolver {
         }
       }
       t = y;
-      pending = std::move(next_pending);
+      pending_id = intern(std::move(next_pending));
     }
   }
 
@@ -251,6 +282,10 @@ class UnboundedSolver {
   std::vector<JobId> by_release_;        ///< Ids in (release, id) order.
   std::vector<double> release_sorted_;   ///< r_ values along by_release_.
   std::unordered_map<StateKey, StateValue, StateKeyHash> memo_;
+  /// Hash-consing pool: content -> id, plus id -> content pointers (stable
+  /// across rehash because unordered_map nodes never move).
+  std::unordered_map<std::vector<JobId>, int, PendingVecHash> interner_;
+  std::vector<const std::vector<JobId>*> pool_;
   bool exploded_ = false;
 };
 

@@ -15,6 +15,11 @@ struct UnboundedSolution {
   std::vector<core::Interval> windows;   ///< Disjoint busy components.
   bool exact = true;                     ///< False only if node budget hit.
   long nodes = 0;                        ///< Search states expanded.
+  /// Distinct pending-set vectors hash-consed by the memo. States share
+  /// interned sets by id, so memo memory is O(nodes + interned * set size)
+  /// instead of O(nodes * set size); the gap between `nodes` and `interned`
+  /// is the sharing factor. Surfaced as dp_* stats in core::Solution.
+  long interned = 0;
 };
 
 struct UnboundedOptions {

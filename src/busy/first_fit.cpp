@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
+#include <utility>
 
 #include "core/assert.hpp"
 #include "core/sweep.hpp"
@@ -15,28 +17,45 @@ using core::JobId;
 
 namespace {
 
+/// First-fit for an arbitrary job order. Machines carry two structures: the
+/// occupancy endpoint map for the O(log k) capacity probe, and a
+/// MachineFreeIndex keyed by each machine's earliest-free time (max endpoint
+/// inserted so far). The first machine whose earliest-free time is <= the
+/// candidate's start is idle across the whole run, so it fits without a
+/// probe AND no machine past it can be the first fit — the scan is bounded
+/// by that index instead of running over every open machine. Placements are
+/// identical to the plain linear scan (asserted in tests/test_sweep.cpp).
 BusySchedule first_fit_ordered(const ContinuousInstance& inst,
                                const std::vector<JobId>& order) {
   ABT_ASSERT(inst.all_interval_jobs(1e-6), "FIRSTFIT expects interval jobs");
   BusySchedule sched;
   sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
-  // A candidate fits a machine iff adding it keeps max concurrency <= g,
-  // i.e. the machine's occupancy over the candidate's run stays below g.
   std::vector<core::OccupancyIndex> machines;
+  core::MachineFreeIndex free_at;  ///< Machine index by earliest-free time.
   const int capacity = inst.capacity();
   for (JobId j : order) {
     const core::ContinuousJob& job = inst.job(j);
     const Interval run{job.release, job.release + job.length};
+    // All machines from `idle` on are irrelevant: `idle` itself fits for
+    // free, and first-fit never places beyond the first fitting machine.
+    const int idle = free_at.first_at_most(run.lo);
+    const int scan_end = idle >= 0 ? idle : static_cast<int>(machines.size());
     int chosen = -1;
-    for (std::size_t m = 0; m < machines.size(); ++m) {
-      if (machines[m].max_coverage_in(run.lo, run.hi) + 1 <= capacity) {
-        chosen = static_cast<int>(m);
+    for (int m = 0; m < scan_end; ++m) {
+      if (machines[static_cast<std::size_t>(m)].max_coverage_in(run.lo,
+                                                                run.hi) +
+              1 <=
+          capacity) {
+        chosen = m;
         break;
       }
     }
+    if (chosen < 0) chosen = idle;
     if (chosen < 0) {
       machines.emplace_back();
-      chosen = static_cast<int>(machines.size()) - 1;
+      chosen = free_at.push_back(run.hi);
+    } else {
+      free_at.set(chosen, std::max(free_at.key(chosen), run.hi));
     }
     machines[static_cast<std::size_t>(chosen)].insert(run);
     sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
@@ -56,12 +75,44 @@ BusySchedule first_fit(const ContinuousInstance& inst) {
 }
 
 BusySchedule first_fit_by_release(const ContinuousInstance& inst) {
+  ABT_ASSERT(inst.all_interval_jobs(1e-6), "FIRSTFIT expects interval jobs");
   std::vector<JobId> order(static_cast<std::size_t>(inst.size()));
   std::iota(order.begin(), order.end(), JobId{0});
   std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
     return inst.job(a).release < inst.job(b).release;
   });
-  return first_fit_ordered(inst, order);
+
+  // Release order lets the probe collapse entirely: every interval already
+  // on a machine starts at or before the candidate's release r, so machine
+  // coverage is non-increasing on [r, inf) and the capacity probe over the
+  // run reduces to "coverage at r < g". Maintain each machine's coverage at
+  // the advancing frontier (a heap of interval endpoints retires expired
+  // jobs) in a MachineFreeIndex, and the first fit is one first_at_most
+  // query — O(log m) per job, no per-machine scan at all. Placements match
+  // the probing scan exactly (asserted in tests/test_sweep.cpp).
+  BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  core::MachineFreeIndex load;  ///< Machine index by frontier coverage.
+  using Expiry = std::pair<double, int>;  ///< (endpoint, machine).
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> expiries;
+  const double capacity = inst.capacity();
+  for (JobId j : order) {
+    const core::ContinuousJob& job = inst.job(j);
+    const Interval run{job.release, job.release + job.length};
+    // Retire intervals that end at or before the frontier ([lo, hi) is
+    // half-open, so an interval with hi == run.lo no longer covers run.lo).
+    while (!expiries.empty() && expiries.top().first <= run.lo) {
+      const int m = expiries.top().second;
+      expiries.pop();
+      load.set(m, load.key(m) - 1.0);
+    }
+    int chosen = load.first_at_most(capacity - 1.0);
+    if (chosen < 0) chosen = load.push_back(0.0);
+    load.set(chosen, load.key(chosen) + 1.0);
+    expiries.emplace(run.hi, chosen);
+    sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
+  }
+  return sched;
 }
 
 }  // namespace abt::busy

@@ -9,11 +9,20 @@ namespace abt::busy {
 /// jobs: consider jobs in non-increasing order of length and pack each into
 /// the first machine whose capacity constraint survives; open a new machine
 /// when none fits. The paper's Fig 6-style instances drive it to ratio 3+.
+///
+/// Machines are indexed by earliest-free time (core::MachineFreeIndex), so
+/// the per-job scan stops at the first machine that is idle across the
+/// candidate's run instead of probing every open machine.
 [[nodiscard]] core::BusySchedule first_fit(
     const core::ContinuousInstance& inst);
 
 /// FIRSTFIT ordered by release time instead of length: 2-approximate on
 /// proper instances (Flammini et al., footnote 1 of the paper).
+///
+/// In release order the capacity probe degenerates to the machine's
+/// coverage at the job's release, so the whole scan collapses to one
+/// O(log m) first-fit query against a frontier-coverage index — no
+/// per-machine probing at all.
 [[nodiscard]] core::BusySchedule first_fit_by_release(
     const core::ContinuousInstance& inst);
 

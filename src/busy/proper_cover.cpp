@@ -73,4 +73,69 @@ std::vector<JobId> proper_cover(const ContinuousInstance& inst,
   return q;
 }
 
+LevelPeeler::LevelPeeler(const ContinuousInstance& inst,
+                         const std::vector<JobId>& candidates) {
+  items_.reserve(candidates.size());
+  for (JobId j : candidates) {
+    const core::ContinuousJob& job = inst.job(j);
+    items_.push_back({job.release, job.release + job.length, j});
+  }
+  // Same order as proper_cover's per-call sort; maintained across peels by
+  // stable compaction, so no later call ever sorts again.
+  std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end > b.end;
+    return a.job < b.job;
+  });
+}
+
+std::vector<JobId> LevelPeeler::extract_level() {
+  // Pass 1: the domination filter of proper_cover — an item survives iff no
+  // earlier item (in (start asc, end desc) order) reaches at least as far.
+  // Dominated items are NOT consumed; they stay in the pool for later
+  // levels, exactly as when proper_cover is re-run on the remaining set.
+  proper_.clear();
+  double max_end = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].end <= max_end) continue;
+    proper_.push_back(i);
+    max_end = items_[i].end;
+  }
+
+  // Pass 2: the frontier sweep over the proper subsequence (starts and ends
+  // both strictly increasing along `proper_`).
+  std::vector<JobId> level;
+  std::vector<char> taken(items_.size(), 0);
+  double frontier = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  while (i < proper_.size()) {
+    if (items_[proper_[i]].start >= frontier) {
+      level.push_back(items_[proper_[i]].job);
+      taken[proper_[i]] = 1;
+      frontier = items_[proper_[i]].end;
+      ++i;
+      continue;
+    }
+    std::size_t last = i;
+    while (last + 1 < proper_.size() &&
+           items_[proper_[last + 1]].start < frontier) {
+      ++last;
+    }
+    level.push_back(items_[proper_[last]].job);
+    taken[proper_[last]] = 1;
+    ABT_ASSERT(items_[proper_[last]].end > frontier,
+               "proper set: later start implies later end");
+    frontier = items_[proper_[last]].end;
+    i = last + 1;
+  }
+
+  // Stable compaction keeps the survivors sorted for the next peel.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < items_.size(); ++r) {
+    if (taken[r] == 0) items_[w++] = items_[r];
+  }
+  items_.resize(w);
+  return level;
+}
+
 }  // namespace abt::busy

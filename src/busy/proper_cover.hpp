@@ -22,4 +22,34 @@ namespace abt::busy {
     const core::ContinuousInstance& inst,
     const std::vector<core::JobId>& candidates);
 
+/// Incremental level extractor for TwoTrackPeeling's peel loop, the
+/// proper_cover sibling of core's TrackPeeler: sorts the candidate pool by
+/// (start asc, end desc) ONCE at construction and keeps the survivors in
+/// that order across peels, so each `extract_level()` is a single linear
+/// sweep — domination filter and frontier selection fused — instead of the
+/// per-level re-sort the one-shot `proper_cover` pays. Each extracted level
+/// equals `proper_cover` of the current pool exactly (asserted by the
+/// equivalence suite in tests/test_proper_cover.cpp).
+class LevelPeeler {
+ public:
+  LevelPeeler(const core::ContinuousInstance& inst,
+              const std::vector<core::JobId>& candidates);
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t remaining() const { return items_.size(); }
+
+  /// Extracts the next level (== proper_cover of the remaining pool) and
+  /// removes its jobs from the pool. O(remaining) per call.
+  std::vector<core::JobId> extract_level();
+
+ private:
+  struct Item {
+    double start;
+    double end;
+    core::JobId job;
+  };
+  std::vector<Item> items_;  ///< Alive pool, sorted (start asc, end desc).
+  std::vector<std::size_t> proper_;  ///< Scratch: per-peel proper indices.
+};
+
 }  // namespace abt::busy

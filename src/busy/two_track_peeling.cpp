@@ -19,18 +19,16 @@ BusySchedule two_track_peeling(const ContinuousInstance& inst,
   BusySchedule sched;
   sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
 
-  std::vector<JobId> remaining(static_cast<std::size_t>(inst.size()));
-  std::iota(remaining.begin(), remaining.end(), JobId{0});
+  std::vector<JobId> pool(static_cast<std::size_t>(inst.size()));
+  std::iota(pool.begin(), pool.end(), JobId{0});
 
+  // Sort-once peeling: LevelPeeler keeps the pool in cover order across
+  // levels, replacing the per-level proper_cover re-sort + rescan.
+  LevelPeeler peeler(inst, pool);
   std::vector<std::vector<JobId>> levels;
-  while (!remaining.empty()) {
-    std::vector<JobId> level = proper_cover(inst, remaining);
+  while (!peeler.empty()) {
+    std::vector<JobId> level = peeler.extract_level();
     ABT_ASSERT(!level.empty(), "cover of a nonempty set is nonempty");
-    std::vector<char> taken(static_cast<std::size_t>(inst.size()), 0);
-    for (JobId j : level) taken[static_cast<std::size_t>(j)] = 1;
-    std::erase_if(remaining, [&](JobId j) {
-      return taken[static_cast<std::size_t>(j)] != 0;
-    });
     levels.push_back(std::move(level));
   }
 

@@ -38,7 +38,8 @@ enum class PairSplit {
 /// Appendix A) with a direct combinatorial construction:
 ///
 ///   1. Repeatedly peel a level: a <=2-overlap subset covering the full
-///      span of the remaining jobs (proper_cover, the Q of Theorem 5).
+///      span of the remaining jobs (proper_cover's LevelPeeler, the Q of
+///      Theorem 5, extracted sort-once across levels).
 ///      Level l's span is contained in {t : |A(t)| >= l}, so summing level
 ///      spans in groups of g charges the demand profile once.
 ///   2. Group g consecutive levels per machine *pair*; 2-color each level

@@ -1,0 +1,166 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/assert.hpp"
+
+namespace abt::core {
+
+std::string_view family_name(Family family) {
+  return family == Family::kBusy ? "busy" : "active";
+}
+
+ProblemInstance make_instance(SlottedInstance inst) {
+  ProblemInstance out;
+  out.family = Family::kActive;
+  out.slotted = std::move(inst);
+  return out;
+}
+
+ProblemInstance make_instance(ContinuousInstance inst) {
+  ProblemInstance out;
+  out.family = Family::kBusy;
+  out.continuous = std::move(inst);
+  return out;
+}
+
+double Solution::stat(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : stats) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void Solution::add_stat(std::string key, double value) {
+  stats.emplace_back(std::move(key), value);
+}
+
+void SolverRegistry::add(Solver solver) {
+  ABT_ASSERT(!solver.name.empty(), "solver must be named");
+  ABT_ASSERT(find(solver.name) == nullptr, "duplicate solver name");
+  ABT_ASSERT(static_cast<bool>(solver.run), "solver must have a run fn");
+  solvers_.push_back(std::move(solver));
+}
+
+const Solver* SolverRegistry::find(std::string_view name) const {
+  const auto it = std::find_if(
+      solvers_.begin(), solvers_.end(),
+      [&](const Solver& s) { return s.name == name; });
+  return it == solvers_.end() ? nullptr : &*it;
+}
+
+std::vector<const Solver*> SolverRegistry::applicable_to(
+    const ProblemInstance& inst) const {
+  std::vector<const Solver*> out;
+  for (const Solver& s : solvers_) {
+    if (s.family != inst.family) continue;
+    if (s.applicable && !s.applicable(inst, nullptr)) continue;
+    out.push_back(&s);
+  }
+  return out;
+}
+
+Solution SolverRegistry::run(const Solver& solver,
+                             const ProblemInstance& inst) const {
+  Solution sol;
+  sol.solver = solver.name;
+  sol.family = solver.family;
+  sol.guarantee = solver.guarantee;
+
+  if (solver.family != inst.family) {
+    sol.message = "wrong family";
+    return sol;
+  }
+  if (solver.applicable) {
+    std::string why;
+    if (!solver.applicable(inst, &why)) {
+      sol.message = why.empty() ? "not applicable" : why;
+      return sol;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Solution produced = solver.run(inst);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  produced.solver = solver.name;
+  produced.family = solver.family;
+  if (produced.guarantee.empty()) produced.guarantee = solver.guarantee;
+  produced.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  if (!produced.ok) {
+    produced.feasible = false;
+    return produced;
+  }
+
+  // Shared checker validation: the verdict is part of the contract, so no
+  // caller ever trusts a solver's own bookkeeping.
+  std::string why;
+  if (produced.family == Family::kActive) {
+    ABT_ASSERT(produced.active.has_value(), "active solver without schedule");
+    produced.feasible = check_active_schedule(inst.slotted, *produced.active,
+                                              &why);
+  } else if (produced.preemptive.has_value()) {
+    produced.feasible =
+        check_preemptive_schedule(inst.continuous, *produced.preemptive, &why);
+    int machines = 0;
+    for (const auto& pieces : produced.preemptive->pieces) {
+      for (const auto& piece : pieces) {
+        machines = std::max(machines, piece.machine + 1);
+      }
+    }
+    produced.machines = machines;
+  } else {
+    ABT_ASSERT(produced.busy.has_value(), "busy solver without schedule");
+    produced.feasible =
+        check_busy_schedule(inst.continuous, *produced.busy, &why);
+    produced.machines = produced.busy->machine_count();
+  }
+  if (!produced.feasible) produced.message = why;
+  return produced;
+}
+
+Solution SolverRegistry::run(std::string_view name,
+                             const ProblemInstance& inst) const {
+  const Solver* solver = find(name);
+  if (solver == nullptr) {
+    Solution sol;
+    sol.solver = std::string(name);
+    sol.message = "unknown solver";
+    return sol;
+  }
+  return run(*solver, inst);
+}
+
+std::vector<Solution> SolverRegistry::run_applicable(
+    const ProblemInstance& inst, const std::vector<std::string>& only) const {
+  std::vector<Solution> out;
+  for (const Solver& s : solvers_) {
+    if (only.empty()) {
+      // Unrestricted runs silently skip inapplicable solvers.
+      if (s.family != inst.family) continue;
+      if (s.applicable && !s.applicable(inst, nullptr)) continue;
+    } else if (std::find(only.begin(), only.end(), s.name) == only.end()) {
+      continue;
+    }
+    // An explicitly requested solver always gets a row: run() turns a
+    // family mismatch or applicability refusal into a declined Solution
+    // instead of dropping the request on the floor.
+    out.push_back(run(s, inst));
+  }
+  // Unknown requested names get a refusal row too, not a silent drop.
+  for (const std::string& name : only) {
+    if (find(name) == nullptr) {
+      Solution sol;
+      sol.solver = name;
+      sol.family = inst.family;
+      sol.message = "unknown solver";
+      out.push_back(std::move(sol));
+    }
+  }
+  return out;
+}
+
+}  // namespace abt::core

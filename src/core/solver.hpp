@@ -1,0 +1,124 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/active_schedule.hpp"
+#include "core/busy_schedule.hpp"
+#include "core/continuous_instance.hpp"
+#include "core/slotted_instance.hpp"
+
+namespace abt::core {
+
+/// Which of the paper's two problem families a solver addresses.
+enum class Family { kBusy, kActive };
+
+[[nodiscard]] std::string_view family_name(Family family);
+
+/// Uniform instance carrier: exactly one of the two instance types is
+/// meaningful, selected by `family`. This is the single currency the solver
+/// registry, the scenario engine and the CLI trade in, so that "run every
+/// applicable algorithm on this input" is one call regardless of model.
+struct ProblemInstance {
+  Family family = Family::kBusy;
+  SlottedInstance slotted;        ///< Valid when family == kActive.
+  ContinuousInstance continuous;  ///< Valid when family == kBusy.
+};
+
+[[nodiscard]] ProblemInstance make_instance(SlottedInstance inst);
+[[nodiscard]] ProblemInstance make_instance(ContinuousInstance inst);
+
+/// Uniform result of one solver run. Every solver — busy or active, exact
+/// or approximate, preemptive or not — reports through this struct so the
+/// runner, the benchmarks and the tests share one validation/reporting path.
+struct Solution {
+  std::string solver;   ///< Registered solver name.
+  Family family = Family::kBusy;
+
+  bool ok = false;        ///< A schedule was produced.
+  bool feasible = false;  ///< Checker verdict on the produced schedule.
+  std::string message;    ///< Why not ok / why infeasible (checker output).
+
+  double cost = 0.0;     ///< Busy time, or number of active slots.
+  double wall_ms = 0.0;  ///< Wall-clock time of the run() call.
+  int machines = 0;      ///< Machines used (busy family; 0 for active).
+
+  std::string guarantee;  ///< Human-readable a-priori bound of the solver.
+  bool exact = false;     ///< This run proved optimality of `cost`.
+
+  /// Solver-specific counters (DP states, interned sets, LP objective,
+  /// repair opens, ...), reported as ordered key/value pairs.
+  std::vector<std::pair<std::string, double>> stats;
+
+  /// The produced schedule, for Gantt rendering and re-checking. At most
+  /// one is set, matching the solver's family and preemptiveness.
+  std::optional<BusySchedule> busy;
+  std::optional<PreemptiveBusySchedule> preemptive;
+  std::optional<ActiveSchedule> active;
+
+  [[nodiscard]] double stat(std::string_view key, double fallback = 0.0) const;
+  void add_stat(std::string key, double value);
+};
+
+/// A registered algorithm. `run` fills cost / schedule / stats; the
+/// registry wraps it with timing and checker validation so individual
+/// solvers never reimplement either.
+struct Solver {
+  std::string name;    ///< Unique registry key, e.g. "busy/greedy-tracking".
+  Family family = Family::kBusy;
+  std::string guarantee;  ///< e.g. "<= 3 OPT", "optimal", "heuristic".
+
+  /// Worst-case approximation factor vs OPT claimed by the paper
+  /// (cost <= factor * OPT); 0 when no finite a-priori factor applies.
+  double guarantee_factor = 0.0;
+  /// True when the solver proves optimality whenever it succeeds.
+  bool exact = false;
+
+  /// Whether the solver accepts this instance (model, job shape, size).
+  /// May explain a refusal through `why`.
+  std::function<bool(const ProblemInstance&, std::string* why)> applicable;
+
+  /// Runs the algorithm. Preconditions: `applicable` returned true.
+  std::function<Solution(const ProblemInstance&)> run;
+};
+
+/// Name-keyed collection of solvers with a uniform timed + checked run
+/// entry point. Registration order is preserved (it is the display order).
+class SolverRegistry {
+ public:
+  /// Registers a solver; the name must be unique.
+  void add(Solver solver);
+
+  [[nodiscard]] const Solver* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<Solver>& all() const { return solvers_; }
+  [[nodiscard]] std::size_t size() const { return solvers_.size(); }
+
+  /// Solvers of `family` whose applicability predicate accepts `inst`.
+  [[nodiscard]] std::vector<const Solver*> applicable_to(
+      const ProblemInstance& inst) const;
+
+  /// Runs one solver: applicability gate, wall-clock timing, checker
+  /// validation of whatever schedule the solver produced. Never throws on
+  /// solver refusal — the verdict lands in Solution::ok / message.
+  [[nodiscard]] Solution run(const Solver& solver,
+                             const ProblemInstance& inst) const;
+
+  /// Convenience: run(find(name)); refusal Solution when unknown.
+  [[nodiscard]] Solution run(std::string_view name,
+                             const ProblemInstance& inst) const;
+
+  /// Runs every applicable solver (or the named subset) in registration
+  /// order.
+  [[nodiscard]] std::vector<Solution> run_applicable(
+      const ProblemInstance& inst,
+      const std::vector<std::string>& only = {}) const;
+
+ private:
+  std::vector<Solver> solvers_;
+};
+
+}  // namespace abt::core

@@ -1,6 +1,7 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace abt::core {
 
@@ -121,6 +122,48 @@ void OccupancyIndex::insert(const Interval& iv) {
   const auto it_hi = split(iv.hi);
   for (auto it = split(iv.lo); it != it_hi; ++it) ++it->second;
   ++count_;
+}
+
+namespace {
+constexpr RealTime kNoMachine = std::numeric_limits<RealTime>::infinity();
+}  // namespace
+
+void MachineFreeIndex::rebuild(std::size_t capacity) {
+  cap_ = capacity;
+  tree_.assign(2 * cap_, kNoMachine);
+  for (std::size_t i = 0; i < keys_.size(); ++i) tree_[cap_ + i] = keys_[i];
+  for (std::size_t i = cap_ - 1; i >= 1; --i) {
+    tree_[i] = std::min(tree_[2 * i], tree_[2 * i + 1]);
+  }
+}
+
+int MachineFreeIndex::push_back(RealTime key) {
+  keys_.push_back(key);
+  if (keys_.size() > cap_) {
+    rebuild(std::max<std::size_t>(2 * cap_, 1));
+  } else {
+    set(static_cast<int>(keys_.size()) - 1, key);
+  }
+  return static_cast<int>(keys_.size()) - 1;
+}
+
+void MachineFreeIndex::set(int i, RealTime key) {
+  keys_[static_cast<std::size_t>(i)] = key;
+  std::size_t node = cap_ + static_cast<std::size_t>(i);
+  tree_[node] = key;
+  for (node /= 2; node >= 1; node /= 2) {
+    tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+  }
+}
+
+int MachineFreeIndex::first_at_most(RealTime x) const {
+  if (cap_ == 0 || tree_[1] > x) return -1;
+  std::size_t node = 1;
+  while (node < cap_) {
+    node = (tree_[2 * node] <= x) ? 2 * node : 2 * node + 1;
+  }
+  const int index = static_cast<int>(node - cap_);
+  return index < size() ? index : -1;
 }
 
 }  // namespace abt::core

@@ -77,4 +77,35 @@ class OccupancyIndex {
   int count_ = 0;
 };
 
+/// Positional first-fit index over a dynamic sequence of machines, each
+/// summarized by one scalar key (its earliest-free time, or its coverage at
+/// the current sweep frontier). A min-segment tree answers
+/// `first_at_most(x)` — the smallest machine index whose key is <= x — in
+/// O(log m), which lets first-fit drivers jump straight past hopeless
+/// machines instead of scanning them linearly per job.
+class MachineFreeIndex {
+ public:
+  /// Appends a machine with the given key; returns its index.
+  int push_back(RealTime key);
+
+  /// Updates machine i's key.
+  void set(int i, RealTime key);
+
+  [[nodiscard]] RealTime key(int i) const {
+    return keys_[static_cast<std::size_t>(i)];
+  }
+
+  /// Smallest index with key <= x, or -1 when every key exceeds x.
+  [[nodiscard]] int first_at_most(RealTime x) const;
+
+  [[nodiscard]] int size() const { return static_cast<int>(keys_.size()); }
+
+ private:
+  void rebuild(std::size_t capacity);
+
+  std::vector<RealTime> keys_;
+  std::vector<RealTime> tree_;  ///< 1-based min-tree over `cap_` leaves.
+  std::size_t cap_ = 0;         ///< Power-of-two leaf count.
+};
+
 }  // namespace abt::core

@@ -1,0 +1,384 @@
+#include "engine/builtin_solvers.hpp"
+
+#include <utility>
+
+#include "active/exact.hpp"
+#include "active/lp_rounding.hpp"
+#include "active/minimal_feasible.hpp"
+#include "busy/dp_unbounded.hpp"
+#include "busy/exact_busy.hpp"
+#include "busy/first_fit.hpp"
+#include "busy/flexible_pipeline.hpp"
+#include "busy/greedy_tracking.hpp"
+#include "busy/online.hpp"
+#include "busy/preemptive.hpp"
+#include "busy/special_cases.hpp"
+#include "busy/two_track_peeling.hpp"
+#include "core/sweep.hpp"
+
+namespace abt::engine {
+
+using core::Family;
+using core::ProblemInstance;
+using core::Solution;
+using core::Solver;
+
+namespace {
+
+bool interval_jobs(const ProblemInstance& inst, std::string* why) {
+  if (inst.continuous.all_interval_jobs(1e-6)) return true;
+  if (why != nullptr) *why = "needs interval jobs (no slack)";
+  return false;
+}
+
+bool flexible_jobs(const ProblemInstance& inst, std::string* why) {
+  if (!inst.continuous.all_interval_jobs(1e-6)) return true;
+  if (why != nullptr) {
+    *why = "interval jobs: use the direct interval algorithms";
+  }
+  return false;
+}
+
+Solution busy_solution(core::BusySchedule sched, const ProblemInstance& inst) {
+  Solution sol;
+  sol.ok = true;
+  sol.cost = core::busy_cost(inst.continuous, sched);
+  sol.busy = std::move(sched);
+  return sol;
+}
+
+/// Direct interval-job algorithm taking (instance) -> BusySchedule.
+template <typename Fn>
+Solver interval_solver(std::string name, std::string guarantee, double factor,
+                       Fn fn) {
+  Solver s;
+  s.name = std::move(name);
+  s.family = Family::kBusy;
+  s.guarantee = std::move(guarantee);
+  s.guarantee_factor = factor;
+  s.applicable = interval_jobs;
+  s.run = [fn](const ProblemInstance& inst) {
+    return busy_solution(fn(inst.continuous), inst);
+  };
+  return s;
+}
+
+/// Section 4.3 pipeline: freeze with the g=infinity DP, then run the given
+/// interval algorithm. Registered for flexible instances only — on interval
+/// jobs the pipeline degenerates to the direct algorithm.
+Solver pipeline_solver(std::string name, std::string guarantee, double factor,
+                       busy::IntervalAlgorithm algorithm) {
+  Solver s;
+  s.name = std::move(name);
+  s.family = Family::kBusy;
+  s.guarantee = std::move(guarantee);
+  s.guarantee_factor = factor;
+  s.applicable = flexible_jobs;
+  s.run = [algorithm](const ProblemInstance& inst) {
+    const busy::FlexiblePipelineResult result =
+        busy::schedule_flexible(inst.continuous, algorithm);
+    Solution sol = busy_solution(result.schedule, inst);
+    sol.add_stat("opt_inf", result.opt_infinity);
+    sol.add_stat("dp_exact", result.dp_exact ? 1.0 : 0.0);
+    return sol;
+  };
+  return s;
+}
+
+Solver online_solver(std::string name, busy::OnlinePolicy policy) {
+  Solver s;
+  s.name = std::move(name);
+  s.family = Family::kBusy;
+  s.guarantee = "online baseline (Omega(g) adversarial)";
+  s.guarantee_factor = 0.0;
+  s.applicable = interval_jobs;
+  s.run = [policy](const ProblemInstance& inst) {
+    return busy_solution(busy::schedule_online(inst.continuous, policy), inst);
+  };
+  return s;
+}
+
+/// Minimal-feasible active solver with a fixed closing order.
+Solver minimal_solver(std::string name, std::string guarantee,
+                      active::CloseOrder order) {
+  Solver s;
+  s.name = std::move(name);
+  s.family = Family::kActive;
+  s.guarantee = std::move(guarantee);
+  s.guarantee_factor = 3.0;
+  s.run = [order](const ProblemInstance& inst) {
+    Solution sol;
+    active::MinimalFeasibleOptions options;
+    options.order = order;
+    const auto schedule = active::solve_minimal_feasible(inst.slotted, options);
+    if (!schedule.has_value()) {
+      sol.message = "instance infeasible";
+      return sol;
+    }
+    sol.ok = true;
+    sol.cost = static_cast<double>(schedule->cost());
+    sol.active = *schedule;
+    return sol;
+  };
+  return s;
+}
+
+void register_busy(core::SolverRegistry& registry) {
+  registry.add(interval_solver(
+      "busy/first-fit", "<= 4 OPT (Flammini et al.)", 4.0,
+      [](const core::ContinuousInstance& inst) { return busy::first_fit(inst); }));
+  registry.add(interval_solver(
+      "busy/first-fit-release", "<= 2 OPT on proper instances", 0.0,
+      [](const core::ContinuousInstance& inst) {
+        return busy::first_fit_by_release(inst);
+      }));
+  registry.add(interval_solver(
+      "busy/greedy-tracking", "<= 3 OPT (Thm 5)", 3.0,
+      [](const core::ContinuousInstance& inst) {
+        return busy::greedy_tracking(inst);
+      }));
+  registry.add(interval_solver(
+      "busy/two-track-peeling", "<= 2 OPT (Thm 3, consolidating split)", 2.0,
+      [](const core::ContinuousInstance& inst) {
+        return busy::two_track_peeling(inst);
+      }));
+  registry.add(interval_solver(
+      "busy/two-track-parity", "<= 2 OPT (Thm 3, Kumar-Rudra split)", 2.0,
+      [](const core::ContinuousInstance& inst) {
+        return busy::two_track_peeling(inst, nullptr,
+                                       busy::PairSplit::kParity);
+      }));
+
+  {
+    Solver s;
+    s.name = "busy/exact";
+    s.family = Family::kBusy;
+    s.guarantee = "optimal (partition search)";
+    s.guarantee_factor = 1.0;
+    s.exact = true;
+    s.applicable = [](const ProblemInstance& inst, std::string* why) {
+      if (!interval_jobs(inst, why)) return false;
+      if (inst.continuous.size() > busy::ExactBusyOptions{}.max_jobs) {
+        if (why != nullptr) *why = "instance too large for the exact oracle";
+        return false;
+      }
+      return true;
+    };
+    s.run = [](const ProblemInstance& inst) {
+      const auto sched = busy::solve_exact_interval(inst.continuous);
+      Solution sol;
+      if (!sched.has_value()) {
+        sol.message = "exact oracle refused the instance";
+        return sol;
+      }
+      sol = busy_solution(*sched, inst);
+      sol.exact = true;
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+
+  {
+    Solver s;
+    s.name = "busy/proper-clique-dp";
+    s.family = Family::kBusy;
+    s.guarantee = "optimal (Mertzios et al. DP)";
+    s.guarantee_factor = 1.0;
+    s.exact = true;
+    s.applicable = [](const ProblemInstance& inst, std::string* why) {
+      if (!interval_jobs(inst, why)) return false;
+      if (!busy::is_proper_instance(inst.continuous) ||
+          !busy::is_clique_instance(inst.continuous)) {
+        if (why != nullptr) *why = "needs a proper clique instance";
+        return false;
+      }
+      return true;
+    };
+    s.run = [](const ProblemInstance& inst) {
+      const auto sched = busy::solve_proper_clique(inst.continuous);
+      Solution sol;
+      if (!sched.has_value()) {
+        sol.message = "not a proper clique";
+        return sol;
+      }
+      sol = busy_solution(*sched, inst);
+      sol.exact = true;
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+
+  registry.add(online_solver("busy/online-first-fit",
+                             busy::OnlinePolicy::kFirstFit));
+  registry.add(online_solver("busy/online-best-fit",
+                             busy::OnlinePolicy::kBestFit));
+  registry.add(online_solver("busy/online-next-fit",
+                             busy::OnlinePolicy::kNextFit));
+
+  registry.add(pipeline_solver("busy/pipeline-greedy-tracking",
+                               "<= 3 OPT (sec 4.3 + Thm 5)", 3.0,
+                               busy::IntervalAlgorithm::kGreedyTracking));
+  registry.add(pipeline_solver("busy/pipeline-two-track-peeling",
+                               "<= 4 OPT (Thm 10)", 4.0,
+                               busy::IntervalAlgorithm::kTwoTrackPeeling));
+  registry.add(pipeline_solver("busy/pipeline-first-fit",
+                               "freeze + FIRSTFIT baseline (>= 4 worst case)",
+                               0.0, busy::IntervalAlgorithm::kFirstFit));
+
+  {
+    Solver s;
+    s.name = "busy/preemptive";
+    s.family = Family::kBusy;
+    s.guarantee = "<= 2 max(OPT_inf, mass/g) (Thm 7, preemptive)";
+    s.guarantee_factor = 2.0;
+    s.run = [](const ProblemInstance& inst) {
+      const busy::PreemptiveBoundedSolution result =
+          busy::solve_preemptive_bounded(inst.continuous);
+      Solution sol;
+      sol.ok = true;
+      sol.cost = result.busy_time;
+      sol.preemptive = result.schedule;
+      sol.add_stat("opt_inf", result.opt_infinity);
+      sol.add_stat("lb", std::max(result.opt_infinity,
+                                  inst.continuous.mass_lower_bound()));
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+
+  {
+    // The g = infinity DP as a standalone solver: when the frozen positions
+    // already respect the capacity, a single machine carries everything and
+    // the span lower bound is attained — a certified optimum.
+    Solver s;
+    s.name = "busy/dp-unbounded";
+    s.family = Family::kBusy;
+    s.guarantee = "optimal when the g=inf freeze fits g (Thm 4 DP)";
+    s.guarantee_factor = 0.0;
+    s.run = [](const ProblemInstance& inst) {
+      const busy::UnboundedSolution dp =
+          busy::solve_unbounded(inst.continuous);
+      const core::ContinuousInstance frozen =
+          busy::freeze_to_interval_instance(inst.continuous, dp);
+      const int peak = core::max_concurrency(frozen.forced_intervals());
+      Solution sol;
+      if (!dp.exact || peak > inst.continuous.capacity()) {
+        sol.message = "frozen g=inf solution exceeds capacity g";
+      } else {
+        core::BusySchedule sched;
+        sched.placements.reserve(dp.starts.size());
+        for (const double start : dp.starts) {
+          sched.placements.push_back({0, start});
+        }
+        sol = busy_solution(std::move(sched), inst);
+        sol.exact = true;
+      }
+      sol.add_stat("dp_states", static_cast<double>(dp.nodes));
+      sol.add_stat("dp_interned", static_cast<double>(dp.interned));
+      sol.add_stat("opt_inf", dp.busy_time);
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+}
+
+void register_active(core::SolverRegistry& registry) {
+  registry.add(minimal_solver("active/minimal-feasible", "<= 3 OPT (Thm 1)",
+                              active::CloseOrder::kLeftToRight));
+  registry.add(minimal_solver("active/minimal-densest",
+                              "<= 3 OPT (Thm 1, densest-first order)",
+                              active::CloseOrder::kDensestFirst));
+
+  {
+    Solver s;
+    s.name = "active/lp-rounding";
+    s.family = Family::kActive;
+    s.guarantee = "<= 2 OPT (Thm 2)";
+    s.guarantee_factor = 2.0;
+    s.run = [](const ProblemInstance& inst) {
+      Solution sol;
+      const auto result = active::solve_lp_rounding(inst.slotted);
+      if (!result.has_value()) {
+        sol.message = "instance infeasible";
+        return sol;
+      }
+      sol.ok = true;
+      sol.cost = static_cast<double>(result->schedule.cost());
+      sol.active = result->schedule;
+      sol.add_stat("lp_objective", result->lp_objective);
+      sol.add_stat("repair_opens", result->repair_opens);
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+
+  {
+    Solver s;
+    s.name = "active/unit-greedy";
+    s.family = Family::kActive;
+    s.guarantee = "<= 3 OPT (minimal feasible); optimal for unit jobs";
+    s.guarantee_factor = 3.0;
+    s.run = [](const ProblemInstance& inst) {
+      Solution sol;
+      const auto schedule = active::solve_unit_greedy(inst.slotted);
+      if (!schedule.has_value()) {
+        sol.message = "instance infeasible";
+        return sol;
+      }
+      sol.ok = true;
+      sol.cost = static_cast<double>(schedule->cost());
+      sol.active = *schedule;
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+
+  {
+    Solver s;
+    s.name = "active/exact";
+    s.family = Family::kActive;
+    s.guarantee = "optimal (branch & bound)";
+    s.guarantee_factor = 1.0;
+    s.exact = true;
+    s.applicable = [](const ProblemInstance& inst, std::string* why) {
+      if (inst.slotted.size() > 12 || inst.slotted.horizon() > 24) {
+        if (why != nullptr) {
+          *why = "instance too large for branch & bound";
+        }
+        return false;
+      }
+      return true;
+    };
+    s.run = [](const ProblemInstance& inst) {
+      Solution sol;
+      const auto result = active::solve_exact(inst.slotted);
+      if (!result.has_value()) {
+        sol.message = "instance infeasible";
+        return sol;
+      }
+      sol.ok = true;
+      sol.cost = static_cast<double>(result->schedule.cost());
+      sol.active = result->schedule;
+      sol.exact = result->proven_optimal;
+      sol.add_stat("nodes", static_cast<double>(result->nodes_explored));
+      return sol;
+    };
+    registry.add(std::move(s));
+  }
+}
+
+}  // namespace
+
+core::SolverRegistry builtin_registry() {
+  core::SolverRegistry registry;
+  register_busy(registry);
+  register_active(registry);
+  return registry;
+}
+
+const core::SolverRegistry& shared_registry() {
+  static const core::SolverRegistry registry = builtin_registry();
+  return registry;
+}
+
+}  // namespace abt::engine

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/solver.hpp"
+
+namespace abt::engine {
+
+/// Builds a registry holding every algorithm the library implements, busy
+/// and active family alike: the direct interval-job algorithms, the
+/// section-4.3 flexible pipelines, the preemptive and online variants, the
+/// exact/special-case oracles, and the active-time approximations. Each
+/// entry carries its paper guarantee (and worst-case factor where one is
+/// proven) so runners and tests can validate costs uniformly.
+[[nodiscard]] core::SolverRegistry builtin_registry();
+
+/// Process-wide shared instance of builtin_registry().
+[[nodiscard]] const core::SolverRegistry& shared_registry();
+
+}  // namespace abt::engine

@@ -1,0 +1,306 @@
+#include "engine/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "busy/lower_bounds.hpp"
+#include "core/rng.hpp"
+#include "gen/gadgets.hpp"
+#include "gen/random_instances.hpp"
+#include "report/table.hpp"
+
+namespace abt::engine {
+
+using core::Family;
+using core::ProblemInstance;
+
+namespace {
+
+gen::SlottedParams slotted_params(const ScenarioSpec& spec) {
+  gen::SlottedParams params;
+  params.num_jobs = spec.n;
+  params.capacity = spec.g;
+  params.horizon = spec.horizon > 0
+                       ? static_cast<core::SlotTime>(spec.horizon)
+                       : std::max<core::SlotTime>(12, 2 * spec.n);
+  return params;
+}
+
+gen::ContinuousParams continuous_params(const ScenarioSpec& spec,
+                                        double slack) {
+  gen::ContinuousParams params;
+  params.num_jobs = spec.n;
+  params.capacity = spec.g;
+  params.horizon = spec.horizon > 0 ? spec.horizon : 10.0 + spec.n / 4.0;
+  params.max_slack = slack;
+  return params;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenarios() {
+  static const std::vector<ScenarioInfo> kScenarios = {
+      {"slotted", Family::kActive, "random feasible slotted instance"},
+      {"slotted-unit", Family::kActive, "random feasible unit-job instance"},
+      {"fig3", Family::kActive, "Fig 3 minimal-feasible tight family (g>=3)"},
+      {"lp-gap", Family::kActive, "section 3.5 LP integrality-gap family"},
+      {"interval", Family::kBusy, "random interval jobs (no slack)"},
+      {"flexible", Family::kBusy, "random flexible jobs (windowed)"},
+      {"clique", Family::kBusy, "random interval jobs sharing a point"},
+      {"proper", Family::kBusy, "random proper instance (no containment)"},
+      {"laminar", Family::kBusy, "random laminar windows"},
+      {"proper-clique", Family::kBusy,
+       "proper clique (Mertzios DP exact case)"},
+      {"fig1", Family::kBusy, "Fig 1 worked example (7 jobs, g=3)"},
+      {"fig6", Family::kBusy, "Fig 6 GREEDYTRACKING factor-3 family"},
+      {"fig8", Family::kBusy, "Fig 8 two-approximation tight family (g=2)"},
+      {"fig10", Family::kBusy, "Fig 10-12 factor-4 flexible family"},
+  };
+  return kScenarios;
+}
+
+std::optional<ProblemInstance> make_scenario(const ScenarioSpec& spec,
+                                             std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  core::Rng rng(spec.seed);
+  if (spec.name == "slotted" || spec.name == "slotted-unit") {
+    gen::SlottedParams params = slotted_params(spec);
+    params.unit_jobs = spec.name == "slotted-unit";
+    return core::make_instance(gen::random_feasible_slotted(rng, params));
+  }
+  if (spec.name == "fig3") {
+    if (spec.g < 3) return fail("fig3 requires g >= 3");
+    return core::make_instance(gen::fig3_instance(spec.g));
+  }
+  if (spec.name == "lp-gap") {
+    if (spec.g < 2) return fail("lp-gap requires g >= 2");
+    return core::make_instance(gen::lp_gap_instance(spec.g));
+  }
+  if (spec.name == "interval") {
+    return core::make_instance(
+        gen::random_continuous(rng, continuous_params(spec, 0.0)));
+  }
+  if (spec.name == "flexible") {
+    return core::make_instance(
+        gen::random_continuous(rng, continuous_params(spec, spec.slack)));
+  }
+  if (spec.name == "clique") {
+    return core::make_instance(
+        gen::random_clique(rng, continuous_params(spec, 0.0)));
+  }
+  if (spec.name == "proper") {
+    return core::make_instance(
+        gen::random_proper(rng, continuous_params(spec, 0.0)));
+  }
+  if (spec.name == "laminar") {
+    return core::make_instance(
+        gen::random_laminar(rng, continuous_params(spec, 0.0)));
+  }
+  if (spec.name == "proper-clique") {
+    return core::make_instance(
+        gen::random_proper_clique(rng, continuous_params(spec, 0.0)));
+  }
+  if (spec.name == "fig1") {
+    return core::make_instance(gen::fig1_example());
+  }
+  if (spec.name == "fig6") {
+    if (spec.g < 2) return fail("fig6 requires g >= 2");
+    return core::make_instance(gen::fig6_instance(spec.g, spec.eps));
+  }
+  if (spec.name == "fig8") {
+    return core::make_instance(
+        gen::fig8_instance(spec.eps, spec.eps / 3.0));
+  }
+  if (spec.name == "fig10") {
+    if (spec.g < 2) return fail("fig10 requires g >= 2");
+    return core::make_instance(
+        gen::fig10_instance(spec.g, spec.eps, spec.eps / 3.0));
+  }
+  return fail("unknown scenario '" + spec.name + "' (see --scenarios)");
+}
+
+RunReport run_instance(const core::SolverRegistry& registry,
+                       const ProblemInstance& inst,
+                       const RunOptions& options) {
+  RunReport report;
+  report.instance = inst;
+  report.solutions = registry.run_applicable(inst, options.solvers);
+
+  // Reference lower bound: an exact certificate beats everything; else the
+  // combinatorial bounds of the relevant family.
+  LowerBound lb;
+  for (const core::Solution& sol : report.solutions) {
+    if (sol.ok && sol.feasible && sol.exact && !sol.preemptive.has_value()) {
+      if (lb.kind != "exact" || sol.cost < lb.value) {
+        lb = {sol.cost, "exact"};
+      }
+    }
+  }
+  if (lb.kind.empty()) {
+    if (inst.family == Family::kBusy) {
+      // Harvest the g=infinity span bound from any solver that already ran
+      // the DP (pipelines, preemptive, dp-unbounded) instead of paying for
+      // it again; only fall back to computing it when nobody did.
+      double harvested_span = -1.0;
+      for (const core::Solution& sol : report.solutions) {
+        harvested_span = std::max(harvested_span, sol.stat("opt_inf", -1.0));
+      }
+      const bool with_span =
+          inst.continuous.all_interval_jobs(1e-6) ||
+          (harvested_span < 0.0 &&
+           inst.continuous.size() <= options.span_bound_max_jobs);
+      busy::BusyLowerBounds bounds =
+          busy::busy_lower_bounds(inst.continuous, with_span);
+      bounds.span = std::max(bounds.span, harvested_span);
+      lb.value = bounds.best();
+      lb.kind = bounds.best() == bounds.profile  ? "profile"
+                : bounds.best() == bounds.span   ? "span"
+                                                 : "mass";
+    } else {
+      lb.value = static_cast<double>(inst.slotted.mass_lower_bound());
+      lb.kind = "mass";
+      for (const core::Solution& sol : report.solutions) {
+        const double lp = sol.stat("lp_objective", -1.0);
+        if (lp > lb.value) lb = {lp, "LP"};
+      }
+    }
+  }
+  report.lower_bound = lb;
+  return report;
+}
+
+namespace {
+
+std::string verdict(const core::Solution& sol) {
+  if (!sol.ok) return "declined";
+  return sol.feasible ? "feasible" : "INFEASIBLE";
+}
+
+std::string ratio_cell(const RunReport& report, const core::Solution& sol) {
+  if (!sol.ok || report.lower_bound.value <= 0.0) return "-";
+  return report::Table::num(sol.cost / report.lower_bound.value);
+}
+
+void escape_json(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void print_report(std::ostream& os, const RunReport& report) {
+  const bool busy = report.instance.family == Family::kBusy;
+  if (busy) {
+    os << "busy-time instance: " << report.instance.continuous.size()
+       << " jobs, g = " << report.instance.continuous.capacity() << ", "
+       << (report.instance.continuous.all_interval_jobs() ? "interval"
+                                                          : "flexible")
+       << " jobs\n";
+  } else {
+    os << "active-time instance: " << report.instance.slotted.size()
+       << " jobs, g = " << report.instance.slotted.capacity() << ", horizon "
+       << report.instance.slotted.horizon() << "\n";
+  }
+  os << "lower bound: " << report::Table::num(report.lower_bound.value)
+     << " (" << report.lower_bound.kind << ")\n\n";
+
+  report::Table table({"solver", "cost", "/LB", busy ? "machines" : "-",
+                       "ms", "verdict", "guarantee"});
+  for (const core::Solution& sol : report.solutions) {
+    table.add_row({sol.solver,
+                   sol.ok ? report::Table::num(sol.cost) : "-",
+                   ratio_cell(report, sol),
+                   busy && sol.ok ? std::to_string(sol.machines) : "-",
+                   report::Table::num(sol.wall_ms),
+                   verdict(sol), sol.guarantee});
+  }
+  table.print(os);
+}
+
+void write_csv(std::ostream& os, const RunReport& report) {
+  report::Table table({"solver", "cost", "ratio_to_lb", "machines", "wall_ms",
+                       "feasible", "exact", "guarantee"});
+  for (const core::Solution& sol : report.solutions) {
+    table.add_row({sol.solver,
+                   sol.ok ? report::Table::num(sol.cost, 6) : "",
+                   sol.ok && report.lower_bound.value > 0.0
+                       ? report::Table::num(
+                             sol.cost / report.lower_bound.value, 6)
+                       : "",
+                   std::to_string(sol.machines),
+                   report::Table::num(sol.wall_ms, 6),
+                   sol.feasible ? "1" : "0", sol.exact ? "1" : "0",
+                   sol.guarantee});
+  }
+  table.write_csv(os);
+}
+
+void write_json(std::ostream& os, const RunReport& report) {
+  // Round-trippable doubles: the machine-readable report must not round
+  // away digits the table/CSV writers keep.
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  const bool busy = report.instance.family == Family::kBusy;
+  os << "{\n  \"family\": \"" << core::family_name(report.instance.family)
+     << "\",\n";
+  if (busy) {
+    os << "  \"jobs\": " << report.instance.continuous.size()
+       << ",\n  \"capacity\": " << report.instance.continuous.capacity()
+       << ",\n  \"interval_jobs\": "
+       << (report.instance.continuous.all_interval_jobs() ? "true" : "false");
+  } else {
+    os << "  \"jobs\": " << report.instance.slotted.size()
+       << ",\n  \"capacity\": " << report.instance.slotted.capacity()
+       << ",\n  \"horizon\": " << report.instance.slotted.horizon();
+  }
+  os << ",\n  \"lower_bound\": {\"value\": " << report.lower_bound.value
+     << ", \"kind\": ";
+  escape_json(os, report.lower_bound.kind);
+  os << "},\n  \"solutions\": [";
+  for (std::size_t i = 0; i < report.solutions.size(); ++i) {
+    const core::Solution& sol = report.solutions[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"solver\": ";
+    escape_json(os, sol.solver);
+    os << ", \"ok\": " << (sol.ok ? "true" : "false")
+       << ", \"feasible\": " << (sol.feasible ? "true" : "false");
+    if (sol.ok) {
+      os << ", \"cost\": " << sol.cost << ", \"machines\": " << sol.machines
+         << ", \"exact\": " << (sol.exact ? "true" : "false");
+    }
+    os << ", \"wall_ms\": " << sol.wall_ms;
+    if (!sol.message.empty()) {
+      os << ", \"message\": ";
+      escape_json(os, sol.message);
+    }
+    os << ", \"guarantee\": ";
+    escape_json(os, sol.guarantee);
+    if (!sol.stats.empty()) {
+      os << ", \"stats\": {";
+      for (std::size_t k = 0; k < sol.stats.size(); ++k) {
+        if (k > 0) os << ", ";
+        escape_json(os, sol.stats[k].first);
+        os << ": " << sol.stats[k].second;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  os.precision(old_precision);
+}
+
+}  // namespace abt::engine

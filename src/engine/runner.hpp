@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace abt::engine {
+
+/// A named generated workload. One spec covers every generator the library
+/// ships — the random families of gen/random_instances and the paper's
+/// adversarial gadget families of gen/gadgets — so "scenario x solver" is a
+/// closed grid any driver can sweep.
+struct ScenarioSpec {
+  std::string name = "interval";
+  int n = 20;                 ///< Jobs (random families).
+  int g = 3;                  ///< Capacity.
+  std::uint64_t seed = 1;     ///< Rng seed (random families).
+  double slack = 1.0;         ///< Window slack (flexible families).
+  double horizon = 0.0;       ///< 0 = derived from n.
+  double eps = 0.01;          ///< Gadget parameter.
+};
+
+struct ScenarioInfo {
+  std::string name;
+  core::Family family;
+  std::string description;
+};
+
+/// All registered scenario names with family and one-line description.
+[[nodiscard]] const std::vector<ScenarioInfo>& scenarios();
+
+/// Instantiates a scenario; nullopt (with `error`) for unknown names or
+/// out-of-range parameters (e.g. fig3 needs g >= 3).
+[[nodiscard]] std::optional<core::ProblemInstance> make_scenario(
+    const ScenarioSpec& spec, std::string* error = nullptr);
+
+/// Best known lower bound on OPT for an instance, assembled from the exact
+/// solvers' certificates when present and the paper's combinatorial bounds
+/// otherwise.
+struct LowerBound {
+  double value = 0.0;
+  std::string kind;  ///< "exact", "LP", "mass", "span", "profile", "".
+};
+
+struct RunOptions {
+  /// Restrict to these solver names (empty = every applicable solver).
+  std::vector<std::string> solvers;
+  /// Compute the g=infinity span bound for flexible instances no larger
+  /// than this (the DP can be expensive); mass/profile bounds are always on.
+  int span_bound_max_jobs = 48;
+};
+
+/// One instance driven through a solver subset: the uniform run record the
+/// CLI, the benches and the tests all consume.
+struct RunReport {
+  core::ProblemInstance instance;
+  std::vector<core::Solution> solutions;
+  LowerBound lower_bound;
+};
+
+/// Runs every selected applicable solver on the instance (timed and
+/// checker-validated by the registry) and derives the reference lower bound.
+[[nodiscard]] RunReport run_instance(const core::SolverRegistry& registry,
+                                     const core::ProblemInstance& inst,
+                                     const RunOptions& options = {});
+
+/// Renders the report as an aligned text table (report::Table).
+void print_report(std::ostream& os, const RunReport& report);
+
+/// CSV rows: solver,cost,ratio,machines,wall_ms,feasible,guarantee.
+void write_csv(std::ostream& os, const RunReport& report);
+
+/// Machine-readable JSON: instance summary, lower bound, one object per
+/// solution including its stats.
+void write_json(std::ostream& os, const RunReport& report);
+
+}  // namespace abt::engine

@@ -97,5 +97,47 @@ TEST_P(ProperCoverRandom, SpanPreservedAndOverlapAtMostTwo) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProperCoverRandom, ::testing::Range(1, 15));
 
+// ---------------------------------------------------------------------------
+// LevelPeeler: sort-once level extraction must reproduce the one-shot
+// proper_cover peel loop (the pre-PR-2 two_track_peeling inner loop)
+// level-for-level, job-for-job.
+
+class LevelPeelerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevelPeelerEquivalence, MatchesRepeatedProperCover) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 424243ULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 60));
+    params.horizon = 18;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+
+    std::vector<JobId> remaining(static_cast<std::size_t>(inst.size()));
+    std::iota(remaining.begin(), remaining.end(), JobId{0});
+    LevelPeeler peeler(inst, remaining);
+
+    while (!remaining.empty()) {
+      // Reference: re-run proper_cover on the remaining pool and erase.
+      std::vector<JobId> expected = proper_cover(inst, remaining);
+      std::sort(expected.begin(), expected.end());
+      std::vector<char> taken(static_cast<std::size_t>(inst.size()), 0);
+      for (JobId j : expected) taken[static_cast<std::size_t>(j)] = 1;
+      std::erase_if(remaining, [&](JobId j) {
+        return taken[static_cast<std::size_t>(j)] != 0;
+      });
+
+      ASSERT_FALSE(peeler.empty());
+      std::vector<JobId> level = peeler.extract_level();
+      std::sort(level.begin(), level.end());
+      ASSERT_EQ(level, expected);
+      ASSERT_EQ(peeler.remaining(), remaining.size());
+    }
+    EXPECT_TRUE(peeler.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelPeelerEquivalence,
+                         ::testing::Range(1, 8));
+
 }  // namespace
 }  // namespace abt::busy

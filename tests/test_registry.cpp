@@ -1,0 +1,307 @@
+// The solver registry and scenario engine: every registered solver, run
+// over random slotted + continuous instances, must produce checker-valid
+// schedules whose costs respect the solver's declared guarantee against
+// the exact / LP lower bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "busy/lower_bounds.hpp"
+#include "core/rng.hpp"
+#include "core/solver.hpp"
+#include "engine/builtin_solvers.hpp"
+#include "engine/runner.hpp"
+#include "gen/random_instances.hpp"
+
+namespace abt {
+namespace {
+
+using core::Family;
+using core::ProblemInstance;
+using core::Solution;
+
+constexpr double kEps = 1e-6;
+
+core::ProblemInstance random_interval_instance(core::Rng& rng, int n, int g) {
+  gen::ContinuousParams params;
+  params.num_jobs = n;
+  params.capacity = g;
+  params.horizon = 12.0;
+  return core::make_instance(gen::random_continuous(rng, params));
+}
+
+core::ProblemInstance random_flexible_instance(core::Rng& rng, int n, int g) {
+  gen::ContinuousParams params;
+  params.num_jobs = n;
+  params.capacity = g;
+  params.horizon = 14.0;
+  params.max_slack = 1.5;
+  return core::make_instance(gen::random_continuous(rng, params));
+}
+
+core::ProblemInstance random_slotted_instance(core::Rng& rng, int n, int g) {
+  gen::SlottedParams params;
+  params.num_jobs = n;
+  params.capacity = g;
+  params.horizon = 12;
+  params.max_length = 3;
+  params.max_slack = 5;
+  return core::make_instance(gen::random_feasible_slotted(rng, params));
+}
+
+TEST(Registry, HasTheFullSolverCatalog) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  EXPECT_GE(registry.size(), 12u);
+
+  std::set<std::string> names;
+  int busy = 0;
+  int active = 0;
+  for (const core::Solver& solver : registry.all()) {
+    EXPECT_TRUE(names.insert(solver.name).second)
+        << "duplicate name " << solver.name;
+    EXPECT_FALSE(solver.guarantee.empty()) << solver.name;
+    (solver.family == Family::kBusy ? busy : active) += 1;
+    EXPECT_EQ(registry.find(solver.name), &solver);
+  }
+  EXPECT_GE(busy, 8);
+  EXPECT_GE(active, 4);
+  EXPECT_EQ(registry.find("no/such-solver"), nullptr);
+
+  const Solution unknown = registry.run("no/such-solver", ProblemInstance{});
+  EXPECT_FALSE(unknown.ok);
+}
+
+TEST(Registry, EveryScenarioInstantiatesWithItsFamily) {
+  for (const engine::ScenarioInfo& info : engine::scenarios()) {
+    engine::ScenarioSpec spec;
+    spec.name = info.name;
+    spec.n = 8;
+    spec.g = 3;
+    spec.seed = 7;
+    std::string error;
+    const auto inst = engine::make_scenario(spec, &error);
+    ASSERT_TRUE(inst.has_value()) << info.name << ": " << error;
+    EXPECT_EQ(inst->family, info.family) << info.name;
+    if (inst->family == Family::kBusy) {
+      EXPECT_GT(inst->continuous.size(), 0) << info.name;
+    } else {
+      EXPECT_GT(inst->slotted.size(), 0) << info.name;
+    }
+  }
+  engine::ScenarioSpec bogus;
+  bogus.name = "no-such-scenario";
+  std::string error;
+  EXPECT_FALSE(engine::make_scenario(bogus, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+class RegistryGuarantees : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegistryGuarantees, BusySolversRespectGuaranteesOnIntervalInstances) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717ULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(4, 10));
+    const int g = static_cast<int>(rng.uniform_int(2, 3));
+    const ProblemInstance inst = random_interval_instance(rng, n, g);
+
+    const Solution exact = registry.run("busy/exact", inst);
+    ASSERT_TRUE(exact.ok && exact.feasible) << exact.message;
+    ASSERT_TRUE(exact.exact);
+    const double opt = exact.cost;
+
+    for (const core::Solver& solver : registry.all()) {
+      if (solver.family != Family::kBusy) continue;
+      std::string why;
+      if (solver.applicable && !solver.applicable(inst, &why)) continue;
+      const Solution sol = registry.run(solver, inst);
+      if (!sol.ok) continue;  // dp-unbounded may decline after the fact.
+      EXPECT_TRUE(sol.feasible) << solver.name << ": " << sol.message;
+      if (sol.preemptive.has_value()) {
+        // Preemptive guarantee is against its own lower bound; preemption
+        // may legitimately beat the non-preemptive OPT.
+        const double lb = sol.stat("lb");
+        EXPECT_GT(lb, 0.0) << solver.name;
+        EXPECT_GE(sol.cost, lb - kEps) << solver.name;
+        EXPECT_LE(sol.cost, solver.guarantee_factor * lb + kEps)
+            << solver.name;
+        continue;
+      }
+      EXPECT_GE(sol.cost, opt - kEps)
+          << solver.name << " beat the exact optimum";
+      if (solver.guarantee_factor > 0.0) {
+        EXPECT_LE(sol.cost, solver.guarantee_factor * opt + kEps)
+            << solver.name << " violates its declared guarantee";
+      }
+      if (sol.exact) {
+        EXPECT_NEAR(sol.cost, opt, kEps) << solver.name;
+      }
+    }
+  }
+}
+
+TEST_P(RegistryGuarantees, BusySolversStayFeasibleOnFlexibleInstances) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 15013ULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(4, 10));
+    const int g = static_cast<int>(rng.uniform_int(2, 3));
+    const ProblemInstance inst = random_flexible_instance(rng, n, g);
+    ASSERT_FALSE(inst.continuous.all_interval_jobs(1e-6));
+
+    const busy::BusyLowerBounds bounds =
+        busy::busy_lower_bounds(inst.continuous);
+    int ran = 0;
+    for (const Solution& sol : registry.run_applicable(inst)) {
+      if (!sol.ok) continue;
+      ++ran;
+      EXPECT_TRUE(sol.feasible) << sol.solver << ": " << sol.message;
+      if (sol.preemptive.has_value()) continue;
+      EXPECT_GE(sol.cost, bounds.best() - kEps)
+          << sol.solver << " beat the busy-time lower bound";
+    }
+    EXPECT_GE(ran, 3) << "pipelines + preemptive should all run";
+  }
+}
+
+TEST_P(RegistryGuarantees, ActiveSolversRespectGuaranteesVsExactAndLp) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()) * 91193ULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(4, 9));
+    const int g = static_cast<int>(rng.uniform_int(1, 3));
+    const ProblemInstance inst = random_slotted_instance(rng, n, g);
+
+    const Solution exact = registry.run("active/exact", inst);
+    ASSERT_TRUE(exact.ok && exact.feasible) << exact.message;
+    ASSERT_TRUE(exact.exact);
+    const double opt = exact.cost;
+    if (opt == 0.0) continue;
+
+    for (const Solution& sol : registry.run_applicable(inst)) {
+      ASSERT_TRUE(sol.ok) << sol.solver << ": " << sol.message;
+      EXPECT_TRUE(sol.feasible) << sol.solver << ": " << sol.message;
+      EXPECT_GE(sol.cost, opt - kEps)
+          << sol.solver << " beat the exact optimum";
+      const core::Solver* solver = registry.find(sol.solver);
+      ASSERT_NE(solver, nullptr);
+      if (solver->guarantee_factor > 0.0) {
+        EXPECT_LE(sol.cost, solver->guarantee_factor * opt + kEps)
+            << sol.solver << " violates its declared guarantee";
+      }
+      const double lp = sol.stat("lp_objective", -1.0);
+      if (lp >= 0.0) {
+        EXPECT_LE(lp, opt + kEps)
+            << "LP relaxation above the integral optimum";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryGuarantees, ::testing::Range(1, 5));
+
+TEST(Registry, InfeasibleActiveInstanceIsReportedNotCrashed) {
+  // Two rigid 2-slot jobs in the same 2 slots, capacity 1: flow-infeasible.
+  const core::SlottedInstance infeasible({{0, 2, 2}, {0, 2, 2}}, 1);
+  const ProblemInstance inst = core::make_instance(infeasible);
+  for (const Solution& sol : engine::shared_registry().run_applicable(inst)) {
+    EXPECT_FALSE(sol.ok) << sol.solver;
+    EXPECT_FALSE(sol.message.empty()) << sol.solver;
+  }
+}
+
+TEST(Runner, ReportCarriesLowerBoundAndWriters) {
+  engine::ScenarioSpec spec;
+  spec.name = "interval";
+  spec.n = 10;
+  spec.g = 3;
+  spec.seed = 11;
+  const auto inst = engine::make_scenario(spec);
+  ASSERT_TRUE(inst.has_value());
+
+  const engine::RunReport report =
+      engine::run_instance(engine::shared_registry(), *inst);
+  ASSERT_FALSE(report.solutions.empty());
+  EXPECT_GT(report.lower_bound.value, 0.0);
+  EXPECT_EQ(report.lower_bound.kind, "exact");  // n=10 is inside the oracle.
+  for (const Solution& sol : report.solutions) {
+    if (sol.ok && !sol.preemptive.has_value()) {
+      EXPECT_GE(sol.cost, report.lower_bound.value - kEps) << sol.solver;
+    }
+  }
+
+  std::ostringstream table;
+  engine::print_report(table, report);
+  EXPECT_NE(table.str().find("busy/greedy-tracking"), std::string::npos);
+
+  std::ostringstream csv;
+  engine::write_csv(csv, report);
+  EXPECT_NE(csv.str().find("solver,cost"), std::string::npos);
+
+  std::ostringstream json;
+  engine::write_json(json, report);
+  EXPECT_NE(json.str().find("\"solutions\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"lower_bound\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"feasible\": true"), std::string::npos);
+}
+
+TEST(Runner, SolverSubsetSelectionIsHonored) {
+  engine::ScenarioSpec spec;
+  spec.name = "slotted";
+  spec.n = 6;
+  spec.g = 2;
+  spec.seed = 3;
+  const auto inst = engine::make_scenario(spec);
+  ASSERT_TRUE(inst.has_value());
+
+  engine::RunOptions options;
+  options.solvers = {"active/lp-rounding", "active/minimal-feasible"};
+  const engine::RunReport report =
+      engine::run_instance(engine::shared_registry(), *inst, options);
+  ASSERT_EQ(report.solutions.size(), 2u);
+  EXPECT_EQ(report.solutions[0].solver, "active/minimal-feasible");
+  EXPECT_EQ(report.solutions[1].solver, "active/lp-rounding");
+
+  // An explicitly requested solver that cannot run still gets a (declined)
+  // row — never a silent drop.
+  options.solvers = {"busy/first-fit", "active/lp-rounding"};
+  const engine::RunReport mixed =
+      engine::run_instance(engine::shared_registry(), *inst, options);
+  ASSERT_EQ(mixed.solutions.size(), 2u);
+  EXPECT_EQ(mixed.solutions[0].solver, "busy/first-fit");
+  EXPECT_FALSE(mixed.solutions[0].ok);
+  EXPECT_FALSE(mixed.solutions[0].message.empty());
+  EXPECT_TRUE(mixed.solutions[1].ok);
+
+  // Unknown requested names surface as refusal rows, never a silent drop.
+  options.solvers = {"active/no-such-solver"};
+  const engine::RunReport unknown =
+      engine::run_instance(engine::shared_registry(), *inst, options);
+  ASSERT_EQ(unknown.solutions.size(), 1u);
+  EXPECT_FALSE(unknown.solutions[0].ok);
+  EXPECT_EQ(unknown.solutions[0].message, "unknown solver");
+}
+
+TEST(Registry, DpUnboundedReportsInternStats) {
+  core::Rng rng(5);
+  gen::ContinuousParams params;
+  params.num_jobs = 8;
+  params.capacity = 8;  // g >= n: the g=inf freeze always fits.
+  params.horizon = 12.0;
+  params.max_slack = 1.0;
+  const ProblemInstance inst =
+      core::make_instance(gen::random_continuous(rng, params));
+  const Solution sol =
+      engine::shared_registry().run("busy/dp-unbounded", inst);
+  ASSERT_TRUE(sol.ok) << sol.message;
+  EXPECT_TRUE(sol.feasible) << sol.message;
+  EXPECT_TRUE(sol.exact);
+  EXPECT_GT(sol.stat("dp_states"), 0.0);
+  EXPECT_GT(sol.stat("dp_interned"), 0.0);
+  // Hash-consing only pays when states share pending sets.
+  EXPECT_LE(sol.stat("dp_interned"), sol.stat("dp_states"));
+}
+
+}  // namespace
+}  // namespace abt

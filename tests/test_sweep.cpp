@@ -229,5 +229,103 @@ TEST_P(SweepEquivalence, GreedyTrackingIdenticalToNaive) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SweepEquivalence, ::testing::Range(1, 6));
 
+// ---------------------------------------------------------------------------
+// MachineFreeIndex: the positional first-fit index.
+
+TEST(MachineFreeIndex, EmptyAndSingle) {
+  MachineFreeIndex index;
+  EXPECT_EQ(index.first_at_most(100.0), -1);
+  EXPECT_EQ(index.push_back(5.0), 0);
+  EXPECT_EQ(index.first_at_most(4.9), -1);
+  EXPECT_EQ(index.first_at_most(5.0), 0);
+}
+
+TEST(MachineFreeIndex, ReturnsSmallestIndexNotSmallestKey) {
+  MachineFreeIndex index;
+  index.push_back(10.0);
+  index.push_back(3.0);
+  index.push_back(1.0);
+  // Keys 3 and 1 both qualify at x=4; the smaller *index* wins.
+  EXPECT_EQ(index.first_at_most(4.0), 1);
+  index.set(0, 2.0);
+  EXPECT_EQ(index.first_at_most(4.0), 0);
+}
+
+TEST(MachineFreeIndex, MatchesLinearScanOnRandomWorkloads) {
+  Rng rng(424243);
+  MachineFreeIndex index;
+  std::vector<double> keys;
+  for (int step = 0; step < 400; ++step) {
+    if (keys.empty() || rng.flip(0.3)) {
+      const double key = rng.uniform_real(0.0, 50.0);
+      index.push_back(key);
+      keys.push_back(key);
+    } else {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(keys.size()) - 1));
+      keys[i] = rng.uniform_real(0.0, 50.0);
+      index.set(static_cast<int>(i), keys[i]);
+    }
+    const double x = rng.uniform_real(-5.0, 55.0);
+    int expected = -1;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] <= x) {
+        expected = static_cast<int>(i);
+        break;
+      }
+    }
+    ASSERT_EQ(index.first_at_most(x), expected) << "step " << step;
+  }
+}
+
+// first_fit_by_release collapses the per-machine probe to a frontier
+// coverage counter; placements must still match the plain probing scan.
+BusySchedule reference_first_fit_by_release(const ContinuousInstance& inst) {
+  std::vector<JobId> order(static_cast<std::size_t>(inst.size()));
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return inst.job(a).release < inst.job(b).release;
+  });
+  BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  std::vector<OccupancyIndex> machines;
+  for (JobId j : order) {
+    const ContinuousJob& job = inst.job(j);
+    const Interval run{job.release, job.release + job.length};
+    int chosen = -1;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (machines[m].max_coverage_in(run.lo, run.hi) + 1 <=
+          inst.capacity()) {
+        chosen = static_cast<int>(m);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      machines.emplace_back();
+      chosen = static_cast<int>(machines.size()) - 1;
+    }
+    machines[static_cast<std::size_t>(chosen)].insert(run);
+    sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
+  }
+  return sched;
+}
+
+TEST_P(SweepEquivalence, FirstFitByReleaseIdenticalToProbingScan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729ULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(1, 120));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 5));
+    params.horizon = params.num_jobs / 2.0 + 10;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    EXPECT_TRUE(same_schedule(busy::first_fit_by_release(inst),
+                              reference_first_fit_by_release(inst)));
+    std::string why;
+    EXPECT_TRUE(
+        check_busy_schedule(inst, busy::first_fit_by_release(inst), &why))
+        << why;
+  }
+}
+
 }  // namespace
 }  // namespace abt::core
