@@ -5,14 +5,13 @@
 // tracking <= firstfit in worst-case factor; on random data all three sit
 // close to the lower bounds, with the paper's algorithm competitive.
 //
-// All solver invocations go through the registry (bench_util), sharing the
-// engine's timing + checker path with abt_solve and the tests.
+// Since PR 3 the trials run through the engine's thread-pool sweep
+// (bench_util::checked_sweep) — the same fan-out, lower-bound and
+// aggregation path as `abt_solve --trials`, so every ratio below is
+// checker-validated and reproducible from (scenario, seed).
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "busy/lower_bounds.hpp"
-#include "core/rng.hpp"
-#include "gen/random_instances.hpp"
 
 int main() {
   using namespace abt;
@@ -20,23 +19,19 @@ int main() {
       "E9 / interval + flexible random sweep",
       "Mean/max ratio to exact OPT (small instances, interval jobs), then "
       "mean ratio to best lower bound (larger instances and flexible "
-      "jobs).");
+      "jobs). Sweeps fan out over the engine thread pool.");
 
-  core::Rng rng(8154);  // arXiv id vintage
-
-  const auto make_interval = [&rng](int n, int g, double horizon,
-                                    double slack) {
-    gen::ContinuousParams params;
-    params.num_jobs = n;
-    params.capacity = g;
-    params.horizon = horizon;
-    params.max_slack = slack;
-    return core::make_instance(gen::random_continuous(rng, params));
+  const auto spec = [](const char* name, int n, int g, double slack) {
+    engine::ScenarioSpec s;
+    s.name = name;
+    s.n = n;
+    s.g = g;
+    s.seed = 8154;  // arXiv id vintage
+    s.slack = slack;
+    return s;
   };
 
   {
-    const std::vector<std::string> solvers = {
-        "busy/first-fit", "busy/greedy-tracking", "busy/two-track-peeling"};
     report::Table table({"n", "g", "trials", "FF mean", "FF max", "GT mean",
                          "GT max", "Peel mean", "Peel max"});
     struct Config {
@@ -45,27 +40,29 @@ int main() {
     };
     for (const auto& [n, g] :
          {Config{6, 2}, Config{8, 2}, Config{8, 3}, Config{10, 3}}) {
-      const auto stats = bench::ratio_sweep(
-          solvers, 15,
-          [&](int) { return make_interval(n, g, 12.0, 0.0); },
-          [](const core::ProblemInstance& inst) {
-            return bench::solver_cost("busy/exact", inst);
-          });
+      // busy/exact rides along so every trial's lower bound is the optimum.
+      const auto sweep = bench::checked_sweep(
+          spec("interval", n, g, 0.0), 15,
+          {"busy/first-fit", "busy/greedy-tracking", "busy/two-track-peeling",
+           "busy/exact"});
+      bench::require_every_trial(sweep, "busy/exact");
+      const auto& ff = bench::aggregate_of(sweep, "busy/first-fit");
+      const auto& gt = bench::aggregate_of(sweep, "busy/greedy-tracking");
+      const auto& peel =
+          bench::aggregate_of(sweep, "busy/two-track-peeling");
       table.add_row({std::to_string(n), std::to_string(g), "15",
-                     report::Table::num(stats[0].mean()),
-                     report::Table::num(stats[0].max()),
-                     report::Table::num(stats[1].mean()),
-                     report::Table::num(stats[1].max()),
-                     report::Table::num(stats[2].mean()),
-                     report::Table::num(stats[2].max())});
+                     report::Table::num(ff.ratio_mean),
+                     report::Table::num(ff.ratio_max),
+                     report::Table::num(gt.ratio_mean),
+                     report::Table::num(gt.ratio_max),
+                     report::Table::num(peel.ratio_mean),
+                     report::Table::num(peel.ratio_max)});
     }
     std::cout << "interval jobs vs exact OPT:\n";
     table.print(std::cout);
   }
 
   {
-    const std::vector<std::string> solvers = {
-        "busy/first-fit", "busy/greedy-tracking", "busy/two-track-peeling"};
     report::Table table({"n", "g", "trials", "FF/LB", "GT/LB", "Peel/LB"});
     struct Config {
       int n;
@@ -73,25 +70,25 @@ int main() {
     };
     for (const auto& [n, g] :
          {Config{40, 3}, Config{80, 4}, Config{150, 5}, Config{300, 8}}) {
-      const auto stats = bench::ratio_sweep(
-          solvers, 5,
-          [&](int) { return make_interval(n, g, 10 + n / 4.0, 0.0); },
-          [](const core::ProblemInstance& inst) {
-            return busy::busy_lower_bounds(inst.continuous).best();
-          });
-      table.add_row({std::to_string(n), std::to_string(g), "5",
-                     report::Table::num(stats[0].mean()),
-                     report::Table::num(stats[1].mean()),
-                     report::Table::num(stats[2].mean())});
+      const auto sweep = bench::checked_sweep(
+          spec("interval", n, g, 0.0), 5,
+          {"busy/first-fit", "busy/greedy-tracking",
+           "busy/two-track-peeling"});
+      table.add_row(
+          {std::to_string(n), std::to_string(g), "5",
+           report::Table::num(
+               bench::aggregate_of(sweep, "busy/first-fit").ratio_mean),
+           report::Table::num(
+               bench::aggregate_of(sweep, "busy/greedy-tracking").ratio_mean),
+           report::Table::num(
+               bench::aggregate_of(sweep, "busy/two-track-peeling")
+                   .ratio_mean)});
     }
     std::cout << "\nlarger interval instances vs best lower bound:\n";
     table.print(std::cout);
   }
 
   {
-    const std::vector<std::string> solvers = {
-        "busy/pipeline-greedy-tracking", "busy/pipeline-two-track-peeling",
-        "busy/pipeline-first-fit"};
     report::Table table({"n", "g", "slack", "trials", "GT pipeline/LB",
                          "Peel pipeline/LB", "FF pipeline/LB"});
     struct Config {
@@ -101,24 +98,57 @@ int main() {
     };
     for (const auto& [n, g, slack] :
          {Config{10, 2, 1.0}, Config{14, 3, 1.5}, Config{18, 3, 2.0}}) {
-      const auto stats = bench::ratio_sweep(
-          solvers, 8,
-          [&](int) { return make_interval(n, g, 16.0, slack); },
-          [](const core::ProblemInstance& inst) {
-            return busy::busy_lower_bounds(inst.continuous).best();
-          });
-      table.add_row({std::to_string(n), std::to_string(g),
-                     report::Table::num(slack, 1), "8",
-                     report::Table::num(stats[0].mean()),
-                     report::Table::num(stats[1].mean()),
-                     report::Table::num(stats[2].mean())});
+      const auto sweep = bench::checked_sweep(
+          spec("flexible", n, g, slack), 8,
+          {"busy/pipeline-greedy-tracking", "busy/pipeline-two-track-peeling",
+           "busy/pipeline-first-fit"});
+      table.add_row(
+          {std::to_string(n), std::to_string(g),
+           report::Table::num(slack, 1), "8",
+           report::Table::num(
+               bench::aggregate_of(sweep, "busy/pipeline-greedy-tracking")
+                   .ratio_mean),
+           report::Table::num(
+               bench::aggregate_of(sweep, "busy/pipeline-two-track-peeling")
+                   .ratio_mean),
+           report::Table::num(
+               bench::aggregate_of(sweep, "busy/pipeline-first-fit")
+                   .ratio_mean)});
     }
     std::cout << "\nflexible jobs through the DP pipeline (section 4.3):\n";
     table.print(std::cout);
   }
 
+  {
+    report::Table table({"n", "g", "trials", "wFF mean", "wFF max",
+                         "narrow/wide mean", "narrow/wide max"});
+    struct Config {
+      int n;
+      int g;
+    };
+    for (const auto& [n, g] : {Config{6, 3}, Config{8, 4}, Config{10, 4}}) {
+      // busy/weighted-exact rides along: the lower bound is the optimum.
+      const auto sweep = bench::checked_sweep(
+          spec("weighted", n, g, 0.0), 10,
+          {"busy/weighted-first-fit", "busy/weighted-narrow-wide",
+           "busy/weighted-exact"});
+      bench::require_every_trial(sweep, "busy/weighted-exact");
+      const auto& ff = bench::aggregate_of(sweep, "busy/weighted-first-fit");
+      const auto& nw =
+          bench::aggregate_of(sweep, "busy/weighted-narrow-wide");
+      table.add_row({std::to_string(n), std::to_string(g), "10",
+                     report::Table::num(ff.ratio_mean),
+                     report::Table::num(ff.ratio_max),
+                     report::Table::num(nw.ratio_mean),
+                     report::Table::num(nw.ratio_max)});
+    }
+    std::cout << "\nweighted (cumulative-width) interval jobs vs exact OPT "
+                 "(Khandekar et al. [9] model):\n";
+    table.print(std::cout);
+  }
+
   std::cout << "\npaper guarantees: FF <= 4, GT <= 3 (Thm 5), Peel <= 2 "
                "(interval, Thm 3); pipeline: GT <= 3, profile algorithms "
-               "<= 4 (Thm 10).\n";
+               "<= 4 (Thm 10); weighted narrow/wide <= 5 (Khandekar).\n";
   return 0;
 }

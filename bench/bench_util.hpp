@@ -13,6 +13,7 @@
 
 #include "core/solver.hpp"
 #include "engine/builtin_solvers.hpp"
+#include "engine/runner.hpp"
 #include "report/table.hpp"
 
 namespace abt::bench {
@@ -65,6 +66,65 @@ std::vector<report::RatioStats> ratio_sweep(
     }
   }
   return stats;
+}
+
+/// Scenario trial sweep through the engine's thread pool — the same fan-out
+/// / lower-bound / aggregation path as `abt_solve --trials`. Aborts when
+/// the scenario fails to instantiate or any produced schedule failed its
+/// checker (a bench must never chart an infeasible cost). threads = 0 uses
+/// the hardware concurrency.
+inline engine::SweepReport checked_sweep(const engine::ScenarioSpec& spec,
+                                         int trials,
+                                         std::vector<std::string> solvers = {},
+                                         int threads = 0) {
+  engine::SweepOptions options;
+  options.trials = trials;
+  options.threads = threads;
+  options.run.solvers = std::move(solvers);
+  std::string error;
+  const auto report = engine::run_sweep(registry(), spec, options, &error);
+  if (!report.has_value()) {
+    std::cerr << "bench: scenario '" << spec.name << "' failed: " << error
+              << "\n";
+    std::abort();
+  }
+  for (const engine::RunReport& cell : report->cells) {
+    for (const core::Solution& sol : cell.solutions) {
+      if (sol.ok && !sol.feasible) {
+        std::cerr << "bench: solver '" << sol.solver
+                  << "' produced an infeasible schedule: " << sol.message
+                  << "\n";
+        std::abort();
+      }
+    }
+  }
+  return *report;
+}
+
+/// Aggregate row of one solver in a sweep report; aborts when absent.
+inline const engine::SolverAggregate& aggregate_of(
+    const engine::SweepReport& report, const std::string& solver) {
+  for (const engine::SolverAggregate& agg : report.aggregates) {
+    if (agg.solver == solver) return agg;
+  }
+  std::cerr << "bench: no aggregate for solver '" << solver << "'\n";
+  std::abort();
+}
+
+/// Asserts the solver produced a checker-validated result in every trial.
+/// This is the guard for tables charting ratios "vs exact OPT": an exact
+/// oracle that silently declines (size gate) would downgrade the per-trial
+/// lower bound to a combinatorial one while the table heading still claims
+/// the optimum — abort loudly instead, like checked_run used to.
+inline const engine::SolverAggregate& require_every_trial(
+    const engine::SweepReport& report, const std::string& solver) {
+  const engine::SolverAggregate& agg = aggregate_of(report, solver);
+  if (agg.feasible != report.trials) {
+    std::cerr << "bench: solver '" << solver << "' validated only "
+              << agg.feasible << "/" << report.trials << " trials\n";
+    std::abort();
+  }
+  return agg;
 }
 
 }  // namespace abt::bench

@@ -12,12 +12,15 @@
 // options:
 //   --solvers a,b,c   registry names (default: every applicable solver)
 //   --n K --g G --seed N --slack S --horizon H --eps E   scenario knobs
+//   --trials N        sweep N seeded trials of the scenario (needs --gen)
+//   --threads K       sweep worker threads (0 = hardware concurrency)
 //   --json | --csv    machine-readable report instead of the text table
 //   --emit            print the generated instance (core/io format) and exit
 //   --gantt           append a Gantt chart of the best feasible schedule
 //
 // Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when any
 // solver produced an infeasible schedule (checker verdict).
+// Full reference: docs/CLI.md.
 #include <charconv>
 #include <fstream>
 #include <iostream>
@@ -42,7 +45,8 @@ constexpr const char* kUsage =
     "       abt_solve --gen <scenario> [options]\n"
     "       abt_solve --demo-slotted | --demo-continuous\n"
     "options: --solvers a,b,c  --n K --g G --seed N --slack S --horizon H\n"
-    "         --eps E  --json | --csv  --emit  --gantt\n";
+    "         --eps E  --trials N --threads K  --json | --csv  --emit\n"
+    "         --gantt\n";
 
 constexpr const char* kDemoSlotted =
     "model slotted\n"
@@ -65,6 +69,8 @@ struct CliOptions {
   std::string scenario;          ///< Non-empty when --gen.
   engine::ScenarioSpec spec;
   std::vector<std::string> solvers;
+  int trials = 1;
+  int threads = 1;
   bool list = false;
   bool list_scenarios = false;
   bool json = false;
@@ -124,7 +130,8 @@ bool parse_args(int argc, char** argv, CliOptions& options,
       if (!need_value(i, arg)) return false;
       options.solvers = split_csv(argv[++i]);
     } else if (arg == "--n" || arg == "--g" || arg == "--seed" ||
-               arg == "--slack" || arg == "--horizon" || arg == "--eps") {
+               arg == "--slack" || arg == "--horizon" || arg == "--eps" ||
+               arg == "--trials" || arg == "--threads") {
       if (!need_value(i, arg)) return false;
       const std::string value = argv[++i];
       bool parsed = false;
@@ -138,6 +145,10 @@ bool parse_args(int argc, char** argv, CliOptions& options,
         parsed = parse_full(value, options.spec.slack);
       } else if (arg == "--horizon") {
         parsed = parse_full(value, options.spec.horizon);
+      } else if (arg == "--trials") {
+        parsed = parse_full(value, options.trials) && options.trials >= 1;
+      } else if (arg == "--threads") {
+        parsed = parse_full(value, options.threads) && options.threads >= 0;
       } else {
         parsed = parse_full(value, options.spec.eps);
       }
@@ -159,9 +170,10 @@ bool parse_args(int argc, char** argv, CliOptions& options,
 }
 
 void list_solvers(const core::SolverRegistry& registry) {
-  report::Table table({"solver", "family", "guarantee", "exact"});
+  report::Table table({"solver", "family", "kind", "guarantee", "exact"});
   for (const core::Solver& solver : registry.all()) {
     table.add_row({solver.name, std::string(core::family_name(solver.family)),
+                   std::string(core::instance_kind_name(solver.kind)),
                    solver.guarantee, solver.exact ? "yes" : ""});
   }
   table.print(std::cout);
@@ -233,6 +245,51 @@ int main(int argc, char** argv) {
   }
   if (options.list_scenarios) {
     list_scenarios();
+    return 0;
+  }
+
+  // Trial-sweep mode: many seeds of one generated scenario through the
+  // thread-pool engine, reported as per-solver aggregates.
+  if (options.trials > 1) {
+    if (options.scenario.empty()) {
+      std::cerr << "--trials needs --gen (sweeps regenerate the scenario "
+                   "with seeds seed..seed+N-1)\n";
+      return 1;
+    }
+    for (const std::string& name : options.solvers) {
+      if (registry.find(name) == nullptr) {
+        std::cerr << "unknown solver '" << name << "' (see --list)\n";
+        return 1;
+      }
+    }
+    engine::SweepOptions sweep_options;
+    sweep_options.trials = options.trials;
+    sweep_options.threads = options.threads;
+    sweep_options.run.solvers = options.solvers;
+    const auto sweep =
+        engine::run_sweep(registry, options.spec, sweep_options, &error);
+    if (!sweep.has_value()) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    if (options.json) {
+      engine::write_sweep_json(std::cout, *sweep);
+    } else if (options.csv) {
+      engine::write_sweep_csv(std::cout, *sweep);
+    } else {
+      engine::print_sweep(std::cout, *sweep);
+    }
+    bool any_ok = false;
+    for (const engine::RunReport& cell : sweep->cells) {
+      for (const core::Solution& sol : cell.solutions) {
+        if (sol.ok && !sol.feasible) return 2;
+        any_ok = any_ok || sol.ok;
+      }
+    }
+    if (!any_ok) {
+      std::cerr << "no solver produced a schedule in any trial\n";
+      return 1;
+    }
     return 0;
   }
 

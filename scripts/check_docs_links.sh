@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Fails on dead relative links in README.md and docs/*.md. External
+# (http/https/mailto) links and pure #anchors are skipped; a relative
+# link's target is resolved against the file that contains it.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Markdown inline links: capture the (...) target of [...](...).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"           # strip an anchor suffix
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in ${doc#"$root"/}: $target" >&2
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*](\([^)]*\))/\1/')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs link check: OK"
+fi
+exit "$status"

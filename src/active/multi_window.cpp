@@ -187,11 +187,16 @@ std::optional<ActiveSchedule> mw_solve_minimal_feasible(
   return mw_extract_assignment(inst, std::move(slots));
 }
 
-long mw_brute_force_opt(const MultiWindowInstance& inst) {
+namespace {
+
+/// Best (fewest-bits) feasible candidate-slot subset, or nullopt.
+std::optional<std::vector<SlotTime>> mw_best_slot_subset(
+    const MultiWindowInstance& inst) {
   const std::vector<SlotTime> candidates = mw_candidate_slots(inst);
   const std::size_t m = candidates.size();
   ABT_ASSERT(m <= 22, "brute force limited to 22 candidate slots");
   long best = -1;
+  std::vector<SlotTime> best_open;
   for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
     const int bits = __builtin_popcountll(mask);
     if (best >= 0 && bits >= best) continue;
@@ -199,9 +204,26 @@ long mw_brute_force_opt(const MultiWindowInstance& inst) {
     for (std::size_t i = 0; i < m; ++i) {
       if ((mask >> i) & 1ULL) open.push_back(candidates[i]);
     }
-    if (mw_is_feasible_with_slots(inst, open)) best = bits;
+    if (mw_is_feasible_with_slots(inst, open)) {
+      best = bits;
+      best_open = std::move(open);
+    }
   }
-  return best;
+  if (best < 0) return std::nullopt;
+  return best_open;
+}
+
+}  // namespace
+
+long mw_brute_force_opt(const MultiWindowInstance& inst) {
+  const auto best = mw_best_slot_subset(inst);
+  return best.has_value() ? static_cast<long>(best->size()) : -1;
+}
+
+std::optional<ActiveSchedule> mw_solve_exact(const MultiWindowInstance& inst) {
+  auto best = mw_best_slot_subset(inst);
+  if (!best.has_value()) return std::nullopt;
+  return mw_extract_assignment(inst, std::move(*best));
 }
 
 }  // namespace abt::active

@@ -93,4 +93,11 @@ class MultiWindowInstance {
 /// Returns -1 when infeasible.
 [[nodiscard]] long mw_brute_force_opt(const MultiWindowInstance& inst);
 
+/// Brute-force optimum with an extracted integral assignment (same subset
+/// enumeration as mw_brute_force_opt); nullopt when infeasible. This is the
+/// calibration oracle the solver registry exposes as
+/// `active/multi-window-exact`.
+[[nodiscard]] std::optional<core::ActiveSchedule> mw_solve_exact(
+    const MultiWindowInstance& inst);
+
 }  // namespace abt::active

@@ -11,6 +11,15 @@ std::string_view family_name(Family family) {
   return family == Family::kBusy ? "busy" : "active";
 }
 
+std::string_view instance_kind_name(InstanceKind kind) {
+  switch (kind) {
+    case InstanceKind::kWeighted: return "weighted";
+    case InstanceKind::kMultiWindow: return "multi-window";
+    case InstanceKind::kStandard: break;
+  }
+  return "standard";
+}
+
 ProblemInstance make_instance(SlottedInstance inst) {
   ProblemInstance out;
   out.family = Family::kActive;
@@ -22,6 +31,18 @@ ProblemInstance make_instance(ContinuousInstance inst) {
   ProblemInstance out;
   out.family = Family::kBusy;
   out.continuous = std::move(inst);
+  return out;
+}
+
+ProblemInstance make_instance(
+    Family family, std::shared_ptr<const InstanceExtension> extension) {
+  ABT_ASSERT(extension != nullptr, "extended instance without payload");
+  ProblemInstance out;
+  out.family = family;
+  out.kind = extension->kind();
+  ABT_ASSERT(out.kind != InstanceKind::kStandard,
+             "standard instances use the typed make_instance overloads");
+  out.extension = std::move(extension);
   return out;
 }
 
@@ -54,7 +75,7 @@ std::vector<const Solver*> SolverRegistry::applicable_to(
     const ProblemInstance& inst) const {
   std::vector<const Solver*> out;
   for (const Solver& s : solvers_) {
-    if (s.family != inst.family) continue;
+    if (s.family != inst.family || s.kind != inst.kind) continue;
     if (s.applicable && !s.applicable(inst, nullptr)) continue;
     out.push_back(&s);
   }
@@ -70,6 +91,12 @@ Solution SolverRegistry::run(const Solver& solver,
 
   if (solver.family != inst.family) {
     sol.message = "wrong family";
+    return sol;
+  }
+  if (solver.kind != inst.kind) {
+    sol.message = std::string("wrong instance kind (solver wants ") +
+                  std::string(instance_kind_name(solver.kind)) + ", got " +
+                  std::string(instance_kind_name(inst.kind)) + ")";
     return sol;
   }
   if (solver.applicable) {
@@ -98,6 +125,22 @@ Solution SolverRegistry::run(const Solver& solver,
   // Shared checker validation: the verdict is part of the contract, so no
   // caller ever trusts a solver's own bookkeeping.
   std::string why;
+  if (solver.check) {
+    // Extended kinds (and any solver with its own validation contract)
+    // supply the checker at registration; the registry still owns the
+    // verdict and the machine count.
+    produced.feasible = solver.check(inst, produced, &why);
+    if (produced.busy.has_value()) {
+      produced.machines = produced.busy->machine_count();
+    }
+    if (!produced.feasible) produced.message = why;
+    return produced;
+  }
+  if (inst.kind != InstanceKind::kStandard) {
+    produced.feasible = false;
+    produced.message = "extended instance kind without a registered checker";
+    return produced;
+  }
   if (produced.family == Family::kActive) {
     ABT_ASSERT(produced.active.has_value(), "active solver without schedule");
     produced.feasible = check_active_schedule(inst.slotted, *produced.active,
@@ -134,21 +177,30 @@ Solution SolverRegistry::run(std::string_view name,
   return run(*solver, inst);
 }
 
-std::vector<Solution> SolverRegistry::run_applicable(
+std::vector<const Solver*> SolverRegistry::selection(
     const ProblemInstance& inst, const std::vector<std::string>& only) const {
-  std::vector<Solution> out;
+  std::vector<const Solver*> out;
   for (const Solver& s : solvers_) {
     if (only.empty()) {
       // Unrestricted runs silently skip inapplicable solvers.
-      if (s.family != inst.family) continue;
+      if (s.family != inst.family || s.kind != inst.kind) continue;
       if (s.applicable && !s.applicable(inst, nullptr)) continue;
     } else if (std::find(only.begin(), only.end(), s.name) == only.end()) {
       continue;
     }
+    out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<Solution> SolverRegistry::run_applicable(
+    const ProblemInstance& inst, const std::vector<std::string>& only) const {
+  std::vector<Solution> out;
+  for (const Solver* s : selection(inst, only)) {
     // An explicitly requested solver always gets a row: run() turns a
     // family mismatch or applicability refusal into a declined Solution
     // instead of dropping the request on the floor.
-    out.push_back(run(s, inst));
+    out.push_back(run(*s, inst));
   }
   // Unknown requested names get a refusal row too, not a silent drop.
   for (const std::string& name : only) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -19,18 +20,53 @@ enum class Family { kBusy, kActive };
 
 [[nodiscard]] std::string_view family_name(Family family);
 
-/// Uniform instance carrier: exactly one of the two instance types is
-/// meaningful, selected by `family`. This is the single currency the solver
-/// registry, the scenario engine and the CLI trade in, so that "run every
-/// applicable algorithm on this input" is one call regardless of model.
+/// Which instance representation a ProblemInstance carries. The two
+/// standard kinds are the paper's base models; the extended kinds are the
+/// generalizations (width-weighted busy time, multi-window active time)
+/// that ride through the registry via an InstanceExtension payload instead
+/// of a dedicated member, so core stays ignorant of their concrete types.
+enum class InstanceKind { kStandard, kWeighted, kMultiWindow };
+
+[[nodiscard]] std::string_view instance_kind_name(InstanceKind kind);
+
+/// Type-erased payload for the extended instance kinds. Concrete wrappers
+/// (engine/adapters) subclass this around busy::WeightedInstance /
+/// active::MultiWindowInstance and expose just enough shape for generic
+/// reporting and lower-bound derivation; solvers downcast through the
+/// adapter accessors.
+class InstanceExtension {
+ public:
+  virtual ~InstanceExtension() = default;
+  [[nodiscard]] virtual InstanceKind kind() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  [[nodiscard]] virtual int capacity() const = 0;
+  /// Family-appropriate combinatorial lower bound on OPT (mass/span).
+  [[nodiscard]] virtual double lower_bound() const = 0;
+  /// One-line instance summary for the report headers.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Uniform instance carrier: for the standard kinds exactly one of the two
+/// instance members is meaningful, selected by `family`; the extended kinds
+/// carry their model in `extension` instead. This is the single currency
+/// the solver registry, the scenario engine and the CLI trade in, so that
+/// "run every applicable algorithm on this input" is one call regardless of
+/// model.
 struct ProblemInstance {
   Family family = Family::kBusy;
+  InstanceKind kind = InstanceKind::kStandard;
   SlottedInstance slotted;        ///< Valid when family == kActive.
   ContinuousInstance continuous;  ///< Valid when family == kBusy.
+  /// Set exactly when kind != kStandard.
+  std::shared_ptr<const InstanceExtension> extension;
 };
 
 [[nodiscard]] ProblemInstance make_instance(SlottedInstance inst);
 [[nodiscard]] ProblemInstance make_instance(ContinuousInstance inst);
+/// Extended-kind carrier: family per the extension's model, kind from the
+/// extension itself.
+[[nodiscard]] ProblemInstance make_instance(
+    Family family, std::shared_ptr<const InstanceExtension> extension);
 
 /// Uniform result of one solver run. Every solver — busy or active, exact
 /// or approximate, preemptive or not — reports through this struct so the
@@ -70,6 +106,10 @@ struct Solution {
 struct Solver {
   std::string name;    ///< Unique registry key, e.g. "busy/greedy-tracking".
   Family family = Family::kBusy;
+  /// Instance representation the solver consumes. A solver only ever sees
+  /// instances of its own kind — the registry gates on it exactly like on
+  /// `family`, so standard solvers never receive an extended instance.
+  InstanceKind kind = InstanceKind::kStandard;
   std::string guarantee;  ///< e.g. "<= 3 OPT", "optimal", "heuristic".
 
   /// Worst-case approximation factor vs OPT claimed by the paper
@@ -84,6 +124,14 @@ struct Solver {
 
   /// Runs the algorithm. Preconditions: `applicable` returned true.
   std::function<Solution(const ProblemInstance&)> run;
+
+  /// Checker for the produced schedule. Required for extended kinds (the
+  /// default checkers only understand the standard models); when set it
+  /// replaces the registry's built-in validation. Must not trust any
+  /// bookkeeping in the Solution beyond the schedule itself.
+  std::function<bool(const ProblemInstance&, const Solution&,
+                     std::string* why)>
+      check;
 };
 
 /// Name-keyed collection of solvers with a uniform timed + checked run
@@ -100,6 +148,17 @@ class SolverRegistry {
   /// Solvers of `family` whose applicability predicate accepts `inst`.
   [[nodiscard]] std::vector<const Solver*> applicable_to(
       const ProblemInstance& inst) const;
+
+  /// The solvers run_applicable would run on `inst`, in registration
+  /// order: every family/kind/applicability match when `only` is empty,
+  /// else the named subset verbatim (mismatches included — run() turns
+  /// them into declined rows). Unknown names have no Solver and are not
+  /// represented here; callers surface them as refusal rows. This is the
+  /// single definition of sweep/run selection semantics — extend gates
+  /// here, never in a caller.
+  [[nodiscard]] std::vector<const Solver*> selection(
+      const ProblemInstance& inst,
+      const std::vector<std::string>& only = {}) const;
 
   /// Runs one solver: applicability gate, wall-clock timing, checker
   /// validation of whatever schedule the solver produced. Never throws on

@@ -1,0 +1,71 @@
+#include "engine/adapters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "core/assert.hpp"
+
+namespace abt::engine {
+
+double WeightedExtension::lower_bound() const {
+  // Width-weighted mass is always valid; the span projection additionally
+  // holds when every run position is forced (interval jobs).
+  double bound = inst_.mass_lower_bound();
+  if (inst_.all_interval_jobs(1e-6)) {
+    bound = std::max(bound, inst_.span_lower_bound());
+  }
+  return bound;
+}
+
+std::string WeightedExtension::describe() const {
+  std::ostringstream os;
+  os << "weighted busy-time instance: " << inst_.size() << " jobs, g = "
+     << inst_.capacity() << ", "
+     << (inst_.all_interval_jobs(1e-6) ? "interval" : "flexible")
+     << " jobs (cumulative-width model)";
+  return os.str();
+}
+
+double MultiWindowExtension::lower_bound() const {
+  // The Theorem 1 full-slots bound carries over verbatim: P units of work,
+  // at most g per active slot.
+  return std::ceil(static_cast<double>(inst_.total_work()) /
+                   static_cast<double>(inst_.capacity()));
+}
+
+std::string MultiWindowExtension::describe() const {
+  std::ostringstream os;
+  os << "multi-window active-time instance: " << inst_.size()
+     << " jobs, g = " << inst_.capacity() << ", horizon " << inst_.horizon();
+  return os.str();
+}
+
+core::ProblemInstance make_weighted_instance(busy::WeightedInstance inst) {
+  return core::make_instance(
+      core::Family::kBusy,
+      std::make_shared<const WeightedExtension>(std::move(inst)));
+}
+
+core::ProblemInstance make_multi_window_instance(
+    active::MultiWindowInstance inst) {
+  return core::make_instance(
+      core::Family::kActive,
+      std::make_shared<const MultiWindowExtension>(std::move(inst)));
+}
+
+const busy::WeightedInstance& weighted_of(const core::ProblemInstance& inst) {
+  ABT_ASSERT(inst.kind == core::InstanceKind::kWeighted && inst.extension,
+             "not a weighted instance");
+  return static_cast<const WeightedExtension&>(*inst.extension).instance();
+}
+
+const active::MultiWindowInstance& multi_window_of(
+    const core::ProblemInstance& inst) {
+  ABT_ASSERT(inst.kind == core::InstanceKind::kMultiWindow && inst.extension,
+             "not a multi-window instance");
+  return static_cast<const MultiWindowExtension&>(*inst.extension).instance();
+}
+
+}  // namespace abt::engine

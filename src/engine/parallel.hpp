@@ -1,0 +1,62 @@
+#pragma once
+
+// Minimal fixed-size thread pool for the trial-sweep engine: plain
+// std::thread workers draining a mutex-guarded work queue, no external
+// dependencies. Deterministic users submit closures that write to
+// pre-sized slots, so results are identical for any worker count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abt::engine {
+
+/// Resolves a thread-count request: values >= 1 pass through, anything
+/// else (0, negative) becomes the hardware concurrency (at least 1).
+[[nodiscard]] int resolve_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task. Tasks must not throw (solver runs report failure
+  /// through Solution, never exceptions); a task that does throw
+  /// terminates, which is the correct loud failure for a checker bug.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(0) .. fn(items-1), fanning out over up to `threads` workers
+/// (inline when threads <= 1 — bitwise-identical control flow either way
+/// as long as fn(i) touches only slot i).
+void parallel_for(int threads, std::size_t items,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace abt::engine

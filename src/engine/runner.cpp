@@ -1,6 +1,7 @@
 #include "engine/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -8,6 +9,9 @@
 
 #include "busy/lower_bounds.hpp"
 #include "core/rng.hpp"
+#include "engine/adapters.hpp"
+#include "engine/parallel.hpp"
+#include "gen/extended_instances.hpp"
 #include "gen/gadgets.hpp"
 #include "gen/random_instances.hpp"
 #include "report/table.hpp"
@@ -58,6 +62,14 @@ const std::vector<ScenarioInfo>& scenarios() {
       {"fig6", Family::kBusy, "Fig 6 GREEDYTRACKING factor-3 family"},
       {"fig8", Family::kBusy, "Fig 8 two-approximation tight family (g=2)"},
       {"fig10", Family::kBusy, "Fig 10-12 factor-4 flexible family"},
+      {"bursty", Family::kBusy,
+       "bursty arrivals: releases cluster around a few spikes"},
+      {"weighted", Family::kBusy,
+       "random weighted (cumulative-width) interval jobs"},
+      {"weighted-flexible", Family::kBusy,
+       "random weighted flexible (windowed) jobs"},
+      {"multi-window", Family::kActive,
+       "random feasible multi-window jobs (window unions)"},
   };
   return kScenarios;
 }
@@ -122,20 +134,42 @@ std::optional<ProblemInstance> make_scenario(const ScenarioSpec& spec,
     return core::make_instance(
         gen::fig10_instance(spec.g, spec.eps, spec.eps / 3.0));
   }
+  if (spec.name == "bursty") {
+    gen::BurstyParams params;
+    params.base = continuous_params(spec, spec.slack);
+    return core::make_instance(gen::random_bursty(rng, params));
+  }
+  if (spec.name == "weighted" || spec.name == "weighted-flexible") {
+    gen::WeightedParams params;
+    params.num_jobs = spec.n;
+    params.capacity = spec.g;
+    params.horizon = spec.horizon > 0 ? spec.horizon : 10.0 + spec.n / 4.0;
+    params.max_slack = spec.name == "weighted-flexible" ? spec.slack : 0.0;
+    if (spec.name == "weighted-flexible" && params.max_slack <= 0.0) {
+      params.max_slack = 1.0;
+    }
+    return make_weighted_instance(gen::random_weighted(rng, params));
+  }
+  if (spec.name == "multi-window") {
+    gen::MultiWindowParams params;
+    params.num_jobs = spec.n;
+    params.capacity = spec.g;
+    params.horizon = static_cast<core::SlotTime>(spec.horizon);
+    return make_multi_window_instance(gen::random_multi_window(rng, params));
+  }
   return fail("unknown scenario '" + spec.name + "' (see --scenarios)");
 }
 
-RunReport run_instance(const core::SolverRegistry& registry,
-                       const ProblemInstance& inst,
-                       const RunOptions& options) {
-  RunReport report;
-  report.instance = inst;
-  report.solutions = registry.run_applicable(inst, options.solvers);
+namespace {
 
-  // Reference lower bound: an exact certificate beats everything; else the
-  // combinatorial bounds of the relevant family.
+/// Reference lower bound: an exact certificate beats everything; else the
+/// combinatorial bounds of the relevant family (the extension's own bound
+/// for the extended kinds).
+LowerBound derive_lower_bound(const ProblemInstance& inst,
+                              const std::vector<core::Solution>& solutions,
+                              const RunOptions& options) {
   LowerBound lb;
-  for (const core::Solution& sol : report.solutions) {
+  for (const core::Solution& sol : solutions) {
     if (sol.ok && sol.feasible && sol.exact && !sol.preemptive.has_value()) {
       if (lb.kind != "exact" || sol.cost < lb.value) {
         lb = {sol.cost, "exact"};
@@ -143,12 +177,15 @@ RunReport run_instance(const core::SolverRegistry& registry,
     }
   }
   if (lb.kind.empty()) {
-    if (inst.family == Family::kBusy) {
+    if (inst.kind != core::InstanceKind::kStandard) {
+      lb.value = inst.extension->lower_bound();
+      lb.kind = "model";
+    } else if (inst.family == Family::kBusy) {
       // Harvest the g=infinity span bound from any solver that already ran
       // the DP (pipelines, preemptive, dp-unbounded) instead of paying for
       // it again; only fall back to computing it when nobody did.
       double harvested_span = -1.0;
-      for (const core::Solution& sol : report.solutions) {
+      for (const core::Solution& sol : solutions) {
         harvested_span = std::max(harvested_span, sol.stat("opt_inf", -1.0));
       }
       const bool with_span =
@@ -165,13 +202,25 @@ RunReport run_instance(const core::SolverRegistry& registry,
     } else {
       lb.value = static_cast<double>(inst.slotted.mass_lower_bound());
       lb.kind = "mass";
-      for (const core::Solution& sol : report.solutions) {
+      for (const core::Solution& sol : solutions) {
         const double lp = sol.stat("lp_objective", -1.0);
         if (lp > lb.value) lb = {lp, "LP"};
       }
     }
   }
-  report.lower_bound = lb;
+  return lb;
+}
+
+}  // namespace
+
+RunReport run_instance(const core::SolverRegistry& registry,
+                       const ProblemInstance& inst,
+                       const RunOptions& options) {
+  RunReport report;
+  report.instance = inst;
+  report.solutions = registry.run_applicable(inst, options.solvers);
+  report.lower_bound =
+      derive_lower_bound(inst, report.solutions, options);
   return report;
 }
 
@@ -204,7 +253,9 @@ void escape_json(std::ostream& os, const std::string& text) {
 
 void print_report(std::ostream& os, const RunReport& report) {
   const bool busy = report.instance.family == Family::kBusy;
-  if (busy) {
+  if (report.instance.kind != core::InstanceKind::kStandard) {
+    os << report.instance.extension->describe() << "\n";
+  } else if (busy) {
     os << "busy-time instance: " << report.instance.continuous.size()
        << " jobs, g = " << report.instance.continuous.capacity() << ", "
        << (report.instance.continuous.all_interval_jobs() ? "interval"
@@ -256,8 +307,12 @@ void write_json(std::ostream& os, const RunReport& report) {
       os.precision(std::numeric_limits<double>::max_digits10);
   const bool busy = report.instance.family == Family::kBusy;
   os << "{\n  \"family\": \"" << core::family_name(report.instance.family)
-     << "\",\n";
-  if (busy) {
+     << "\",\n  \"kind\": \""
+     << core::instance_kind_name(report.instance.kind) << "\",\n";
+  if (report.instance.kind != core::InstanceKind::kStandard) {
+    os << "  \"jobs\": " << report.instance.extension->size()
+       << ",\n  \"capacity\": " << report.instance.extension->capacity();
+  } else if (busy) {
     os << "  \"jobs\": " << report.instance.continuous.size()
        << ",\n  \"capacity\": " << report.instance.continuous.capacity()
        << ",\n  \"interval_jobs\": "
@@ -298,6 +353,282 @@ void write_json(std::ostream& os, const RunReport& report) {
       os << "}";
     }
     os << "}";
+  }
+  os << "\n  ]\n}\n";
+  os.precision(old_precision);
+}
+
+// ---------------------------------------------------------------------------
+// Trial sweeps.
+
+namespace {
+
+/// Deterministic order statistics over a scratch copy (nearest-rank p95,
+/// middle-averaged median).
+struct OrderStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+OrderStats order_stats(std::vector<double> values) {
+  OrderStats out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  const std::size_t n = values.size();
+  out.mean = sum / static_cast<double>(n);
+  out.median = n % 2 == 1 ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  const std::size_t rank95 = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(n)));
+  out.p95 = values[std::max<std::size_t>(rank95, 1) - 1];
+  out.max = values.back();
+  return out;
+}
+
+}  // namespace
+
+std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
+                                     const ScenarioSpec& base,
+                                     const SweepOptions& options,
+                                     std::string* error) {
+  SweepReport report;
+  report.base = base;
+  report.trials = std::max(1, options.trials);
+  report.threads = resolve_threads(options.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Instance generation is sequential: it is cheap, and trial t's workload
+  // depends only on (scenario, base.seed + t), never on thread scheduling.
+  std::vector<ProblemInstance> instances;
+  instances.reserve(static_cast<std::size_t>(report.trials));
+  std::vector<std::vector<const core::Solver*>> plans;
+  plans.reserve(static_cast<std::size_t>(report.trials));
+  for (int t = 0; t < report.trials; ++t) {
+    ScenarioSpec spec = base;
+    spec.seed = base.seed + static_cast<std::uint64_t>(t);
+    auto inst = make_scenario(spec, error);
+    if (!inst.has_value()) return std::nullopt;
+    // The registry owns the selection semantics: the sweep's per-trial
+    // plan is exactly what run_applicable would run on this instance.
+    plans.push_back(registry.selection(*inst, options.run.solvers));
+    instances.push_back(std::move(*inst));
+  }
+
+  // Fan the (trial, solver) cells out over the pool. Every cell writes
+  // only its own pre-sized slot, so the collected grid — and everything
+  // aggregated from it — is identical for any worker count.
+  struct Cell {
+    int trial;
+    std::size_t slot;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::vector<core::Solution>> grid(
+      static_cast<std::size_t>(report.trials));
+  for (int t = 0; t < report.trials; ++t) {
+    grid[static_cast<std::size_t>(t)].resize(
+        plans[static_cast<std::size_t>(t)].size());
+    for (std::size_t s = 0; s < plans[static_cast<std::size_t>(t)].size();
+         ++s) {
+      cells.push_back({t, s});
+    }
+  }
+  parallel_for(report.threads, cells.size(), [&](std::size_t i) {
+    const auto [trial, slot] = cells[i];
+    grid[static_cast<std::size_t>(trial)][slot] = registry.run(
+        *plans[static_cast<std::size_t>(trial)][slot],
+        instances[static_cast<std::size_t>(trial)]);
+  });
+
+  // Assemble the per-trial reports (plus refusal rows for unknown solver
+  // names, mirroring run_applicable) and derive each trial's lower bound.
+  report.cells.reserve(static_cast<std::size_t>(report.trials));
+  for (int t = 0; t < report.trials; ++t) {
+    RunReport cell;
+    cell.instance = std::move(instances[static_cast<std::size_t>(t)]);
+    cell.solutions = std::move(grid[static_cast<std::size_t>(t)]);
+    for (const std::string& name : options.run.solvers) {
+      if (registry.find(name) == nullptr) {
+        core::Solution sol;
+        sol.solver = name;
+        sol.family = cell.instance.family;
+        sol.message = "unknown solver";
+        cell.solutions.push_back(std::move(sol));
+      }
+    }
+    cell.lower_bound =
+        derive_lower_bound(cell.instance, cell.solutions, options.run);
+    report.cells.push_back(std::move(cell));
+  }
+
+  // Aggregate per solver, in first-seen (registration) order.
+  std::vector<std::vector<double>> ratios;
+  std::vector<std::vector<double>> walls;
+  const auto index_of = [&](const core::Solution& sol) {
+    for (std::size_t i = 0; i < report.aggregates.size(); ++i) {
+      if (report.aggregates[i].solver == sol.solver) return i;
+    }
+    SolverAggregate agg;
+    agg.solver = sol.solver;
+    agg.guarantee = sol.guarantee;
+    report.aggregates.push_back(std::move(agg));
+    ratios.emplace_back();
+    walls.emplace_back();
+    return report.aggregates.size() - 1;
+  };
+  for (const RunReport& cell : report.cells) {
+    for (const core::Solution& sol : cell.solutions) {
+      const std::size_t idx = index_of(sol);
+      SolverAggregate& agg = report.aggregates[idx];
+      agg.runs += 1;
+      agg.wall_total_ms += sol.wall_ms;
+      if (!sol.ok) continue;
+      agg.ok += 1;
+      if (sol.exact) agg.exact_runs += 1;
+      // Checker-failed schedules contribute to the verdict counts only:
+      // an infeasible cost must never pollute the published ratio/wall
+      // statistics (the infeasibility itself surfaces through
+      // feasible < ok and the CLI's exit code 2).
+      if (!sol.feasible) continue;
+      agg.feasible += 1;
+      walls[idx].push_back(sol.wall_ms);
+      if (cell.lower_bound.value > 0.0) {
+        ratios[idx].push_back(sol.cost / cell.lower_bound.value);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < report.aggregates.size(); ++i) {
+    SolverAggregate& agg = report.aggregates[i];
+    agg.ratio_count = static_cast<int>(ratios[i].size());
+    const OrderStats ratio = order_stats(ratios[i]);
+    agg.ratio_mean = ratio.mean;
+    agg.ratio_median = ratio.median;
+    agg.ratio_p95 = ratio.p95;
+    agg.ratio_max = ratio.max;
+    const OrderStats wall = order_stats(walls[i]);
+    agg.wall_mean_ms = wall.mean;
+    agg.wall_median_ms = wall.median;
+    agg.wall_p95_ms = wall.p95;
+  }
+
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+void print_sweep(std::ostream& os, const SweepReport& report) {
+  os << "sweep: scenario '" << report.base.name << "', " << report.trials
+     << " trials (seeds " << report.base.seed << ".."
+     << report.base.seed + static_cast<std::uint64_t>(report.trials - 1)
+     << "), " << report.threads << " thread"
+     << (report.threads == 1 ? "" : "s") << ", "
+     << report::Table::num(report.wall_ms) << " ms total\n";
+  if (!report.cells.empty()) {
+    const RunReport& first = report.cells.front();
+    if (first.instance.kind != core::InstanceKind::kStandard) {
+      os << "per trial: " << first.instance.extension->describe() << "\n";
+    }
+  }
+  os << "\n";
+  report::Table table({"solver", "runs", "ok", "feasible", "exact",
+                       "ratio mean", "med", "p95", "max", "ms med",
+                       "ms p95"});
+  for (const SolverAggregate& agg : report.aggregates) {
+    const bool has_ratio = agg.ratio_count > 0;
+    table.add_row(
+        {agg.solver, std::to_string(agg.runs), std::to_string(agg.ok),
+         std::to_string(agg.feasible), std::to_string(agg.exact_runs),
+         has_ratio ? report::Table::num(agg.ratio_mean) : "-",
+         has_ratio ? report::Table::num(agg.ratio_median) : "-",
+         has_ratio ? report::Table::num(agg.ratio_p95) : "-",
+         has_ratio ? report::Table::num(agg.ratio_max) : "-",
+         agg.feasible > 0 ? report::Table::num(agg.wall_median_ms) : "-",
+         agg.feasible > 0 ? report::Table::num(agg.wall_p95_ms) : "-"});
+  }
+  table.print(os);
+}
+
+void write_sweep_csv(std::ostream& os, const SweepReport& report) {
+  report::Table table({"solver", "runs", "ok", "feasible", "exact",
+                       "ratio_mean", "ratio_median", "ratio_p95",
+                       "ratio_max", "wall_mean_ms", "wall_median_ms",
+                       "wall_p95_ms", "wall_total_ms"});
+  for (const SolverAggregate& agg : report.aggregates) {
+    const bool has_ratio = agg.ratio_count > 0;
+    table.add_row(
+        {agg.solver, std::to_string(agg.runs), std::to_string(agg.ok),
+         std::to_string(agg.feasible), std::to_string(agg.exact_runs),
+         has_ratio ? report::Table::num(agg.ratio_mean, 6) : "",
+         has_ratio ? report::Table::num(agg.ratio_median, 6) : "",
+         has_ratio ? report::Table::num(agg.ratio_p95, 6) : "",
+         has_ratio ? report::Table::num(agg.ratio_max, 6) : "",
+         agg.feasible > 0 ? report::Table::num(agg.wall_mean_ms, 6) : "",
+         agg.feasible > 0 ? report::Table::num(agg.wall_median_ms, 6) : "",
+         agg.feasible > 0 ? report::Table::num(agg.wall_p95_ms, 6) : "",
+         report::Table::num(agg.wall_total_ms, 6)});
+  }
+  table.write_csv(os);
+}
+
+void write_sweep_json(std::ostream& os, const SweepReport& report) {
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"scenario\": ";
+  escape_json(os, report.base.name);
+  os << ",\n  \"trials\": " << report.trials
+     << ",\n  \"threads\": " << report.threads
+     << ",\n  \"base_seed\": " << report.base.seed
+     << ",\n  \"n\": " << report.base.n << ",\n  \"g\": " << report.base.g
+     << ",\n  \"wall_ms\": " << report.wall_ms
+     << ",\n  \"aggregates\": [";
+  for (std::size_t i = 0; i < report.aggregates.size(); ++i) {
+    const SolverAggregate& agg = report.aggregates[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"solver\": ";
+    escape_json(os, agg.solver);
+    os << ", \"runs\": " << agg.runs << ", \"ok\": " << agg.ok
+       << ", \"feasible\": " << agg.feasible
+       << ", \"exact\": " << agg.exact_runs;
+    if (agg.ratio_count > 0) {
+      os << ", \"ratio\": {\"count\": " << agg.ratio_count
+         << ", \"mean\": " << agg.ratio_mean
+         << ", \"median\": " << agg.ratio_median
+         << ", \"p95\": " << agg.ratio_p95 << ", \"max\": " << agg.ratio_max
+         << "}";
+    }
+    if (agg.feasible > 0) {
+      os << ", \"wall_ms\": {\"mean\": " << agg.wall_mean_ms
+         << ", \"median\": " << agg.wall_median_ms
+         << ", \"p95\": " << agg.wall_p95_ms
+         << ", \"total\": " << agg.wall_total_ms << "}";
+    }
+    os << "}";
+  }
+  os << "\n  ],\n  \"cells\": [";
+  for (std::size_t t = 0; t < report.cells.size(); ++t) {
+    const RunReport& cell = report.cells[t];
+    os << (t == 0 ? "\n" : ",\n") << "    {\"seed\": "
+       << report.base.seed + static_cast<std::uint64_t>(t)
+       << ", \"lower_bound\": {\"value\": " << cell.lower_bound.value
+       << ", \"kind\": ";
+    escape_json(os, cell.lower_bound.kind);
+    os << "}, \"solutions\": [";
+    for (std::size_t s = 0; s < cell.solutions.size(); ++s) {
+      const core::Solution& sol = cell.solutions[s];
+      os << (s == 0 ? "" : ", ") << "{\"solver\": ";
+      escape_json(os, sol.solver);
+      os << ", \"ok\": " << (sol.ok ? "true" : "false") << ", \"feasible\": "
+         << (sol.feasible ? "true" : "false");
+      if (sol.ok) {
+        os << ", \"cost\": " << sol.cost
+           << ", \"exact\": " << (sol.exact ? "true" : "false");
+      }
+      os << ", \"wall_ms\": " << sol.wall_ms << "}";
+    }
+    os << "]}";
   }
   os << "\n  ]\n}\n";
   os.precision(old_precision);

@@ -68,6 +68,70 @@ struct RunReport {
                                      const core::ProblemInstance& inst,
                                      const RunOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Trial sweeps: many seeds of one scenario, fanned out over a thread pool.
+
+struct SweepOptions {
+  int trials = 8;   ///< Trial t regenerates the scenario with seed base+t.
+  int threads = 1;  ///< Worker threads; <= 0 resolves to the hardware count.
+  RunOptions run;   ///< Solver subset / lower-bound knobs per trial.
+};
+
+/// Aggregate statistics of one solver across the sweep's trials. Cost and
+/// verdict aggregates are deterministic functions of (scenario, seeds,
+/// solver subset) — identical for every thread count; only the wall-clock
+/// fields vary run to run.
+struct SolverAggregate {
+  std::string solver;
+  std::string guarantee;
+  int runs = 0;        ///< Cells attempted (== trials).
+  int ok = 0;          ///< Produced a schedule.
+  int feasible = 0;    ///< Passed the checker.
+  int exact_runs = 0;  ///< Proved optimality.
+
+  /// Cost / per-trial lower bound, over checker-validated cells with a
+  /// positive bound (an infeasible cost never enters the statistics).
+  int ratio_count = 0;
+  double ratio_mean = 0.0;
+  double ratio_median = 0.0;
+  double ratio_p95 = 0.0;
+  double ratio_max = 0.0;
+
+  /// Wall-clock per run() call, over checker-validated cells.
+  double wall_mean_ms = 0.0;
+  double wall_median_ms = 0.0;
+  double wall_p95_ms = 0.0;
+  double wall_total_ms = 0.0;  ///< Over every cell, including declined.
+};
+
+struct SweepReport {
+  ScenarioSpec base;  ///< Trial t used seed base.seed + t.
+  int trials = 0;
+  int threads = 1;
+  double wall_ms = 0.0;  ///< Whole-sweep wall clock (all cells, all threads).
+  std::vector<RunReport> cells;             ///< One per trial, seed order.
+  std::vector<SolverAggregate> aggregates;  ///< Registration order.
+};
+
+/// Fans (trial, solver) cells out over a fixed-size thread pool, collects
+/// the per-cell Solutions (each timed and checker-validated by the
+/// registry), derives per-trial lower bounds and aggregates per-solver
+/// mean/median/p95 cost ratios, wall times and verdicts. Nullopt (with
+/// `error`) when the scenario cannot be instantiated.
+[[nodiscard]] std::optional<SweepReport> run_sweep(
+    const core::SolverRegistry& registry, const ScenarioSpec& base,
+    const SweepOptions& options, std::string* error = nullptr);
+
+/// Renders the sweep aggregate as an aligned text table.
+void print_sweep(std::ostream& os, const SweepReport& report);
+
+/// Aggregate CSV rows: solver,runs,ok,feasible,exact,ratio_*,wall_*.
+void write_sweep_csv(std::ostream& os, const SweepReport& report);
+
+/// Machine-readable JSON: sweep parameters, per-solver aggregates, and a
+/// compact per-cell record (lower bound + per-solver cost/verdict).
+void write_sweep_json(std::ostream& os, const SweepReport& report);
+
 /// Renders the report as an aligned text table (report::Table).
 void print_report(std::ostream& os, const RunReport& report);
 

@@ -171,4 +171,30 @@ ContinuousInstance random_proper_clique(Rng& rng,
   return ContinuousInstance(std::move(jobs), params.capacity);
 }
 
+ContinuousInstance random_bursty(Rng& rng, const BurstyParams& params) {
+  ABT_ASSERT(params.bursts >= 1, "need at least one burst");
+  const ContinuousParams& base = params.base;
+  std::vector<double> centers;
+  centers.reserve(static_cast<std::size_t>(params.bursts));
+  for (int b = 0; b < params.bursts; ++b) {
+    centers.push_back(rng.uniform_real(0.0, base.horizon));
+  }
+  const double half_width = std::max(1e-6, params.spread * base.horizon);
+  std::vector<ContinuousJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(base.num_jobs));
+  for (int i = 0; i < base.num_jobs; ++i) {
+    const double length = rng.uniform_real(base.min_length, base.max_length);
+    const double window =
+        length * (1.0 + (base.max_slack > 0.0
+                             ? rng.uniform_real(0.0, base.max_slack)
+                             : 0.0));
+    const double center = centers[static_cast<std::size_t>(
+        rng.uniform_int(0, params.bursts - 1))];
+    double release = center + rng.uniform_real(-half_width, half_width);
+    release = std::clamp(release, 0.0, std::max(0.0, base.horizon - window));
+    jobs.push_back({release, release + window, length});
+  }
+  return ContinuousInstance(std::move(jobs), base.capacity);
+}
+
 }  // namespace abt::gen

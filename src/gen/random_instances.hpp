@@ -61,4 +61,18 @@ struct ContinuousParams {
 [[nodiscard]] core::ContinuousInstance random_proper_clique(
     core::Rng& rng, const ContinuousParams& params);
 
+/// Parameters for bursty arrivals layered on a continuous family.
+struct BurstyParams {
+  ContinuousParams base;
+  int bursts = 3;             ///< Arrival cluster count (>= 1).
+  double spread = 0.06;       ///< Cluster half-width, fraction of horizon.
+};
+
+/// Bursty-arrival continuous instance: releases cluster around `bursts`
+/// random centers instead of spreading uniformly, producing the deep
+/// demand spikes that stress the packing algorithms (interval jobs when
+/// base.max_slack == 0).
+[[nodiscard]] core::ContinuousInstance random_bursty(
+    core::Rng& rng, const BurstyParams& params);
+
 }  // namespace abt::gen

@@ -83,7 +83,10 @@ TEST(Registry, EveryScenarioInstantiatesWithItsFamily) {
     const auto inst = engine::make_scenario(spec, &error);
     ASSERT_TRUE(inst.has_value()) << info.name << ": " << error;
     EXPECT_EQ(inst->family, info.family) << info.name;
-    if (inst->family == Family::kBusy) {
+    if (inst->kind != core::InstanceKind::kStandard) {
+      ASSERT_NE(inst->extension, nullptr) << info.name;
+      EXPECT_GT(inst->extension->size(), 0) << info.name;
+    } else if (inst->family == Family::kBusy) {
       EXPECT_GT(inst->continuous.size(), 0) << info.name;
     } else {
       EXPECT_GT(inst->slotted.size(), 0) << info.name;
@@ -113,6 +116,7 @@ TEST_P(RegistryGuarantees, BusySolversRespectGuaranteesOnIntervalInstances) {
 
     for (const core::Solver& solver : registry.all()) {
       if (solver.family != Family::kBusy) continue;
+      if (solver.kind != core::InstanceKind::kStandard) continue;
       std::string why;
       if (solver.applicable && !solver.applicable(inst, &why)) continue;
       const Solution sol = registry.run(solver, inst);

@@ -1,0 +1,208 @@
+// The trial-sweep engine: the thread pool itself, and the invariant the
+// whole design hangs on — aggregated cost/verdict statistics are a pure
+// function of (scenario, seeds, solver subset), identical for every worker
+// count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "engine/builtin_solvers.hpp"
+#include "engine/parallel.hpp"
+#include "engine/runner.hpp"
+
+namespace abt {
+namespace {
+
+using core::Solution;
+
+TEST(Parallel, ResolveThreads) {
+  EXPECT_EQ(engine::resolve_threads(1), 1);
+  EXPECT_EQ(engine::resolve_threads(7), 7);
+  EXPECT_GE(engine::resolve_threads(0), 1);
+  EXPECT_GE(engine::resolve_threads(-3), 1);
+}
+
+TEST(Parallel, ThreadPoolDrainsEverySubmittedTask) {
+  std::atomic<int> done{0};
+  {
+    engine::ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 100);
+    // A second batch reuses the same (still running) workers.
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(done.load(), 150);
+}
+
+TEST(Parallel, ParallelForVisitsEachIndexExactlyOnce) {
+  for (const int threads : {1, 3, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    engine::parallel_for(threads, hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+engine::SweepReport sweep_with_threads(const std::string& scenario, int n,
+                                       int g, int trials, int threads) {
+  engine::ScenarioSpec spec;
+  spec.name = scenario;
+  spec.n = n;
+  spec.g = g;
+  spec.seed = 42;
+  spec.slack = 1.2;
+  engine::SweepOptions options;
+  options.trials = trials;
+  options.threads = threads;
+  std::string error;
+  const auto report = engine::run_sweep(engine::shared_registry(), spec,
+                                        options, &error);
+  EXPECT_TRUE(report.has_value()) << error;
+  return *report;
+}
+
+/// The satellite requirement verbatim: same seeds => identical aggregates,
+/// --threads 1 vs --threads 8. Wall-clock fields are exempt (they measure
+/// the machine, not the algorithms).
+TEST(TrialSweep, AggregatesAreDeterministicAcrossThreadCounts) {
+  for (const char* scenario : {"interval", "flexible", "weighted"}) {
+    const engine::SweepReport one = sweep_with_threads(scenario, 10, 3, 8, 1);
+    const engine::SweepReport eight =
+        sweep_with_threads(scenario, 10, 3, 8, 8);
+
+    ASSERT_EQ(one.cells.size(), eight.cells.size()) << scenario;
+    for (std::size_t t = 0; t < one.cells.size(); ++t) {
+      EXPECT_EQ(one.cells[t].lower_bound.value,
+                eight.cells[t].lower_bound.value);
+      EXPECT_EQ(one.cells[t].lower_bound.kind,
+                eight.cells[t].lower_bound.kind);
+      ASSERT_EQ(one.cells[t].solutions.size(),
+                eight.cells[t].solutions.size());
+      for (std::size_t s = 0; s < one.cells[t].solutions.size(); ++s) {
+        const Solution& a = one.cells[t].solutions[s];
+        const Solution& b = eight.cells[t].solutions[s];
+        EXPECT_EQ(a.solver, b.solver);
+        EXPECT_EQ(a.ok, b.ok);
+        EXPECT_EQ(a.feasible, b.feasible);
+        EXPECT_EQ(a.exact, b.exact);
+        EXPECT_EQ(a.cost, b.cost) << scenario << " " << a.solver
+                                  << ": costs must match bit for bit";
+      }
+    }
+
+    ASSERT_EQ(one.aggregates.size(), eight.aggregates.size()) << scenario;
+    for (std::size_t i = 0; i < one.aggregates.size(); ++i) {
+      const engine::SolverAggregate& a = one.aggregates[i];
+      const engine::SolverAggregate& b = eight.aggregates[i];
+      EXPECT_EQ(a.solver, b.solver);
+      EXPECT_EQ(a.runs, b.runs);
+      EXPECT_EQ(a.ok, b.ok);
+      EXPECT_EQ(a.feasible, b.feasible);
+      EXPECT_EQ(a.exact_runs, b.exact_runs);
+      EXPECT_EQ(a.ratio_count, b.ratio_count);
+      EXPECT_EQ(a.ratio_mean, b.ratio_mean) << scenario << " " << a.solver;
+      EXPECT_EQ(a.ratio_median, b.ratio_median);
+      EXPECT_EQ(a.ratio_p95, b.ratio_p95);
+      EXPECT_EQ(a.ratio_max, b.ratio_max);
+    }
+  }
+}
+
+TEST(TrialSweep, EveryCellIsCheckerValidated) {
+  const engine::SweepReport report =
+      sweep_with_threads("interval", 10, 3, 6, 4);
+  EXPECT_EQ(report.trials, 6);
+  int ok_cells = 0;
+  for (const engine::RunReport& cell : report.cells) {
+    EXPECT_GT(cell.lower_bound.value, 0.0);
+    for (const Solution& sol : cell.solutions) {
+      if (!sol.ok) continue;
+      ++ok_cells;
+      EXPECT_TRUE(sol.feasible) << sol.solver << ": " << sol.message;
+    }
+  }
+  EXPECT_GT(ok_cells, 0);
+  // Ratios are measured against per-trial lower bounds: never below 1 for
+  // non-preemptive solvers, and the aggregate reflects that.
+  for (const engine::SolverAggregate& agg : report.aggregates) {
+    if (agg.ratio_count == 0 || agg.solver == "busy/preemptive") continue;
+    EXPECT_GE(agg.ratio_mean, 1.0 - 1e-9) << agg.solver;
+    EXPECT_LE(agg.ratio_median, agg.ratio_p95 + 1e-12) << agg.solver;
+    EXPECT_LE(agg.ratio_p95, agg.ratio_max + 1e-12) << agg.solver;
+  }
+}
+
+TEST(TrialSweep, ExplicitSubsetAndUnknownNamesGetRowsInEveryCell) {
+  engine::ScenarioSpec spec;
+  spec.name = "slotted";
+  spec.n = 8;
+  spec.g = 2;
+  spec.seed = 5;
+  engine::SweepOptions options;
+  options.trials = 4;
+  options.threads = 2;
+  options.run.solvers = {"active/lp-rounding", "active/no-such-solver"};
+  std::string error;
+  const auto report = engine::run_sweep(engine::shared_registry(), spec,
+                                        options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  for (const engine::RunReport& cell : report->cells) {
+    ASSERT_EQ(cell.solutions.size(), 2u);
+    EXPECT_EQ(cell.solutions[0].solver, "active/lp-rounding");
+    EXPECT_EQ(cell.solutions[1].solver, "active/no-such-solver");
+    EXPECT_FALSE(cell.solutions[1].ok);
+    EXPECT_EQ(cell.solutions[1].message, "unknown solver");
+  }
+  ASSERT_EQ(report->aggregates.size(), 2u);
+  EXPECT_EQ(report->aggregates[1].runs, 4);
+  EXPECT_EQ(report->aggregates[1].ok, 0);
+}
+
+TEST(TrialSweep, UnknownScenarioFailsWithError) {
+  engine::ScenarioSpec spec;
+  spec.name = "no-such-scenario";
+  std::string error;
+  EXPECT_FALSE(engine::run_sweep(engine::shared_registry(), spec, {}, &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TrialSweep, WritersCarryTheAggregates) {
+  const engine::SweepReport report =
+      sweep_with_threads("multi-window", 6, 2, 4, 2);
+
+  std::ostringstream table;
+  engine::print_sweep(table, report);
+  EXPECT_NE(table.str().find("active/multi-window-minimal"),
+            std::string::npos);
+  EXPECT_NE(table.str().find("4 trials"), std::string::npos);
+
+  std::ostringstream csv;
+  engine::write_sweep_csv(csv, report);
+  EXPECT_NE(csv.str().find("solver,runs,ok,feasible"), std::string::npos);
+
+  std::ostringstream json;
+  engine::write_sweep_json(json, report);
+  EXPECT_NE(json.str().find("\"aggregates\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"scenario\": \"multi-window\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace abt
