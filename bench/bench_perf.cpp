@@ -17,6 +17,7 @@
 #include "busy/first_fit.hpp"
 #include "busy/naive_baselines.hpp"
 #include "busy/greedy_tracking.hpp"
+#include "busy/online.hpp"
 #include "busy/preemptive.hpp"
 #include "busy/proper_cover.hpp"
 #include "busy/two_track_peeling.hpp"
@@ -191,6 +192,61 @@ void BM_DemandProfileNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_DemandProfileNaive)->Range(16, 4096)->Complexity();
 
+// --------------------------------------------------------------------------
+// PR 4: the online and preemptive paths moved off their quadratic scans
+// (per-machine OccupancyIndex probes; OpenSet + per-piece cell lookup).
+// The frozen originals stay as BM_*Naive so BENCH_PR<k>.json records the
+// speedup, like the other sweep-backed paths.
+
+void BM_OnlineFirstFit(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        busy::schedule_online(inst, busy::OnlinePolicy::kFirstFit));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OnlineFirstFit)->Range(16, 8192)->Complexity();
+
+void BM_OnlineBestFit(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        busy::schedule_online(inst, busy::OnlinePolicy::kBestFit));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OnlineBestFit)->Range(16, 8192)->Complexity();
+
+void BM_OnlineFirstFitNaive(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        busy::naive::schedule_online(inst, busy::OnlinePolicy::kFirstFit));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OnlineFirstFitNaive)->Range(16, 4096)->Complexity();
+
+void BM_OnlineBestFitNaive(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        busy::naive::schedule_online(inst, busy::OnlinePolicy::kBestFit));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OnlineBestFitNaive)->Range(16, 2048)->Complexity();
+
+void BM_PreemptiveBoundedNaive(benchmark::State& state) {
+  const auto inst = make_interval(static_cast<int>(state.range(0)), 9, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(busy::naive::solve_preemptive_bounded(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PreemptiveBoundedNaive)->Range(16, 2048)->Complexity();
+
 void BM_UnboundedDp(benchmark::State& state) {
   const auto inst = make_interval(static_cast<int>(state.range(0)), 8, 1.0);
   for (auto _ : state) {
@@ -204,8 +260,11 @@ void BM_PreemptiveBounded(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(busy::solve_preemptive_bounded(inst));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_PreemptiveBounded)->Range(16, 256);
+// Range extended from 256 to 8192 in PR 4: the OpenSet removed the
+// per-job full-scan/re-union, so the path now scales with the others.
+BENCHMARK(BM_PreemptiveBounded)->Range(16, 8192)->Complexity();
 
 }  // namespace
 

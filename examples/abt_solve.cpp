@@ -24,8 +24,10 @@
 #include <charconv>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/io.hpp"
@@ -191,10 +193,13 @@ void list_scenarios() {
 }
 
 int emit_instance(const core::ProblemInstance& inst) {
-  if (inst.family == core::Family::kActive) {
-    core::write_instance(std::cout, inst.slotted);
-  } else {
-    core::write_instance(std::cout, inst.continuous);
+  // The uniform v2 writer covers all four kinds; an extension without
+  // serialization support is a hard error — emitting the lossy
+  // standard-model view instead would silently drop its payload.
+  std::string why;
+  if (!core::write_instance(std::cout, inst, &why)) {
+    std::cerr << "cannot emit instance: " << why << "\n";
+    return 1;
   }
   return 0;
 }
@@ -303,7 +308,11 @@ int main(int argc, char** argv) {
     }
     instance = *generated;
   } else if (!options.input.empty()) {
-    std::optional<core::ParsedInstance> parsed;
+    // parse_instance returns the uniform carrier directly: extended-kind
+    // files (model weighted / multi-window) arrive with their extension
+    // payload attached and flow through the same registry path as the
+    // standard models.
+    std::optional<core::ProblemInstance> parsed;
     if (options.input == "-") {
       parsed = core::parse_instance(std::cin, &error);
     } else {
@@ -318,9 +327,7 @@ int main(int argc, char** argv) {
       std::cerr << "parse error: " << error << "\n";
       return 1;
     }
-    instance = parsed->kind == core::ModelKind::kSlotted
-                   ? core::make_instance(parsed->slotted)
-                   : core::make_instance(parsed->continuous);
+    instance = std::move(*parsed);
   } else {
     std::cerr << "no instance given (file, '-', or --gen)\n" << kUsage;
     return 1;

@@ -34,6 +34,9 @@ struct MultiWindowJob {
     for (const auto& [r, d] : windows) total += d - r;
     return total;
   }
+
+  friend bool operator==(const MultiWindowJob&,
+                         const MultiWindowJob&) = default;
 };
 
 class MultiWindowInstance {

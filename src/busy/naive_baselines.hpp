@@ -1,17 +1,24 @@
 #pragma once
 
-// Pre-sweep (PR 1) implementations of the busy-time hot paths, kept
-// verbatim as the single source of truth for (a) the equivalence suite in
-// tests/test_sweep.cpp, which asserts the sweep-backed algorithms reproduce
-// these placement-for-placement, and (b) the BM_*Naive baselines in
-// bench/bench_perf.cpp, which record the speedup in every BENCH_PR<k>.json.
-// Do not optimize this header; its value is staying frozen.
+// Pre-optimization implementations of the busy-time hot paths (first_fit /
+// demand_profile / track peeling from PR 1, online / preemptive from
+// PR 4), kept verbatim as the single source of truth for (a) the
+// equivalence suites (tests/test_sweep.cpp, tests/test_online.cpp,
+// tests/test_preemptive.cpp), which assert the optimized algorithms
+// reproduce these placement-for-placement, and (b) the BM_*Naive baselines
+// in bench/bench_perf.cpp, which record the speedup in every
+// BENCH_PR<k>.json. Do not optimize this header; its value is staying
+// frozen.
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
 #include "busy/demand_profile.hpp"
+#include "busy/online.hpp"
+#include "busy/preemptive.hpp"
 #include "core/busy_schedule.hpp"
 #include "core/continuous_instance.hpp"
 
@@ -186,6 +193,256 @@ inline core::BusySchedule greedy_tracking(
     ++track_index;
   }
   return sched;
+}
+
+/// busy/online's original (PR 4) machine view: flat interval list with an
+/// O(k^2) capacity probe, an O(k log k) union re-span per best-fit growth
+/// probe and another per commit.
+class NaiveOnlineMachine {
+ public:
+  explicit NaiveOnlineMachine(int capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool fits(const core::Interval& candidate) const {
+    std::vector<double> probes = {candidate.lo};
+    for (const core::Interval& iv : jobs_) {
+      if (iv.lo > candidate.lo && iv.lo < candidate.hi) probes.push_back(iv.lo);
+    }
+    for (double p : probes) {
+      int overlap = 1;
+      for (const core::Interval& iv : jobs_) {
+        if (iv.lo <= p && p < iv.hi) ++overlap;
+      }
+      if (overlap > capacity_) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] double growth(const core::Interval& candidate) const {
+    std::vector<core::Interval> with = jobs_;
+    with.push_back(candidate);
+    return core::span_of(with) - busy_;
+  }
+
+  void add(const core::Interval& iv) {
+    jobs_.push_back(iv);
+    busy_ = core::span_of(jobs_);
+  }
+
+ private:
+  int capacity_;
+  std::vector<core::Interval> jobs_;
+  double busy_ = 0.0;
+};
+
+/// busy/online's original driver (identical placement logic; only the
+/// machine probes changed in the sweep-backed version).
+inline core::BusySchedule schedule_online(const core::ContinuousInstance& inst,
+                                          OnlinePolicy policy) {
+  std::vector<core::JobId> order(static_cast<std::size_t>(inst.size()));
+  std::iota(order.begin(), order.end(), core::JobId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](core::JobId a, core::JobId b) {
+                     return inst.job(a).release < inst.job(b).release;
+                   });
+
+  core::BusySchedule sched;
+  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  std::vector<NaiveOnlineMachine> machines;
+
+  for (core::JobId j : order) {
+    const core::ContinuousJob& job = inst.job(j);
+    const core::Interval run{job.release, job.release + job.length};
+    int chosen = -1;
+    switch (policy) {
+      case OnlinePolicy::kFirstFit:
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+          if (machines[m].fits(run)) {
+            chosen = static_cast<int>(m);
+            break;
+          }
+        }
+        break;
+      case OnlinePolicy::kBestFit: {
+        double best_growth = std::numeric_limits<double>::infinity();
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+          if (!machines[m].fits(run)) continue;
+          const double g = machines[m].growth(run);
+          if (g < best_growth - 1e-12) {
+            best_growth = g;
+            chosen = static_cast<int>(m);
+          }
+        }
+        break;
+      }
+      case OnlinePolicy::kNextFit:
+        if (!machines.empty() && machines.back().fits(run)) {
+          chosen = static_cast<int>(machines.size()) - 1;
+        }
+        break;
+    }
+    if (chosen < 0) {
+      machines.emplace_back(inst.capacity());
+      chosen = static_cast<int>(machines.size()) - 1;
+    }
+    machines[static_cast<std::size_t>(chosen)].add(run);
+    sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
+  }
+  return sched;
+}
+
+/// busy/preemptive's original helpers: full scans over the open set.
+inline double preemptive_measure_in(const std::vector<core::Interval>& open,
+                                    const core::Interval& window) {
+  double total = 0.0;
+  for (const core::Interval& iv : open) {
+    const double lo = std::max(iv.lo, window.lo);
+    const double hi = std::min(iv.hi, window.hi);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+inline std::vector<core::Interval> preemptive_free_in(
+    const std::vector<core::Interval>& open, const core::Interval& window) {
+  constexpr double kEps = 1e-9;
+  std::vector<core::Interval> out;
+  double cursor = window.lo;
+  for (const core::Interval& iv : open) {
+    if (iv.hi <= window.lo || iv.lo >= window.hi) continue;
+    if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, window.hi)});
+    cursor = std::max(cursor, iv.hi);
+    if (cursor >= window.hi) break;
+  }
+  if (cursor < window.hi) out.push_back({cursor, window.hi});
+  std::erase_if(out, [](const core::Interval& iv) {
+    return iv.length() <= kEps;
+  });
+  return out;
+}
+
+/// busy/preemptive's original unbounded algorithm: flat open vector with a
+/// full re-union per job (O(n^2 log n) end to end).
+inline PreemptiveUnboundedSolution solve_preemptive_unbounded(
+    const core::ContinuousInstance& inst) {
+  constexpr double kEps = 1e-9;
+  PreemptiveUnboundedSolution out;
+
+  std::vector<core::JobId> order(static_cast<std::size_t>(inst.size()));
+  std::iota(order.begin(), order.end(), core::JobId{0});
+  std::sort(order.begin(), order.end(), [&](core::JobId a, core::JobId b) {
+    return inst.job(a).deadline < inst.job(b).deadline;
+  });
+
+  std::vector<core::Interval> open;
+  for (core::JobId j : order) {
+    const core::ContinuousJob& job = inst.job(j);
+    const core::Interval window{job.release, job.deadline};
+    double deficit = job.length - preemptive_measure_in(open, window);
+    if (deficit <= kEps) continue;
+    std::vector<core::Interval> gaps = preemptive_free_in(open, window);
+    for (auto it = gaps.rbegin(); it != gaps.rend() && deficit > kEps; ++it) {
+      const double take = std::min(deficit, it->length());
+      open.push_back({it->hi - take, it->hi});
+      deficit -= take;
+    }
+    open = core::interval_union(std::move(open));
+  }
+
+  out.open = open;
+  out.busy_time = core::span_of(open);
+
+  out.schedule.pieces.assign(static_cast<std::size_t>(inst.size()), {});
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    const core::ContinuousJob& job = inst.job(j);
+    double need = job.length;
+    std::vector<core::Interval> available;
+    for (const core::Interval& iv : open) {
+      const double lo = std::max(iv.lo, job.release);
+      const double hi = std::min(iv.hi, job.deadline);
+      if (hi > lo + kEps) available.push_back({lo, hi});
+    }
+    for (auto it = available.rbegin(); it != available.rend() && need > kEps;
+         ++it) {
+      const double take = std::min(need, it->length());
+      out.schedule.pieces[static_cast<std::size_t>(j)].push_back(
+          {0, {it->hi - take, it->hi}});
+      need -= take;
+    }
+    std::reverse(out.schedule.pieces[static_cast<std::size_t>(j)].begin(),
+                 out.schedule.pieces[static_cast<std::size_t>(j)].end());
+  }
+  return out;
+}
+
+/// busy/preemptive's original bounded algorithm: rescans every job's piece
+/// list for each interesting interval (O(cells * pieces)).
+inline PreemptiveBoundedSolution solve_preemptive_bounded(
+    const core::ContinuousInstance& inst) {
+  constexpr double kEps = 1e-9;
+  const PreemptiveUnboundedSolution unbounded =
+      solve_preemptive_unbounded(inst);
+
+  PreemptiveBoundedSolution out;
+  out.opt_infinity = unbounded.busy_time;
+  out.schedule.pieces.assign(static_cast<std::size_t>(inst.size()), {});
+
+  std::vector<double> points;
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    for (const auto& piece :
+         unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
+      points.push_back(piece.run.lo);
+      points.push_back(piece.run.hi);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(
+      std::unique(points.begin(), points.end(),
+                  [](double a, double b) { return std::abs(a - b) < kEps; }),
+      points.end());
+
+  for (std::size_t c = 0; c + 1 < points.size(); ++c) {
+    const core::Interval cell{points[c], points[c + 1]};
+    if (cell.length() <= kEps) continue;
+    const double mid = cell.lo + cell.length() / 2;
+    std::vector<core::JobId> running;
+    for (core::JobId j = 0; j < inst.size(); ++j) {
+      for (const auto& piece :
+           unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
+        if (piece.run.lo <= mid && mid < piece.run.hi) {
+          running.push_back(j);
+          break;
+        }
+      }
+    }
+    if (running.empty()) continue;
+    for (std::size_t idx = 0; idx < running.size(); ++idx) {
+      const int machine = static_cast<int>(idx) / inst.capacity();
+      out.schedule.pieces[static_cast<std::size_t>(running[idx])].push_back(
+          {machine, cell});
+    }
+  }
+
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    auto& pieces = out.schedule.pieces[static_cast<std::size_t>(j)];
+    std::sort(pieces.begin(), pieces.end(),
+              [](const core::PreemptiveBusySchedule::Piece& a,
+                 const core::PreemptiveBusySchedule::Piece& b) {
+                return a.run.lo < b.run.lo;
+              });
+    std::vector<core::PreemptiveBusySchedule::Piece> merged;
+    for (const auto& piece : pieces) {
+      if (!merged.empty() && merged.back().machine == piece.machine &&
+          std::abs(merged.back().run.hi - piece.run.lo) < kEps) {
+        merged.back().run.hi = piece.run.hi;
+      } else {
+        merged.push_back(piece);
+      }
+    }
+    pieces = std::move(merged);
+  }
+
+  out.busy_time = core::busy_cost(inst, out.schedule);
+  return out;
 }
 
 }  // namespace abt::busy::naive

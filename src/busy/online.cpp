@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/assert.hpp"
+#include "core/sweep.hpp"
 
 namespace abt::busy {
 
@@ -15,41 +16,39 @@ using core::JobId;
 
 namespace {
 
-/// Online view of one machine: committed intervals plus cached busy time.
+/// Online view of one machine, backed by the sweep-line OccupancyIndex.
+/// The original stored a flat interval list and paid O(k^2) per capacity
+/// probe (rescan all k jobs at every event point) plus an O(k log k)
+/// union re-span per best-fit growth probe and per commit — the quadratic
+/// scans the ROADMAP flagged. Both probes are now O(log k + steps
+/// spanned). The capacity probe is exact integer logic, so first/next-fit
+/// placements are identical at any scale; the best-fit growth formula is
+/// mathematically equal to the old span difference but rounds
+/// differently, so ties within the driver's 1e-12 margin could in
+/// principle resolve differently at scales far beyond the sizes the
+/// equivalence suite pins (tests/test_online.cpp, placement-for-placement
+/// against the frozen originals up to n = 400).
 class Machine {
  public:
   explicit Machine(int capacity) : capacity_(capacity) {}
 
   [[nodiscard]] bool fits(const Interval& candidate) const {
-    std::vector<double> probes = {candidate.lo};
-    for (const Interval& iv : jobs_) {
-      if (iv.lo > candidate.lo && iv.lo < candidate.hi) probes.push_back(iv.lo);
-    }
-    for (double p : probes) {
-      int overlap = 1;
-      for (const Interval& iv : jobs_) {
-        if (iv.lo <= p && p < iv.hi) ++overlap;
-      }
-      if (overlap > capacity_) return false;
-    }
-    return true;
+    return occupancy_.max_coverage_in(candidate.lo, candidate.hi) + 1 <=
+           capacity_;
   }
 
+  /// Busy-time increase if `candidate` were committed: the part of the
+  /// candidate not already covered by this machine's runs.
   [[nodiscard]] double growth(const Interval& candidate) const {
-    std::vector<Interval> with = jobs_;
-    with.push_back(candidate);
-    return core::span_of(with) - busy_;
+    return candidate.length() -
+           occupancy_.covered_measure_in(candidate.lo, candidate.hi);
   }
 
-  void add(const Interval& iv) {
-    jobs_.push_back(iv);
-    busy_ = core::span_of(jobs_);
-  }
+  void add(const Interval& iv) { occupancy_.insert(iv); }
 
  private:
   int capacity_;
-  std::vector<Interval> jobs_;
-  double busy_ = 0.0;
+  core::OccupancyIndex occupancy_;
 };
 
 }  // namespace

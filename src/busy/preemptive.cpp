@@ -18,32 +18,102 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Measure of window ∩ union(open).
-double measure_in(const std::vector<Interval>& open, const Interval& window) {
-  double total = 0.0;
-  for (const Interval& iv : open) {
-    const double lo = std::max(iv.lo, window.lo);
-    const double hi = std::min(iv.hi, window.hi);
-    if (hi > lo) total += hi - lo;
-  }
-  return total;
-}
+/// Sorted disjoint set of open intervals (lo -> hi), the incremental form
+/// of core::interval_union: neighbours closer than `kMergeEps` coalesce on
+/// insert, exactly as the batch union would merge them. The original kept
+/// a flat vector and paid a full O(n) scan per measure/free query plus an
+/// O(n log n) re-union per job — the quadratic scans the ROADMAP flagged.
+/// Every operation here costs O(log n) to locate the window plus one step
+/// per intersected interval; outputs are unchanged (asserted against the
+/// frozen original in tests/test_preemptive.cpp).
+class OpenSet {
+ public:
+  /// interval_union's merge tolerance (treats touching as merged).
+  static constexpr double kMergeEps = 1e-12;
 
-/// Free sub-intervals of `window` not covered by `open` (sorted, disjoint).
-std::vector<Interval> free_in(const std::vector<Interval>& open,
-                              const Interval& window) {
-  std::vector<Interval> out;
-  double cursor = window.lo;
-  for (const Interval& iv : open) {
-    if (iv.hi <= window.lo || iv.lo >= window.hi) continue;
-    if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, window.hi)});
-    cursor = std::max(cursor, iv.hi);
-    if (cursor >= window.hi) break;
+  /// Measure of window ∩ union(open).
+  [[nodiscard]] double measure_in(const Interval& window) const {
+    double total = 0.0;
+    for (auto it = first_overlapping(window);
+         it != set_.end() && it->first < window.hi; ++it) {
+      const double lo = std::max(it->first, window.lo);
+      const double hi = std::min(it->second, window.hi);
+      if (hi > lo) total += hi - lo;
+    }
+    return total;
   }
-  if (cursor < window.hi) out.push_back({cursor, window.hi});
-  std::erase_if(out, [](const Interval& iv) { return iv.length() <= kEps; });
-  return out;
-}
+
+  /// Clipped covered sub-intervals of `window` (sorted, disjoint, slivers
+  /// <= kEps dropped) — union(open) ∩ window.
+  [[nodiscard]] std::vector<Interval> covered_in(const Interval& window) const {
+    std::vector<Interval> out;
+    for (auto it = first_overlapping(window);
+         it != set_.end() && it->first < window.hi; ++it) {
+      const double lo = std::max(it->first, window.lo);
+      const double hi = std::min(it->second, window.hi);
+      if (hi > lo + kEps) out.push_back({lo, hi});
+    }
+    return out;
+  }
+
+  /// Free sub-intervals of `window` not covered by the set (sorted,
+  /// disjoint, slivers <= kEps dropped).
+  [[nodiscard]] std::vector<Interval> free_in(const Interval& window) const {
+    std::vector<Interval> out;
+    double cursor = window.lo;
+    for (auto it = first_overlapping(window);
+         it != set_.end() && it->first < window.hi; ++it) {
+      if (it->first > cursor) {
+        out.push_back({cursor, std::min(it->first, window.hi)});
+      }
+      cursor = std::max(cursor, it->second);
+      if (cursor >= window.hi) break;
+    }
+    if (cursor < window.hi) out.push_back({cursor, window.hi});
+    std::erase_if(out, [](const Interval& iv) { return iv.length() <= kEps; });
+    return out;
+  }
+
+  /// Adds one interval, coalescing with every neighbour within kMergeEps.
+  void insert(Interval iv) {
+    auto it = set_.upper_bound(iv.lo);
+    if (it != set_.begin()) {
+      const auto prev = std::prev(it);
+      if (iv.lo <= prev->second + kMergeEps) {
+        iv.lo = prev->first;
+        iv.hi = std::max(iv.hi, prev->second);
+        it = set_.erase(prev);
+      }
+    }
+    while (it != set_.end() && it->first <= iv.hi + kMergeEps) {
+      iv.hi = std::max(iv.hi, it->second);
+      it = set_.erase(it);
+    }
+    set_.emplace(iv.lo, iv.hi);
+  }
+
+  [[nodiscard]] std::vector<Interval> intervals() const {
+    std::vector<Interval> out;
+    out.reserve(set_.size());
+    for (const auto& [lo, hi] : set_) out.push_back({lo, hi});
+    return out;
+  }
+
+ private:
+  /// First stored interval intersecting `w` (or the first starting past
+  /// it). O(log n).
+  [[nodiscard]] std::map<double, double>::const_iterator first_overlapping(
+      const Interval& w) const {
+    auto it = set_.upper_bound(w.lo);
+    if (it != set_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second > w.lo) return prev;
+    }
+    return it;
+  }
+
+  std::map<double, double> set_;  ///< lo -> hi, disjoint, gaps > kMergeEps.
+};
 
 }  // namespace
 
@@ -58,26 +128,25 @@ PreemptiveUnboundedSolution solve_preemptive_unbounded(
     return inst.job(a).deadline < inst.job(b).deadline;
   });
 
-  std::vector<Interval> open;
+  OpenSet open;
   for (JobId j : order) {
     const core::ContinuousJob& job = inst.job(j);
     const Interval window{job.release, job.deadline};
-    double deficit = job.length - measure_in(open, window);
+    double deficit = job.length - open.measure_in(window);
     if (deficit <= kEps) continue;
     // Open the *latest* free time inside the window (lazy activation: later
     // jobs all have later deadlines, so late time is most reusable).
-    std::vector<Interval> gaps = free_in(open, window);
+    const std::vector<Interval> gaps = open.free_in(window);
     for (auto it = gaps.rbegin(); it != gaps.rend() && deficit > kEps; ++it) {
       const double take = std::min(deficit, it->length());
-      open.push_back({it->hi - take, it->hi});
+      open.insert({it->hi - take, it->hi});
       deficit -= take;
     }
     ABT_ASSERT(deficit <= kEps, "window shorter than job length");
-    open = core::interval_union(std::move(open));
   }
 
-  out.open = open;
-  out.busy_time = core::span_of(open);
+  out.open = open.intervals();
+  out.busy_time = core::span_of(out.open);
 
   // Build the schedule: every job takes the latest `p_j` units of
   // U ∩ window; with unbounded capacity a single machine hosts everything.
@@ -85,12 +154,8 @@ PreemptiveUnboundedSolution solve_preemptive_unbounded(
   for (JobId j = 0; j < inst.size(); ++j) {
     const core::ContinuousJob& job = inst.job(j);
     double need = job.length;
-    std::vector<Interval> available;
-    for (const Interval& iv : open) {
-      const double lo = std::max(iv.lo, job.release);
-      const double hi = std::min(iv.hi, job.deadline);
-      if (hi > lo + kEps) available.push_back({lo, hi});
-    }
+    const std::vector<Interval> available =
+        open.covered_in({job.release, job.deadline});
     for (auto it = available.rbegin(); it != available.rend() && need > kEps;
          ++it) {
       const double take = std::min(need, it->length());
@@ -129,28 +194,43 @@ PreemptiveBoundedSolution solve_preemptive_bounded(
                            [](double a, double b) { return std::abs(a - b) < kEps; }),
                points.end());
 
+  // Non-degenerate cells with their midpoints (ascending). A piece covers
+  // a contiguous run of cells, so instead of rescanning every job's pieces
+  // per cell (the old O(cells * pieces) loop), each piece locates its cell
+  // range with two binary searches on the midpoints; iterating jobs in id
+  // order keeps every cell's running list in ascending job order, exactly
+  // as the per-cell scan produced it.
+  std::vector<Interval> cells;
+  std::vector<double> mids;
   for (std::size_t c = 0; c + 1 < points.size(); ++c) {
     const Interval cell{points[c], points[c + 1]};
     if (cell.length() <= kEps) continue;
-    const double mid = cell.lo + cell.length() / 2;
-    // Jobs running throughout this cell in the unbounded solution.
-    std::vector<JobId> running;
-    for (JobId j = 0; j < inst.size(); ++j) {
-      for (const auto& piece :
-           unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
-        if (piece.run.lo <= mid && mid < piece.run.hi) {
-          running.push_back(j);
-          break;
-        }
+    cells.push_back(cell);
+    mids.push_back(cell.lo + cell.length() / 2);
+  }
+  std::vector<std::vector<JobId>> running(cells.size());
+  for (JobId j = 0; j < inst.size(); ++j) {
+    for (const auto& piece :
+         unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
+      // Cells whose midpoint lies in [run.lo, run.hi) — the same predicate
+      // the per-cell scan evaluated.
+      const auto first =
+          std::lower_bound(mids.begin(), mids.end(), piece.run.lo);
+      const auto last =
+          std::lower_bound(mids.begin(), mids.end(), piece.run.hi);
+      for (auto it = first; it != last; ++it) {
+        running[static_cast<std::size_t>(it - mids.begin())].push_back(j);
       }
     }
-    if (running.empty()) continue;
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
     // Deal onto ceil(count/g) machines, filling g at a time: at most one
     // machine per cell is below capacity (charged to the span bound).
-    for (std::size_t idx = 0; idx < running.size(); ++idx) {
+    const std::vector<JobId>& here = running[c];
+    for (std::size_t idx = 0; idx < here.size(); ++idx) {
       const int machine = static_cast<int>(idx) / inst.capacity();
-      out.schedule.pieces[static_cast<std::size_t>(running[idx])].push_back(
-          {machine, cell});
+      out.schedule.pieces[static_cast<std::size_t>(here[idx])].push_back(
+          {machine, cells[c]});
     }
   }
 

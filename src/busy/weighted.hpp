@@ -17,6 +17,8 @@ namespace abt::busy {
 struct WeightedJob {
   core::ContinuousJob job;
   int width = 1;
+
+  friend bool operator==(const WeightedJob&, const WeightedJob&) = default;
 };
 
 class WeightedInstance {
@@ -68,8 +70,12 @@ class WeightedInstance {
     const WeightedInstance& inst);
 
 /// Exact solver for small weighted interval instances (partition search).
+/// The gate is measured, not guessed (docs/ALGORITHMS.md): worst observed
+/// ~240 ms at n = 14 over random moderate-density and near-clique families
+/// (n = 16 already risks ~5 s — the width dimension weakens pruning, so the
+/// gate sits below the unweighted oracle's n = 18).
 struct WeightedExactOptions {
-  int max_jobs = 12;
+  int max_jobs = 14;
 };
 [[nodiscard]] std::optional<core::BusySchedule> solve_exact_weighted(
     const WeightedInstance& inst, WeightedExactOptions options = {});

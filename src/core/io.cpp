@@ -3,11 +3,25 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 namespace abt::core {
 
 namespace {
+
+/// model-name -> parser factory, registration order preserved.
+std::vector<std::pair<std::string, ExtensionParserFactory>>& codecs() {
+  static std::vector<std::pair<std::string, ExtensionParserFactory>> registry;
+  return registry;
+}
+
+const ExtensionParserFactory* find_codec(const std::string& name) {
+  for (const auto& [key, factory] : codecs()) {
+    if (key == name) return &factory;
+  }
+  return nullptr;
+}
 
 bool fail(std::string* error, int line, const std::string& what) {
   if (error != nullptr) {
@@ -18,9 +32,29 @@ bool fail(std::string* error, int line, const std::string& what) {
 
 }  // namespace
 
-std::optional<ParsedInstance> parse_instance(std::istream& in,
-                                             std::string* error) {
-  std::optional<ModelKind> kind;
+void register_instance_model(const std::string& model_name,
+                             ExtensionParserFactory factory) {
+  for (auto& [key, existing] : codecs()) {
+    if (key == model_name) {
+      existing = std::move(factory);
+      return;
+    }
+  }
+  codecs().emplace_back(model_name, std::move(factory));
+}
+
+std::vector<std::string> registered_instance_models() {
+  std::vector<std::string> out;
+  out.reserve(codecs().size());
+  for (const auto& [key, factory] : codecs()) out.push_back(key);
+  return out;
+}
+
+std::optional<ProblemInstance> parse_instance(std::istream& in,
+                                              std::string* error) {
+  enum class Model { kNone, kSlotted, kContinuous, kExtended };
+  Model model = Model::kNone;
+  std::unique_ptr<ExtensionParser> extension_parser;
   int capacity = -1;
   std::vector<SlottedJob> slotted_jobs;
   std::vector<ContinuousJob> continuous_jobs;
@@ -40,22 +74,46 @@ std::optional<ParsedInstance> parse_instance(std::istream& in,
     if (!(ls >> keyword)) continue;  // blank line
 
     if (keyword == "model") {
+      if (model != Model::kNone) return report("duplicate model directive");
       std::string name;
       if (!(ls >> name)) return report("model needs a name");
       if (name == "slotted") {
-        kind = ModelKind::kSlotted;
+        model = Model::kSlotted;
       } else if (name == "continuous") {
-        kind = ModelKind::kContinuous;
+        model = Model::kContinuous;
+      } else if (const ExtensionParserFactory* codec = find_codec(name)) {
+        model = Model::kExtended;
+        extension_parser = (*codec)();
       } else {
-        return report("unknown model '" + name + "'");
+        std::string known = "slotted, continuous";
+        for (const std::string& key : registered_instance_models()) {
+          known += ", " + key;
+        }
+        std::string what = "unknown model '" + name + "' (known: " + known;
+        if (codecs().empty()) {
+          // Distinguish a typo from a binary that never linked the codecs
+          // (engine/adapters registers them at load time).
+          what += "; no extended-model codecs are registered — link "
+                  "engine/adapters or call engine::register_instance_codecs()";
+        }
+        return report(what + ")");
       }
     } else if (keyword == "capacity") {
+      // A repeated capacity silently changing every preceding job's
+      // context is exactly the silent-data-change class v2 eliminates.
+      if (capacity > 0) return report("duplicate capacity directive");
       if (!(ls >> capacity) || capacity < 1) {
         return report("capacity needs a positive integer");
       }
+    } else if (model == Model::kExtended) {
+      // Everything but the shared header belongs to the model's codec.
+      std::string why;
+      if (!extension_parser->directive(keyword, ls, &why)) {
+        return report(why);
+      }
     } else if (keyword == "job") {
-      if (!kind.has_value()) return report("job before model directive");
-      if (*kind == ModelKind::kSlotted) {
+      if (model == Model::kNone) return report("job before model directive");
+      if (model == Model::kSlotted) {
         SlotTime r = 0;
         SlotTime d = 0;
         SlotTime p = 0;
@@ -77,20 +135,23 @@ std::optional<ParsedInstance> parse_instance(std::istream& in,
     }
   }
   ++line_no;
-  if (!kind.has_value()) return report("missing 'model' directive");
+  if (model == Model::kNone) return report("missing 'model' directive");
   if (capacity < 1) return report("missing 'capacity' directive");
 
-  ParsedInstance out;
-  out.kind = *kind;
   std::string why;
-  if (*kind == ModelKind::kSlotted) {
-    out.slotted = SlottedInstance(std::move(slotted_jobs), capacity);
-    if (!out.slotted.structurally_valid(&why)) return report(why);
-  } else {
-    out.continuous = ContinuousInstance(std::move(continuous_jobs), capacity);
-    if (!out.continuous.structurally_valid(&why)) return report(why);
+  if (model == Model::kExtended) {
+    ProblemInstance out;
+    if (!extension_parser->finish(capacity, &out, &why)) return report(why);
+    return out;
   }
-  return out;
+  if (model == Model::kSlotted) {
+    SlottedInstance inst(std::move(slotted_jobs), capacity);
+    if (!inst.structurally_valid(&why)) return report(why);
+    return make_instance(std::move(inst));
+  }
+  ContinuousInstance inst(std::move(continuous_jobs), capacity);
+  if (!inst.structurally_valid(&why)) return report(why);
+  return make_instance(std::move(inst));
 }
 
 void write_instance(std::ostream& out, const SlottedInstance& inst) {
@@ -102,10 +163,51 @@ void write_instance(std::ostream& out, const SlottedInstance& inst) {
 
 void write_instance(std::ostream& out, const ContinuousInstance& inst) {
   out << "model continuous\ncapacity " << inst.capacity() << "\n";
-  out.precision(17);
+  // precision 17 == max_digits10: doubles survive the text round trip
+  // bit-for-bit. Restored so a long-lived caller stream is not left with
+  // 17-digit formatting.
+  const std::streamsize old_precision = out.precision(17);
   for (const ContinuousJob& j : inst.jobs()) {
     out << "job " << j.release << ' ' << j.deadline << ' ' << j.length << "\n";
   }
+  out.precision(old_precision);
+}
+
+bool write_instance(std::ostream& out, const ProblemInstance& inst,
+                    std::string* why) {
+  if (inst.kind == InstanceKind::kStandard) {
+    if (inst.family == Family::kActive) {
+      write_instance(out, inst.slotted);
+    } else {
+      write_instance(out, inst.continuous);
+    }
+    return true;
+  }
+  const InstanceExtension* ext = inst.extension.get();
+  if (ext == nullptr || ext->model_name().empty()) {
+    if (why != nullptr) {
+      *why = "instance kind '" +
+             std::string(instance_kind_name(inst.kind)) +
+             "' has no serialization support (emitting the standard-model "
+             "view would silently drop the extension payload)";
+    }
+    return false;
+  }
+  // Buffer the body so a mid-serialization failure leaves NOTHING on the
+  // caller's stream — a truncated-but-plausible instance file is the
+  // artifact this function exists to prevent.
+  std::ostringstream body;
+  if (!ext->write_body(body)) {
+    if (why != nullptr) {
+      *why = "model '" + std::string(ext->model_name()) +
+             "' failed to serialize its job payload";
+    }
+    return false;
+  }
+  out << "model " << ext->model_name() << "\ncapacity " << ext->capacity()
+      << "\n"
+      << body.str();
+  return true;
 }
 
 }  // namespace abt::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -44,6 +45,15 @@ class InstanceExtension {
   [[nodiscard]] virtual double lower_bound() const = 0;
   /// One-line instance summary for the report headers.
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Instance I/O v2 serialization hooks. `model_name` is the token the
+  /// plain-text format's `model` directive carries (e.g. "weighted");
+  /// `write_body` emits the per-job directive lines that follow the shared
+  /// `model`/`capacity` header. The defaults mark the extension as
+  /// NOT serializable: core::write_instance then fails loudly instead of
+  /// letting a caller fall back to a lossy standard-model emit.
+  [[nodiscard]] virtual std::string_view model_name() const { return {}; }
+  virtual bool write_body(std::ostream& /*out*/) const { return false; }
 };
 
 /// Uniform instance carrier: for the standard kinds exactly one of the two

@@ -107,6 +107,21 @@ int OccupancyIndex::max_coverage_in(RealTime lo, RealTime hi) const {
   return best;
 }
 
+RealTime OccupancyIndex::covered_measure_in(RealTime lo, RealTime hi) const {
+  if (hi <= lo || steps_.empty()) return 0.0;
+  auto it = steps_.upper_bound(lo);
+  int level = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+  RealTime covered = 0.0;
+  RealTime cursor = lo;
+  for (; it != steps_.end() && it->first < hi; ++it) {
+    if (level > 0) covered += it->first - cursor;
+    cursor = it->first;
+    level = it->second;
+  }
+  if (level > 0) covered += hi - cursor;
+  return covered;
+}
+
 void OccupancyIndex::insert(const Interval& iv) {
   if (iv.empty()) return;
   // Split a breakpoint at each endpoint (carrying the incumbent level), then

@@ -66,6 +66,12 @@ class OccupancyIndex {
   /// Max coverage over [lo, hi); 0 for empty ranges or an empty index.
   [[nodiscard]] int max_coverage_in(RealTime lo, RealTime hi) const;
 
+  /// Measure of {t in [lo, hi) : coverage(t) > 0} — how much of the query
+  /// interval is already busy. Same cost shape as max_coverage_in; it is
+  /// the O(log k) replacement for the "copy all intervals and re-span"
+  /// growth probe of the online best-fit policy.
+  [[nodiscard]] RealTime covered_measure_in(RealTime lo, RealTime hi) const;
+
   /// Adds one covering interval (no-op when empty).
   void insert(const Interval& iv);
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
 #include "core/assert.hpp"
+#include "core/io.hpp"
 
 namespace abt::engine {
 
@@ -40,6 +43,143 @@ std::string MultiWindowExtension::describe() const {
   os << "multi-window active-time instance: " << inst_.size()
      << " jobs, g = " << inst_.capacity() << ", horizon " << inst_.horizon();
   return os.str();
+}
+
+bool WeightedExtension::write_body(std::ostream& out) const {
+  // precision 17 == max_digits10: the doubles survive the text round trip
+  // bit-for-bit, exactly like the standard continuous writer (and like it,
+  // the caller's precision is restored).
+  const std::streamsize old_precision = out.precision(17);
+  for (const busy::WeightedJob& wj : inst_.jobs()) {
+    out << "job " << wj.job.release << ' ' << wj.job.deadline << ' '
+        << wj.job.length << "\nweight " << wj.width << "\n";
+  }
+  out.precision(old_precision);
+  return true;
+}
+
+bool MultiWindowExtension::write_body(std::ostream& out) const {
+  for (const active::MultiWindowJob& job : inst_.jobs()) {
+    out << "job " << job.length << "\n";
+    for (const auto& [r, d] : job.windows) {
+      out << "window " << r << ' ' << d << "\n";
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// `model weighted` body: `job r d p` (reals) optionally followed by
+/// `weight w` for the preceding job (default width 1).
+class WeightedParser final : public core::ExtensionParser {
+ public:
+  bool directive(const std::string& keyword, std::istream& args,
+                 std::string* why) override {
+    if (keyword == "job") {
+      core::RealTime r = 0;
+      core::RealTime d = 0;
+      core::RealTime p = 0;
+      if (!(args >> r >> d >> p)) {
+        if (why != nullptr) *why = "job needs: release deadline length";
+        return false;
+      }
+      jobs_.push_back({{r, d, p}, 1});
+      return true;
+    }
+    if (keyword == "weight") {
+      if (jobs_.empty()) {
+        if (why != nullptr) *why = "weight before any job";
+        return false;
+      }
+      int w = 0;
+      if (!(args >> w) || w < 1) {
+        if (why != nullptr) *why = "weight needs a positive integer";
+        return false;
+      }
+      jobs_.back().width = w;
+      return true;
+    }
+    if (why != nullptr) {
+      *why = "unknown directive '" + keyword + "' in model weighted";
+    }
+    return false;
+  }
+
+  bool finish(int capacity, core::ProblemInstance* out,
+              std::string* why) override {
+    busy::WeightedInstance inst(std::move(jobs_), capacity);
+    if (!inst.structurally_valid(why)) return false;
+    *out = make_weighted_instance(std::move(inst));
+    return true;
+  }
+
+ private:
+  std::vector<busy::WeightedJob> jobs_;
+};
+
+/// `model multi-window` body: `job p` (length only) followed by one
+/// `window r d` line per window of that job.
+class MultiWindowParser final : public core::ExtensionParser {
+ public:
+  bool directive(const std::string& keyword, std::istream& args,
+                 std::string* why) override {
+    if (keyword == "job") {
+      core::SlotTime p = 0;
+      if (!(args >> p)) {
+        if (why != nullptr) *why = "job needs: length";
+        return false;
+      }
+      jobs_.push_back({{}, p});
+      return true;
+    }
+    if (keyword == "window") {
+      if (jobs_.empty()) {
+        if (why != nullptr) *why = "window before any job";
+        return false;
+      }
+      core::SlotTime r = 0;
+      core::SlotTime d = 0;
+      if (!(args >> r >> d)) {
+        if (why != nullptr) *why = "window needs: release deadline";
+        return false;
+      }
+      jobs_.back().windows.emplace_back(r, d);
+      return true;
+    }
+    if (why != nullptr) {
+      *why = "unknown directive '" + keyword + "' in model multi-window";
+    }
+    return false;
+  }
+
+  bool finish(int capacity, core::ProblemInstance* out,
+              std::string* why) override {
+    active::MultiWindowInstance inst(std::move(jobs_), capacity);
+    if (!inst.structurally_valid(why)) return false;
+    *out = make_multi_window_instance(std::move(inst));
+    return true;
+  }
+
+ private:
+  std::vector<active::MultiWindowJob> jobs_;
+};
+
+/// Runs register_instance_codecs whenever this TU is linked: any binary
+/// holding the adapters (hence able to solve the extended kinds) can parse
+/// and emit them without an explicit setup call.
+const bool kCodecsRegistered = [] {
+  register_instance_codecs();
+  return true;
+}();
+
+}  // namespace
+
+void register_instance_codecs() {
+  core::register_instance_model(
+      "weighted", [] { return std::make_unique<WeightedParser>(); });
+  core::register_instance_model(
+      "multi-window", [] { return std::make_unique<MultiWindowParser>(); });
 }
 
 core::ProblemInstance make_weighted_instance(busy::WeightedInstance inst) {

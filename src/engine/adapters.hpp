@@ -4,7 +4,12 @@
 // time, multi-window active time) as core::InstanceExtension payloads so
 // they travel through ProblemInstance / SolverRegistry / engine::runner on
 // the same rails as the standard kinds. Solvers reach the concrete model
-// back through the typed accessors below.
+// back through the typed accessors below. The adapters also own the two
+// models' Instance I/O v2 codecs (`model weighted` / `model multi-window`
+// with per-job weight/window lines): linking this translation unit
+// registers them with core::parse_instance, and the extensions implement
+// the write hooks, so write_instance ∘ parse_instance is the identity for
+// the extended kinds exactly as for the standard ones.
 
 #include <memory>
 
@@ -28,6 +33,10 @@ class WeightedExtension final : public core::InstanceExtension {
   [[nodiscard]] int capacity() const override { return inst_.capacity(); }
   [[nodiscard]] double lower_bound() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string_view model_name() const override {
+    return "weighted";
+  }
+  bool write_body(std::ostream& out) const override;
 
   [[nodiscard]] const busy::WeightedInstance& instance() const {
     return inst_;
@@ -51,6 +60,10 @@ class MultiWindowExtension final : public core::InstanceExtension {
   [[nodiscard]] int capacity() const override { return inst_.capacity(); }
   [[nodiscard]] double lower_bound() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string_view model_name() const override {
+    return "multi-window";
+  }
+  bool write_body(std::ostream& out) const override;
 
   [[nodiscard]] const active::MultiWindowInstance& instance() const {
     return inst_;
@@ -71,5 +84,11 @@ class MultiWindowExtension final : public core::InstanceExtension {
     const core::ProblemInstance& inst);
 [[nodiscard]] const active::MultiWindowInstance& multi_window_of(
     const core::ProblemInstance& inst);
+
+/// Registers the `weighted` / `multi-window` codecs with core/io.
+/// Idempotent; runs automatically when this translation unit is linked
+/// (and again from engine::builtin_registry for belt and braces), so any
+/// binary that can solve an extended kind can also parse and emit it.
+void register_instance_codecs();
 
 }  // namespace abt::engine

@@ -584,6 +584,11 @@ void register_active(core::SolverRegistry& registry) {
 }  // namespace
 
 core::SolverRegistry builtin_registry() {
+  // Solving and serializing an extended kind travel together: anything
+  // holding the registry can also parse/emit `model weighted` and
+  // `model multi-window` files (idempotent; the adapters TU registers the
+  // codecs at load time already).
+  register_instance_codecs();
   core::SolverRegistry registry;
   register_busy(registry);
   register_active(registry);

@@ -311,7 +311,11 @@ void write_json(std::ostream& os, const RunReport& report) {
      << core::instance_kind_name(report.instance.kind) << "\",\n";
   if (report.instance.kind != core::InstanceKind::kStandard) {
     os << "  \"jobs\": " << report.instance.extension->size()
-       << ",\n  \"capacity\": " << report.instance.extension->capacity();
+       << ",\n  \"capacity\": " << report.instance.extension->capacity()
+       << ",\n  \"description\": ";
+    // Parity with the text report header: the extension's one-line model
+    // summary, since kind alone does not identify the concrete shape.
+    escape_json(os, report.instance.extension->describe());
   } else if (busy) {
     os << "  \"jobs\": " << report.instance.continuous.size()
        << ",\n  \"capacity\": " << report.instance.continuous.capacity()

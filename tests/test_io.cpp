@@ -19,7 +19,8 @@ TEST(InstanceIo, ParsesSlotted) {
       "job 1 4 1  # trailing comment\n");
   const auto parsed = parse_instance(in);
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->kind, ModelKind::kSlotted);
+  EXPECT_EQ(parsed->family, Family::kActive);
+  EXPECT_EQ(parsed->kind, InstanceKind::kStandard);
   EXPECT_EQ(parsed->slotted.size(), 2);
   EXPECT_EQ(parsed->slotted.capacity(), 3);
   EXPECT_EQ(parsed->slotted.job(0).length, 2);
@@ -30,7 +31,8 @@ TEST(InstanceIo, ParsesContinuous) {
       "model continuous\ncapacity 2\njob 0.5 3.25 1.75\n");
   const auto parsed = parse_instance(in);
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->kind, ModelKind::kContinuous);
+  EXPECT_EQ(parsed->family, Family::kBusy);
+  EXPECT_EQ(parsed->kind, InstanceKind::kStandard);
   EXPECT_DOUBLE_EQ(parsed->continuous.job(0).release, 0.5);
 }
 

@@ -4,6 +4,7 @@
 
 #include "busy/exact_busy.hpp"
 #include "busy/lower_bounds.hpp"
+#include "busy/naive_baselines.hpp"
 #include "core/rng.hpp"
 #include "gen/random_instances.hpp"
 
@@ -76,6 +77,31 @@ TEST_P(OnlineRandom, FeasibleAndAboveOptimum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OnlineRandom, ::testing::Range(1, 7));
+
+/// The occupancy-index machines must reproduce the frozen quadratic
+/// originals placement-for-placement, for every policy, across sizes well
+/// past anything the unit tests above touch.
+TEST(Online, MatchesNaiveBaselinePlacementForPlacement) {
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL}) {
+    core::Rng rng(seed * 977ULL);
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(50, 400));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 5));
+    params.horizon = params.num_jobs / 8.0 + 10.0;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+    for (const auto policy : {OnlinePolicy::kFirstFit, OnlinePolicy::kBestFit,
+                              OnlinePolicy::kNextFit}) {
+      const auto fast = schedule_online(inst, policy);
+      const auto slow = naive::schedule_online(inst, policy);
+      ASSERT_EQ(fast.placements.size(), slow.placements.size());
+      for (std::size_t j = 0; j < fast.placements.size(); ++j) {
+        EXPECT_EQ(fast.placements[j].machine, slow.placements[j].machine)
+            << "job " << j << ", policy " << static_cast<int>(policy);
+        EXPECT_EQ(fast.placements[j].start, slow.placements[j].start);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace abt::busy

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "busy/naive_baselines.hpp"
 #include "core/rng.hpp"
 #include "gen/random_instances.hpp"
 #include "lp/simplex.hpp"
@@ -125,6 +126,44 @@ TEST_P(PreemptiveBounded, FeasibleAndWithinTwiceLowerBound) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PreemptiveBounded, ::testing::Range(1, 9));
+
+/// The OpenSet-backed rewrite must reproduce the frozen full-scan original
+/// bit for bit: same open set, same pieces, same machines — across sizes
+/// well past anything the unit tests above touch.
+TEST(PreemptiveEquivalence, MatchesNaiveBaselineExactly) {
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL, 24ULL}) {
+    core::Rng rng(seed * 6689ULL);
+    gen::ContinuousParams params;
+    params.num_jobs = static_cast<int>(rng.uniform_int(40, 300));
+    params.capacity = static_cast<int>(rng.uniform_int(1, 4));
+    params.horizon = params.num_jobs / 6.0 + 12.0;
+    params.max_slack = 2.5;
+    const ContinuousInstance inst = gen::random_continuous(rng, params);
+
+    const auto fast_u = solve_preemptive_unbounded(inst);
+    const auto slow_u = naive::solve_preemptive_unbounded(inst);
+    EXPECT_EQ(fast_u.busy_time, slow_u.busy_time);
+    ASSERT_EQ(fast_u.open.size(), slow_u.open.size());
+    for (std::size_t i = 0; i < fast_u.open.size(); ++i) {
+      EXPECT_EQ(fast_u.open[i], slow_u.open[i]) << "open interval " << i;
+    }
+
+    const auto fast_b = solve_preemptive_bounded(inst);
+    const auto slow_b = naive::solve_preemptive_bounded(inst);
+    EXPECT_EQ(fast_b.busy_time, slow_b.busy_time);
+    EXPECT_EQ(fast_b.opt_infinity, slow_b.opt_infinity);
+    ASSERT_EQ(fast_b.schedule.pieces.size(), slow_b.schedule.pieces.size());
+    for (std::size_t j = 0; j < fast_b.schedule.pieces.size(); ++j) {
+      const auto& fp = fast_b.schedule.pieces[j];
+      const auto& sp = slow_b.schedule.pieces[j];
+      ASSERT_EQ(fp.size(), sp.size()) << "piece count of job " << j;
+      for (std::size_t k = 0; k < fp.size(); ++k) {
+        EXPECT_EQ(fp[k].machine, sp[k].machine) << "job " << j;
+        EXPECT_EQ(fp[k].run, sp[k].run) << "job " << j;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace abt::busy
