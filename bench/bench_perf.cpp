@@ -5,6 +5,7 @@
 // realistic instance sizes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
@@ -21,7 +22,10 @@
 #include "busy/preemptive.hpp"
 #include "busy/proper_cover.hpp"
 #include "busy/two_track_peeling.hpp"
+#include "busy/weighted.hpp"
 #include "core/rng.hpp"
+#include "core/run_context.hpp"
+#include "gen/extended_instances.hpp"
 #include "gen/random_instances.hpp"
 
 namespace {
@@ -265,6 +269,46 @@ void BM_PreemptiveBounded(benchmark::State& state) {
 // Range extended from 256 to 8192 in PR 4: the OpenSet removed the
 // per-job full-scan/re-union, so the path now scales with the others.
 BENCHMARK(BM_PreemptiveBounded)->Range(16, 8192)->Complexity();
+
+void BM_WeightedExactBudget(benchmark::State& state) {
+  // Anytime incumbent quality vs budget: one fixed weighted instance past
+  // the measured exact gate (n = 22 vs gate 14), solved repeatedly under
+  // the budget given as the range argument (ms). The interesting output
+  // is the counters — the incumbent's cost and its certified gap against
+  // the mass/span bound shrink as the budget grows — while the measured
+  // time simply tracks the budget.
+  core::Rng rng(7);
+  gen::WeightedParams params;
+  params.num_jobs = 22;
+  params.capacity = 3;
+  params.horizon = 6.0 + 22 / 4.0;  // the gate sweep's moderate density
+  const busy::WeightedInstance inst = gen::random_weighted(rng, params);
+  const double budget_ms = static_cast<double>(state.range(0));
+  const core::ContinuousInstance unweighted = inst.unweighted();
+  double cost = 0.0;
+  double proven = 0.0;
+  for (auto _ : state) {
+    const core::RunContext ctx =
+        core::RunContext::with_budget_ms(budget_ms).restarted();
+    busy::WeightedExactOptions options;
+    options.max_jobs = inst.size();
+    options.context = &ctx;
+    const auto result = busy::solve_exact_weighted_anytime(inst, options);
+    cost = core::busy_cost(unweighted, result->schedule);
+    proven = result->proven_optimal ? 1.0 : 0.0;
+    benchmark::DoNotOptimize(result);
+  }
+  const double lb = std::max(inst.mass_lower_bound(), inst.span_lower_bound());
+  state.counters["incumbent_cost"] = cost;
+  state.counters["gap"] = lb > 0.0 ? (cost - lb) / lb : 0.0;
+  state.counters["proven_optimal"] = proven;
+}
+BENCHMARK(BM_WeightedExactBudget)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(80)
+    ->Arg(320)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 //   abt_solve --scenarios                     list generator scenarios
 //   abt_solve <instance-file|-> [options]     solve a file ('-' = stdin)
 //   abt_solve --gen <scenario> [options]      solve a generated instance
+//   abt_solve --campaign <file|preset>        sweep a scenario grid
 //   abt_solve --demo-slotted | --demo-continuous
 //
 // options:
@@ -14,6 +15,8 @@
 //   --n K --g G --seed N --slack S --horizon H --eps E   scenario knobs
 //   --trials N        sweep N seeded trials of the scenario (needs --gen)
 //   --threads K       sweep worker threads (0 = hardware concurrency)
+//   --budget-ms B     per-cell time budget; lifts the exact solvers' size
+//                     gates (anytime mode: incumbent + gap on timeout)
 //   --json | --csv    machine-readable report instead of the text table
 //   --emit            print the generated instance (core/io format) and exit
 //   --gantt           append a Gantt chart of the best feasible schedule
@@ -33,6 +36,7 @@
 #include "core/io.hpp"
 #include "core/solver.hpp"
 #include "engine/builtin_solvers.hpp"
+#include "engine/campaign.hpp"
 #include "engine/runner.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
@@ -45,10 +49,11 @@ constexpr const char* kUsage =
     "usage: abt_solve --list | --scenarios\n"
     "       abt_solve <instance-file|-> [options]\n"
     "       abt_solve --gen <scenario> [options]\n"
+    "       abt_solve --campaign <file|preset> [options]\n"
     "       abt_solve --demo-slotted | --demo-continuous\n"
     "options: --solvers a,b,c  --n K --g G --seed N --slack S --horizon H\n"
-    "         --eps E  --trials N --threads K  --json | --csv  --emit\n"
-    "         --gantt\n";
+    "         --eps E  --trials N --threads K  --budget-ms B\n"
+    "         --json | --csv  --emit  --gantt\n";
 
 constexpr const char* kDemoSlotted =
     "model slotted\n"
@@ -69,10 +74,13 @@ constexpr const char* kDemoContinuous =
 struct CliOptions {
   std::string input;             ///< File path, "-", or empty when --gen.
   std::string scenario;          ///< Non-empty when --gen.
+  std::string campaign;          ///< File or preset name when --campaign.
   engine::ScenarioSpec spec;
   std::vector<std::string> solvers;
   int trials = 1;
+  bool trials_given = false;     ///< Campaigns default to 4 unless set.
   int threads = 1;
+  double budget_ms = 0.0;        ///< Per-cell budget (0 = unlimited).
   bool list = false;
   bool list_scenarios = false;
   bool json = false;
@@ -128,12 +136,16 @@ bool parse_args(int argc, char** argv, CliOptions& options,
       if (!need_value(i, arg)) return false;
       options.scenario = argv[++i];
       options.spec.name = options.scenario;
+    } else if (arg == "--campaign") {
+      if (!need_value(i, arg)) return false;
+      options.campaign = argv[++i];
     } else if (arg == "--solvers") {
       if (!need_value(i, arg)) return false;
       options.solvers = split_csv(argv[++i]);
     } else if (arg == "--n" || arg == "--g" || arg == "--seed" ||
                arg == "--slack" || arg == "--horizon" || arg == "--eps" ||
-               arg == "--trials" || arg == "--threads") {
+               arg == "--trials" || arg == "--threads" ||
+               arg == "--budget-ms") {
       if (!need_value(i, arg)) return false;
       const std::string value = argv[++i];
       bool parsed = false;
@@ -149,8 +161,12 @@ bool parse_args(int argc, char** argv, CliOptions& options,
         parsed = parse_full(value, options.spec.horizon);
       } else if (arg == "--trials") {
         parsed = parse_full(value, options.trials) && options.trials >= 1;
+        options.trials_given = parsed;
       } else if (arg == "--threads") {
         parsed = parse_full(value, options.threads) && options.threads >= 0;
+      } else if (arg == "--budget-ms") {
+        parsed = parse_full(value, options.budget_ms) &&
+                 options.budget_ms > 0.0;
       } else {
         parsed = parse_full(value, options.spec.eps);
       }
@@ -253,6 +269,74 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Campaign mode: a scenario grid (file or preset) through one shared
+  // pool, reported as per-point aggregates.
+  if (!options.campaign.empty()) {
+    engine::CampaignGrid grid;
+    if (std::ifstream file(options.campaign); file) {
+      // The CLI scenario knobs seed the grid's base; the file's own
+      // directives override them where present.
+      const auto parsed = engine::parse_campaign(file, &error, options.spec);
+      if (!parsed.has_value()) {
+        std::cerr << "campaign parse error: " << error << "\n";
+        return 1;
+      }
+      grid = *parsed;
+    } else if (const auto preset = engine::campaign_preset(options.campaign);
+               preset.has_value()) {
+      grid = *preset;
+      // Presets fix only the grid axes; every shared knob comes from the
+      // CLI (so `--campaign smoke --seed 99` does what it says).
+      grid.base.seed = options.spec.seed;
+      grid.base.slack = options.spec.slack;
+      grid.base.horizon = options.spec.horizon;
+      grid.base.eps = options.spec.eps;
+    } else {
+      std::cerr << "'" << options.campaign
+                << "' is neither a readable campaign file nor a preset\n"
+                << "presets:\n";
+      for (const engine::CampaignPresetInfo& info :
+           engine::campaign_presets()) {
+        std::cerr << "  " << info.name << " — " << info.description << "\n";
+      }
+      return 1;
+    }
+    for (const std::string& name : options.solvers) {
+      if (registry.find(name) == nullptr) {
+        std::cerr << "unknown solver '" << name << "' (see --list)\n";
+        return 1;
+      }
+    }
+    engine::CampaignOptions campaign_options;
+    campaign_options.trials = options.trials_given ? options.trials : 4;
+    campaign_options.threads = options.threads;
+    campaign_options.run.solvers = options.solvers;
+    campaign_options.run.budget_ms = options.budget_ms;
+    const auto report =
+        engine::run_campaign(registry, grid, campaign_options, &error);
+    if (!report.has_value()) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    if (options.json) {
+      engine::write_campaign_json(std::cout, *report);
+    } else if (options.csv) {
+      engine::write_campaign_csv(std::cout, *report);
+    } else {
+      engine::print_campaign(std::cout, *report);
+    }
+    int ok_cells = 0;
+    for (const engine::CampaignPoint& point : report->points) {
+      if (point.infeasible_cells > 0) return 2;
+      ok_cells += point.ok_cells;
+    }
+    if (ok_cells == 0) {
+      std::cerr << "no solver produced a schedule at any grid point\n";
+      return 1;
+    }
+    return 0;
+  }
+
   // Trial-sweep mode: many seeds of one generated scenario through the
   // thread-pool engine, reported as per-solver aggregates.
   if (options.trials > 1) {
@@ -271,6 +355,7 @@ int main(int argc, char** argv) {
     sweep_options.trials = options.trials;
     sweep_options.threads = options.threads;
     sweep_options.run.solvers = options.solvers;
+    sweep_options.run.budget_ms = options.budget_ms;
     const auto sweep =
         engine::run_sweep(registry, options.spec, sweep_options, &error);
     if (!sweep.has_value()) {
@@ -345,6 +430,7 @@ int main(int argc, char** argv) {
 
   engine::RunOptions run_options;
   run_options.solvers = options.solvers;
+  run_options.budget_ms = options.budget_ms;
   const engine::RunReport report =
       engine::run_instance(registry, instance, run_options);
 

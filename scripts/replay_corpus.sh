@@ -16,9 +16,17 @@ if [[ ! -x "$ABT" ]]; then
   exit 1
 fi
 
-# One registered solver per instance kind, keyed by the `model` directive.
-solver_for_model() {
-  case "$1" in
+# Solver selection is per FILE, not just per model: a file's shape can
+# rule out the model's default solver (flexible weighted jobs decline
+# `busy/weighted-exact`, which wants interval jobs). Files with an
+# override are listed explicitly; everything else falls back to one
+# registered solver per `model` directive.
+solver_for_file() {
+  case "$(basename "$1")" in
+    weighted_flexible.txt)   echo "busy/weighted-flexible"; return ;;
+    fig6_tracking_tight.txt) echo "busy/pipeline-greedy-tracking"; return ;;
+  esac
+  case "$2" in
     slotted)      echo "active/minimal-feasible" ;;
     continuous)   echo "busy/first-fit" ;;
     weighted)     echo "busy/weighted-exact" ;;
@@ -31,7 +39,7 @@ failures=0
 
 for f in data/*.txt; do
   model=$(awk '$1 == "model" { print $2; exit }' "$f")
-  solver=$(solver_for_model "$model") || {
+  solver=$(solver_for_file "$f" "$model") || {
     echo "FAIL $f: unknown model '$model'" >&2
     failures=$((failures + 1))
     continue

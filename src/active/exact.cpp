@@ -91,11 +91,16 @@ class BranchAndBound {
   std::optional<ExactResult> run() {
     if (!is_feasible_with_slots(inst_, slots_)) return std::nullopt;
 
-    // Incumbent: a minimal feasible solution (3-approx) seeds the bound.
+    // Incumbent: a minimal feasible solution (3-approx) seeds the bound,
+    // which is also what makes the search anytime — any interruption
+    // still has this (or better) to return.
     auto incumbent = solve_minimal_feasible(inst_);
     ABT_ASSERT(incumbent.has_value(), "feasible instance has minimal solution");
     best_cost_ = static_cast<int>(incumbent->active_slots.size());
     best_slots_ = incumbent->active_slots;
+    if (options_.context != nullptr) {
+      options_.context->report_incumbent(static_cast<double>(best_cost_));
+    }
 
     state_.assign(slots_.size(), WindowWork::SlotState::kUndecided);
     aborted_ = false;
@@ -106,6 +111,7 @@ class BranchAndBound {
     ABT_ASSERT(schedule.has_value(), "incumbent must stay feasible");
     result.schedule = std::move(*schedule);
     result.proven_optimal = !aborted_;
+    result.timed_out = timed_out_;
     result.nodes_explored = nodes_;
     return result;
   }
@@ -116,6 +122,14 @@ class BranchAndBound {
     ++nodes_;
     if (options_.node_limit > 0 && nodes_ > options_.node_limit) {
       aborted_ = true;
+      return;
+    }
+    // Every node pays a Hall-deficit scan and possibly a max-flow check,
+    // so an amortized clock poll every 64 nodes is noise.
+    if ((nodes_ & 63) == 0 && options_.context != nullptr &&
+        options_.context->should_stop()) {
+      aborted_ = true;
+      timed_out_ = true;
       return;
     }
     if (open_count >= best_cost_) return;  // cannot strictly improve
@@ -134,6 +148,9 @@ class BranchAndBound {
       if (is_feasible_with_slots(inst_, open)) {
         best_cost_ = open_count;
         best_slots_ = std::move(open);
+        if (options_.context != nullptr) {
+          options_.context->report_incumbent(static_cast<double>(best_cost_));
+        }
       }
       return;
     }
@@ -167,6 +184,7 @@ class BranchAndBound {
   std::vector<SlotTime> best_slots_;
   long nodes_ = 0;
   bool aborted_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace

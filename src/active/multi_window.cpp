@@ -189,15 +189,41 @@ std::optional<ActiveSchedule> mw_solve_minimal_feasible(
 
 namespace {
 
-/// Best (fewest-bits) feasible candidate-slot subset, or nullopt.
-std::optional<std::vector<SlotTime>> mw_best_slot_subset(
-    const MultiWindowInstance& inst) {
+struct SubsetSearchResult {
+  std::vector<SlotTime> open;
+  bool proven_optimal = true;
+};
+
+/// Best (fewest-bits) feasible candidate-slot subset, or nullopt when
+/// infeasible. With a context, seeds the incumbent from the
+/// minimal-feasible solution and polls every 4096 masks; an interrupted
+/// enumeration returns the best subset seen with proven_optimal = false.
+std::optional<SubsetSearchResult> mw_best_slot_subset(
+    const MultiWindowInstance& inst,
+    const core::RunContext* context = nullptr) {
   const std::vector<SlotTime> candidates = mw_candidate_slots(inst);
   const std::size_t m = candidates.size();
   ABT_ASSERT(m <= 22, "brute force limited to 22 candidate slots");
+  SubsetSearchResult result;
   long best = -1;
-  std::vector<SlotTime> best_open;
+  if (context != nullptr) {
+    // Anytime seed: a feasible (if non-minimal-cost) incumbent before the
+    // enumeration starts, so even an instantly-expired budget returns one.
+    // No seed means the FULL candidate set is infeasible, which proves
+    // every subset infeasible — conclude immediately instead of letting
+    // the enumeration run past the budget with nothing to return.
+    auto minimal = mw_solve_minimal_feasible(inst);
+    if (!minimal.has_value()) return std::nullopt;
+    best = static_cast<long>(minimal->active_slots.size());
+    result.open = std::move(minimal->active_slots);
+    context->report_incumbent(static_cast<double>(best));
+  }
   for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    if ((mask & 4095ULL) == 0 && context != nullptr && best >= 0 &&
+        context->should_stop()) {
+      result.proven_optimal = false;
+      break;
+    }
     const int bits = __builtin_popcountll(mask);
     if (best >= 0 && bits >= best) continue;
     std::vector<SlotTime> open;
@@ -206,24 +232,39 @@ std::optional<std::vector<SlotTime>> mw_best_slot_subset(
     }
     if (mw_is_feasible_with_slots(inst, open)) {
       best = bits;
-      best_open = std::move(open);
+      result.open = std::move(open);
+      if (context != nullptr) {
+        context->report_incumbent(static_cast<double>(best));
+      }
     }
   }
   if (best < 0) return std::nullopt;
-  return best_open;
+  return result;
 }
 
 }  // namespace
 
 long mw_brute_force_opt(const MultiWindowInstance& inst) {
   const auto best = mw_best_slot_subset(inst);
-  return best.has_value() ? static_cast<long>(best->size()) : -1;
+  return best.has_value() ? static_cast<long>(best->open.size()) : -1;
 }
 
 std::optional<ActiveSchedule> mw_solve_exact(const MultiWindowInstance& inst) {
   auto best = mw_best_slot_subset(inst);
   if (!best.has_value()) return std::nullopt;
-  return mw_extract_assignment(inst, std::move(*best));
+  return mw_extract_assignment(inst, std::move(best->open));
+}
+
+std::optional<MultiWindowExactResult> mw_solve_exact_anytime(
+    const MultiWindowInstance& inst, MultiWindowExactOptions options) {
+  auto best = mw_best_slot_subset(inst, options.context);
+  if (!best.has_value()) return std::nullopt;
+  MultiWindowExactResult result;
+  result.proven_optimal = best->proven_optimal;
+  auto schedule = mw_extract_assignment(inst, std::move(best->open));
+  if (!schedule.has_value()) return std::nullopt;
+  result.schedule = std::move(*schedule);
+  return result;
 }
 
 }  // namespace abt::active

@@ -6,6 +6,7 @@
 
 #include "core/active_schedule.hpp"
 #include "core/job.hpp"
+#include "core/run_context.hpp"
 
 namespace abt::active {
 
@@ -102,5 +103,22 @@ class MultiWindowInstance {
 /// `active/multi-window-exact`.
 [[nodiscard]] std::optional<core::ActiveSchedule> mw_solve_exact(
     const MultiWindowInstance& inst);
+
+/// Anytime variant of the subset enumeration: seeds its incumbent with the
+/// minimal-feasible solution, then polls the context on a mask counter —
+/// an interrupted run returns the best subset seen so far with
+/// `proven_optimal = false`. The 22-candidate structural cap (64-bit mask
+/// enumeration) still applies regardless of budget.
+struct MultiWindowExactOptions {
+  const core::RunContext* context = nullptr;
+};
+
+struct MultiWindowExactResult {
+  core::ActiveSchedule schedule;
+  bool proven_optimal = true;  ///< False when the context stopped it.
+};
+
+[[nodiscard]] std::optional<MultiWindowExactResult> mw_solve_exact_anytime(
+    const MultiWindowInstance& inst, MultiWindowExactOptions options = {});
 
 }  // namespace abt::active

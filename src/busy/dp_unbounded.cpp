@@ -119,6 +119,7 @@ class UnboundedSolver {
         out.starts[static_cast<std::size_t>(j)] = r_[static_cast<std::size_t>(j)];
       }
       out.exact = false;
+      out.timed_out = timed_out_;
     } else {
       reconstruct(t0, empty_id, out.starts);
       out.exact = true;
@@ -191,6 +192,12 @@ class UnboundedSolver {
     }
     if (static_cast<long>(memo_.size()) >= options_.state_limit) {
       exploded_ = true;
+      return std::numeric_limits<double>::infinity();
+    }
+    if ((++polls_ & 1023) == 0 && options_.context != nullptr &&
+        options_.context->should_stop()) {
+      exploded_ = true;
+      timed_out_ = true;
       return std::numeric_limits<double>::infinity();
     }
 
@@ -286,7 +293,9 @@ class UnboundedSolver {
   /// across rehash because unordered_map nodes never move).
   std::unordered_map<std::vector<JobId>, int, PendingVecHash> interner_;
   std::vector<const std::vector<JobId>*> pool_;
+  long polls_ = 0;
   bool exploded_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace

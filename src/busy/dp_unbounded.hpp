@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/continuous_instance.hpp"
+#include "core/run_context.hpp"
 
 namespace abt::busy {
 
@@ -13,7 +14,8 @@ struct UnboundedSolution {
   double busy_time = 0.0;
   std::vector<double> starts;            ///< Per job.
   std::vector<core::Interval> windows;   ///< Disjoint busy components.
-  bool exact = true;                     ///< False only if node budget hit.
+  bool exact = true;                     ///< False if a limit/deadline hit.
+  bool timed_out = false;                ///< The RunContext stopped the DP.
   long nodes = 0;                        ///< Search states expanded.
   /// Distinct pending-set vectors hash-consed by the memo. States share
   /// interned sets by id, so memo memory is O(nodes + interned * set size)
@@ -27,6 +29,10 @@ struct UnboundedOptions {
   /// push-left upper bound (every job at its release) with exact = false.
   /// The paper's workloads stay far below this.
   long state_limit = 2'000'000;
+  /// Deadline / cancellation polled on the state counter (nullptr = free
+  /// run). A stop takes the same push-left fallback as the state limit,
+  /// with `timed_out = true` so callers can tell the two apart.
+  const core::RunContext* context = nullptr;
 };
 
 /// Computes an optimal g = infinity schedule. This is the subroutine the

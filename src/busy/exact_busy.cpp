@@ -17,7 +17,9 @@ namespace {
 
 class PartitionSearch {
  public:
-  explicit PartitionSearch(const ContinuousInstance& inst) : inst_(inst) {
+  PartitionSearch(const ContinuousInstance& inst,
+                  const core::RunContext* context)
+      : inst_(inst), context_(context) {
     runs_ = inst.forced_intervals();
     // Assign longer jobs first: better pruning.
     order_.resize(static_cast<std::size_t>(inst.size()));
@@ -29,16 +31,19 @@ class PartitionSearch {
     best_assignment_ = assignment_;
   }
 
-  BusySchedule run() {
+  ExactBusyResult run() {
     dfs(0, 0, 0.0);
-    BusySchedule sched;
-    sched.placements.assign(static_cast<std::size_t>(inst_.size()), {});
+    ExactBusyResult result;
+    result.proven_optimal = !stopped_;
+    result.nodes = nodes_;
+    result.schedule.placements.assign(static_cast<std::size_t>(inst_.size()),
+                                      {});
     for (JobId j = 0; j < inst_.size(); ++j) {
-      sched.placements[static_cast<std::size_t>(j)] = {
+      result.schedule.placements[static_cast<std::size_t>(j)] = {
           best_assignment_[static_cast<std::size_t>(j)],
           inst_.job(j).release};
     }
-    return sched;
+    return result;
   }
 
  private:
@@ -78,10 +83,22 @@ class PartitionSearch {
   }
 
   void dfs(std::size_t index, int bundles_used, double cost_so_far) {
+    if (stopped_) return;
+    // Poll the context on a node counter, but only once an incumbent
+    // exists: the first depth-first descent always completes (n fresh
+    // bundles worst case), so even an instantly-expired budget yields a
+    // feasible schedule.
+    if ((++nodes_ & 1023) == 0 && context_ != nullptr &&
+        best_cost_ < std::numeric_limits<double>::infinity() &&
+        context_->should_stop()) {
+      stopped_ = true;
+      return;
+    }
     if (cost_so_far >= best_cost_ - 1e-12) return;
     if (index == order_.size()) {
       best_cost_ = cost_so_far;
       best_assignment_ = assignment_;
+      if (context_ != nullptr) context_->report_incumbent(best_cost_);
       return;
     }
     const JobId j = order_[index];
@@ -98,22 +115,32 @@ class PartitionSearch {
   }
 
   const ContinuousInstance& inst_;
+  const core::RunContext* context_;
   std::vector<Interval> runs_;
   std::vector<JobId> order_;
   std::vector<int> assignment_;
   std::vector<int> best_assignment_;
   double best_cost_ = std::numeric_limits<double>::infinity();
+  long nodes_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace
 
-std::optional<BusySchedule> solve_exact_interval(const ContinuousInstance& inst,
-                                                 ExactBusyOptions options) {
+std::optional<ExactBusyResult> solve_exact_interval_anytime(
+    const ContinuousInstance& inst, ExactBusyOptions options) {
   if (inst.size() > options.max_jobs) return std::nullopt;
   ABT_ASSERT(inst.all_interval_jobs(1e-6),
              "exact busy solver expects interval jobs");
-  PartitionSearch search(inst);
+  PartitionSearch search(inst, options.context);
   return search.run();
+}
+
+std::optional<BusySchedule> solve_exact_interval(const ContinuousInstance& inst,
+                                                 ExactBusyOptions options) {
+  auto result = solve_exact_interval_anytime(inst, options);
+  if (!result.has_value()) return std::nullopt;
+  return std::move(result->schedule);
 }
 
 }  // namespace abt::busy

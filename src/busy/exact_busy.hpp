@@ -4,24 +4,43 @@
 
 #include "core/busy_schedule.hpp"
 #include "core/continuous_instance.hpp"
+#include "core/run_context.hpp"
 
 namespace abt::busy {
 
-/// Exact busy-time solver for *small* instances of interval jobs, by
-/// exhaustive partition search (jobs assigned one at a time to an existing
-/// or fresh bundle, with capacity pruning and a cost bound). The problem is
-/// NP-hard even for g = 2 [Winkler-Zhang 14], so this is strictly a test /
-/// calibration oracle; it refuses instances larger than `max_jobs`.
+/// Exact busy-time solver for instances of interval jobs, by exhaustive
+/// partition search (jobs assigned one at a time to an existing or fresh
+/// bundle, with capacity pruning and a cost bound). The problem is NP-hard
+/// even for g = 2 [Winkler-Zhang 14], so a free run refuses instances
+/// larger than `max_jobs`; under a RunContext budget the search runs
+/// anytime-style — it polls the context on a node counter and returns its
+/// best incumbent with `proven_optimal = false` when interrupted.
 ///
 /// The default gate is measured, not guessed: worst observed wall time on
 /// one core is ~5 ms at n = 14, ~100 ms at n = 18 and ~0.6 s at n = 20
 /// (random and adversarial clique instances, g = 3) — see
-/// docs/ALGORITHMS.md for the curve. n = 18 keeps the oracle comfortably
-/// interactive while doubling the calibration range of the old n = 14 gate.
+/// docs/ALGORITHMS.md for the curve.
 struct ExactBusyOptions {
   int max_jobs = 18;
+  /// Deadline / cancellation polled by the search (nullptr = free run).
+  /// The first full assignment (reached after n descent steps) is always
+  /// completed, so an interrupted run still returns a feasible schedule.
+  const core::RunContext* context = nullptr;
 };
 
+struct ExactBusyResult {
+  core::BusySchedule schedule;
+  bool proven_optimal = true;  ///< False when the context stopped the search.
+  long nodes = 0;              ///< Search nodes expanded.
+};
+
+/// Anytime entry point; nullopt only for instances over the `max_jobs`
+/// gate (raise it — e.g. to inst.size() — when a budget bounds the run).
+[[nodiscard]] std::optional<ExactBusyResult> solve_exact_interval_anytime(
+    const core::ContinuousInstance& inst, ExactBusyOptions options = {});
+
+/// Legacy gate-or-nothing entry point (schedule only, always optimal when
+/// it returns and no context is configured).
 [[nodiscard]] std::optional<core::BusySchedule> solve_exact_interval(
     const core::ContinuousInstance& inst, ExactBusyOptions options = {});
 

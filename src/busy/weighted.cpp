@@ -203,8 +203,8 @@ BusySchedule narrow_wide_split(const WeightedInstance& inst) {
   return sched;
 }
 
-std::optional<BusySchedule> solve_exact_weighted(const WeightedInstance& inst,
-                                                 WeightedExactOptions options) {
+std::optional<WeightedExactResult> solve_exact_weighted_anytime(
+    const WeightedInstance& inst, WeightedExactOptions options) {
   if (inst.size() > options.max_jobs) return std::nullopt;
   ABT_ASSERT(inst.all_interval_jobs(1e-6), "exact expects interval jobs");
 
@@ -217,6 +217,9 @@ std::optional<BusySchedule> solve_exact_weighted(const WeightedInstance& inst,
   std::vector<int> assignment(static_cast<std::size_t>(inst.size()), -1);
   std::vector<int> best_assignment = assignment;
   double best_cost = std::numeric_limits<double>::infinity();
+  const core::RunContext* context = options.context;
+  long nodes = 0;
+  bool stopped = false;
 
   auto machine_runs = [&](int m) {
     std::vector<WeightedRun> runs;
@@ -238,10 +241,21 @@ std::optional<BusySchedule> solve_exact_weighted(const WeightedInstance& inst,
   std::function<void(std::size_t, int, double)> dfs = [&](std::size_t index,
                                                           int used,
                                                           double cost) {
+    if (stopped) return;
+    // Context poll on a node counter, only once an incumbent exists — the
+    // first depth-first descent always completes, so even an
+    // instantly-expired budget yields a feasible schedule.
+    if ((++nodes & 1023) == 0 && context != nullptr &&
+        best_cost < std::numeric_limits<double>::infinity() &&
+        context->should_stop()) {
+      stopped = true;
+      return;
+    }
     if (cost >= best_cost - 1e-12) return;
     if (index == order.size()) {
       best_cost = cost;
       best_assignment = assignment;
+      if (context != nullptr) context->report_incumbent(best_cost);
       return;
     }
     const JobId j = order[index];
@@ -260,13 +274,22 @@ std::optional<BusySchedule> solve_exact_weighted(const WeightedInstance& inst,
   };
   dfs(0, 0, 0.0);
 
-  BusySchedule sched;
-  sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
+  WeightedExactResult result;
+  result.proven_optimal = !stopped;
+  result.nodes = nodes;
+  result.schedule.placements.assign(static_cast<std::size_t>(inst.size()), {});
   for (JobId j = 0; j < inst.size(); ++j) {
-    sched.placements[static_cast<std::size_t>(j)] = {
+    result.schedule.placements[static_cast<std::size_t>(j)] = {
         best_assignment[static_cast<std::size_t>(j)], inst.job(j).job.release};
   }
-  return sched;
+  return result;
+}
+
+std::optional<BusySchedule> solve_exact_weighted(const WeightedInstance& inst,
+                                                 WeightedExactOptions options) {
+  auto result = solve_exact_weighted_anytime(inst, options);
+  if (!result.has_value()) return std::nullopt;
+  return std::move(result->schedule);
 }
 
 BusySchedule schedule_weighted_flexible(const WeightedInstance& inst) {

@@ -6,6 +6,7 @@
 
 #include "core/busy_schedule.hpp"
 #include "core/continuous_instance.hpp"
+#include "core/run_context.hpp"
 
 namespace abt::busy {
 
@@ -69,14 +70,34 @@ class WeightedInstance {
 [[nodiscard]] core::BusySchedule narrow_wide_split(
     const WeightedInstance& inst);
 
-/// Exact solver for small weighted interval instances (partition search).
+/// Exact solver for weighted interval instances (partition search). A free
+/// run refuses instances over `max_jobs`; under a RunContext budget the
+/// search runs anytime-style and returns its best incumbent with
+/// `proven_optimal = false` when the deadline interrupts it.
 /// The gate is measured, not guessed (docs/ALGORITHMS.md): worst observed
 /// ~240 ms at n = 14 over random moderate-density and near-clique families
 /// (n = 16 already risks ~5 s — the width dimension weakens pruning, so the
 /// gate sits below the unweighted oracle's n = 18).
 struct WeightedExactOptions {
   int max_jobs = 14;
+  /// Deadline / cancellation polled by the search (nullptr = free run).
+  /// The first full assignment always completes, so an interrupted run
+  /// still returns a feasible schedule.
+  const core::RunContext* context = nullptr;
 };
+
+struct WeightedExactResult {
+  core::BusySchedule schedule;
+  bool proven_optimal = true;  ///< False when the context stopped the search.
+  long nodes = 0;              ///< Search nodes expanded.
+};
+
+/// Anytime entry point; nullopt only for instances over the `max_jobs`
+/// gate (raise it when a budget bounds the run).
+[[nodiscard]] std::optional<WeightedExactResult> solve_exact_weighted_anytime(
+    const WeightedInstance& inst, WeightedExactOptions options = {});
+
+/// Legacy gate-or-nothing entry point (schedule only).
 [[nodiscard]] std::optional<core::BusySchedule> solve_exact_weighted(
     const WeightedInstance& inst, WeightedExactOptions options = {});
 

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <memory>
+
+namespace abt::core {
+
+/// Polled cancellation: a CancelSource owns the flag, every CancelToken
+/// copied from it observes the same flag. A default-constructed token is
+/// never cancelled, so "no cancellation" costs one null check per poll.
+/// Thread-safe: cancel() may race with cancelled() from any worker.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A strictly improving incumbent reported by an anytime solver mid-run.
+/// `cost` is the solver's own bookkeeping (the final schedule still goes
+/// through the registry checker); `elapsed_ms` is measured against the
+/// context's start.
+struct Incumbent {
+  double cost = 0.0;
+  double elapsed_ms = 0.0;
+};
+
+using IncumbentHook = std::function<void(const Incumbent&)>;
+
+/// The per-run invocation context every registered solver receives: a
+/// monotonic time budget, a polled cancellation token and an
+/// incumbent-reporting hook. Polynomial solvers ignore it entirely; the
+/// branch-and-bound / enumeration solvers poll `should_stop()` on a node
+/// counter and return their best incumbent (with `Solution::timed_out =
+/// true` and `exact = false`) instead of running to completion.
+///
+/// The clock starts at construction. Drivers that reuse one configured
+/// context for many runs (the sweep/campaign engines) call `restarted()`
+/// to re-arm the deadline per cell; the budget, token and hook carry over.
+///
+/// A default-constructed context is unlimited and never cancelled — the
+/// legacy "run to completion or refuse" behavior.
+class RunContext {
+ public:
+  RunContext() = default;
+
+  /// Context with a wall-clock budget in milliseconds (<= 0 = unlimited).
+  [[nodiscard]] static RunContext with_budget_ms(double budget_ms) {
+    RunContext ctx;
+    ctx.budget_ms_ = budget_ms > 0.0 ? budget_ms : 0.0;
+    return ctx;
+  }
+
+  RunContext& set_cancel_token(CancelToken token) {
+    cancel_ = std::move(token);
+    return *this;
+  }
+  RunContext& set_incumbent_hook(IncumbentHook hook) {
+    hook_ = std::move(hook);
+    return *this;
+  }
+
+  /// Copy with the clock (and therefore the deadline) re-armed at now.
+  [[nodiscard]] RunContext restarted() const {
+    RunContext ctx = *this;
+    ctx.start_ = std::chrono::steady_clock::now();
+    return ctx;
+  }
+
+  [[nodiscard]] double budget_ms() const { return budget_ms_; }
+  [[nodiscard]] bool has_budget() const { return budget_ms_ > 0.0; }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  /// Milliseconds left on the budget; +infinity when unlimited.
+  [[nodiscard]] double remaining_ms() const {
+    if (!has_budget()) return std::numeric_limits<double>::infinity();
+    return budget_ms_ - elapsed_ms();
+  }
+  [[nodiscard]] bool out_of_budget() const {
+    return has_budget() && elapsed_ms() >= budget_ms_;
+  }
+  [[nodiscard]] bool cancelled() const { return cancel_.cancelled(); }
+
+  /// The one predicate search loops poll (amortize over a node counter —
+  /// each call reads the monotonic clock).
+  [[nodiscard]] bool should_stop() const {
+    return cancelled() || out_of_budget();
+  }
+
+  /// Reports a strictly improving incumbent to the hook (if any). Safe to
+  /// call from any solver thread; `const` because solvers only see a
+  /// read-only context.
+  void report_incumbent(double cost) const {
+    if (hook_) hook_({cost, elapsed_ms()});
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  double budget_ms_ = 0.0;  ///< 0 = unlimited.
+  CancelToken cancel_;
+  IncumbentHook hook_;
+};
+
+}  // namespace abt::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "core/assert.hpp"
 
@@ -46,6 +47,12 @@ ProblemInstance make_instance(
   return out;
 }
 
+double Solution::gap() const {
+  if (exact) return 0.0;
+  if (best_bound <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, cost - best_bound) / best_bound;
+}
+
 double Solution::stat(std::string_view key, double fallback) const {
   for (const auto& [k, v] : stats) {
     if (k == key) return v;
@@ -72,23 +79,31 @@ const Solver* SolverRegistry::find(std::string_view name) const {
 }
 
 std::vector<const Solver*> SolverRegistry::applicable_to(
-    const ProblemInstance& inst) const {
+    const ProblemInstance& inst, const RunContext& ctx) const {
   std::vector<const Solver*> out;
   for (const Solver& s : solvers_) {
     if (s.family != inst.family || s.kind != inst.kind) continue;
-    if (s.applicable && !s.applicable(inst, nullptr)) continue;
+    if (s.applicable && !s.applicable(inst, ctx, nullptr)) continue;
     out.push_back(&s);
   }
   return out;
 }
 
-Solution SolverRegistry::run(const Solver& solver,
-                             const ProblemInstance& inst) const {
+Solution SolverRegistry::run(const Solver& solver, const ProblemInstance& inst,
+                             const RunContext& ctx) const {
   Solution sol;
   sol.solver = solver.name;
   sol.family = solver.family;
   sol.guarantee = solver.guarantee;
+  sol.budget_ms = ctx.budget_ms();
 
+  // A cancelled batch declines every remaining cell up front — the point
+  // of cancellation is that no further solver work starts.
+  if (ctx.cancelled()) {
+    sol.message = "cancelled";
+    sol.timed_out = true;
+    return sol;
+  }
   if (solver.family != inst.family) {
     sol.message = "wrong family";
     return sol;
@@ -101,21 +116,27 @@ Solution SolverRegistry::run(const Solver& solver,
   }
   if (solver.applicable) {
     std::string why;
-    if (!solver.applicable(inst, &why)) {
+    if (!solver.applicable(inst, ctx, &why)) {
       sol.message = why.empty() ? "not applicable" : why;
       return sol;
     }
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  Solution produced = solver.run(inst);
+  Solution produced = solver.run(inst, ctx);
   const auto t1 = std::chrono::steady_clock::now();
 
   produced.solver = solver.name;
   produced.family = solver.family;
+  produced.budget_ms = ctx.budget_ms();
   if (produced.guarantee.empty()) produced.guarantee = solver.guarantee;
   produced.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // A completed exact run certifies its own cost as the lower bound; an
+  // interrupted one keeps whatever combinatorial bound the solver set.
+  if (produced.ok && produced.exact && produced.best_bound <= 0.0) {
+    produced.best_bound = produced.cost;
+  }
 
   if (!produced.ok) {
     produced.feasible = false;
@@ -165,8 +186,8 @@ Solution SolverRegistry::run(const Solver& solver,
   return produced;
 }
 
-Solution SolverRegistry::run(std::string_view name,
-                             const ProblemInstance& inst) const {
+Solution SolverRegistry::run(std::string_view name, const ProblemInstance& inst,
+                             const RunContext& ctx) const {
   const Solver* solver = find(name);
   if (solver == nullptr) {
     Solution sol;
@@ -174,17 +195,18 @@ Solution SolverRegistry::run(std::string_view name,
     sol.message = "unknown solver";
     return sol;
   }
-  return run(*solver, inst);
+  return run(*solver, inst, ctx);
 }
 
 std::vector<const Solver*> SolverRegistry::selection(
-    const ProblemInstance& inst, const std::vector<std::string>& only) const {
+    const ProblemInstance& inst, const std::vector<std::string>& only,
+    const RunContext& ctx) const {
   std::vector<const Solver*> out;
   for (const Solver& s : solvers_) {
     if (only.empty()) {
       // Unrestricted runs silently skip inapplicable solvers.
       if (s.family != inst.family || s.kind != inst.kind) continue;
-      if (s.applicable && !s.applicable(inst, nullptr)) continue;
+      if (s.applicable && !s.applicable(inst, ctx, nullptr)) continue;
     } else if (std::find(only.begin(), only.end(), s.name) == only.end()) {
       continue;
     }
@@ -194,13 +216,14 @@ std::vector<const Solver*> SolverRegistry::selection(
 }
 
 std::vector<Solution> SolverRegistry::run_applicable(
-    const ProblemInstance& inst, const std::vector<std::string>& only) const {
+    const ProblemInstance& inst, const std::vector<std::string>& only,
+    const RunContext& ctx) const {
   std::vector<Solution> out;
-  for (const Solver* s : selection(inst, only)) {
+  for (const Solver* s : selection(inst, only, ctx)) {
     // An explicitly requested solver always gets a row: run() turns a
     // family mismatch or applicability refusal into a declined Solution
     // instead of dropping the request on the floor.
-    out.push_back(run(*s, inst));
+    out.push_back(run(*s, inst, ctx.restarted()));
   }
   // Unknown requested names get a refusal row too, not a silent drop.
   for (const std::string& name : only) {

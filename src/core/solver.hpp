@@ -12,6 +12,7 @@
 #include "core/active_schedule.hpp"
 #include "core/busy_schedule.hpp"
 #include "core/continuous_instance.hpp"
+#include "core/run_context.hpp"
 #include "core/slotted_instance.hpp"
 
 namespace abt::core {
@@ -96,6 +97,21 @@ struct Solution {
   std::string guarantee;  ///< Human-readable a-priori bound of the solver.
   bool exact = false;     ///< This run proved optimality of `cost`.
 
+  /// Budget / anytime bookkeeping. `budget_ms` echoes the RunContext the
+  /// run was given (0 = unlimited); `timed_out` means the budget or a
+  /// cancellation interrupted the run, so `cost` is the best incumbent
+  /// found, not a proven optimum; `best_bound` is the strongest lower
+  /// bound on OPT the run can certify (== cost for a completed exact run,
+  /// a combinatorial bound for an interrupted one, 0 when none applies).
+  double budget_ms = 0.0;
+  bool timed_out = false;
+  double best_bound = 0.0;
+
+  /// Relative optimality gap of `cost` against `best_bound`: 0 for a
+  /// proven optimum, (cost - best_bound) / best_bound when a positive
+  /// bound is known, +infinity when the run certifies no bound at all.
+  [[nodiscard]] double gap() const;
+
   /// Solver-specific counters (DP states, interned sets, LP objective,
   /// repair opens, ...), reported as ordered key/value pairs.
   std::vector<std::pair<std::string, double>> stats;
@@ -128,12 +144,20 @@ struct Solver {
   /// True when the solver proves optimality whenever it succeeds.
   bool exact = false;
 
-  /// Whether the solver accepts this instance (model, job shape, size).
-  /// May explain a refusal through `why`.
-  std::function<bool(const ProblemInstance&, std::string* why)> applicable;
+  /// Whether the solver accepts this instance (model, job shape, size)
+  /// under the given invocation context. May explain a refusal through
+  /// `why`. Size gates on the exact solvers consult `ctx.has_budget()`:
+  /// with a budget the hard gate lifts — the solver runs anytime-style to
+  /// the deadline and reports its incumbent with a gap instead of
+  /// refusing outright.
+  std::function<bool(const ProblemInstance&, const RunContext& ctx,
+                     std::string* why)>
+      applicable;
 
   /// Runs the algorithm. Preconditions: `applicable` returned true.
-  std::function<Solution(const ProblemInstance&)> run;
+  /// Polynomial solvers ignore `ctx`; anytime solvers poll
+  /// `ctx.should_stop()` and report incumbents through it.
+  std::function<Solution(const ProblemInstance&, const RunContext& ctx)> run;
 
   /// Checker for the produced schedule. Required for extended kinds (the
   /// default checkers only understand the standard models); when set it
@@ -155,9 +179,10 @@ class SolverRegistry {
   [[nodiscard]] const std::vector<Solver>& all() const { return solvers_; }
   [[nodiscard]] std::size_t size() const { return solvers_.size(); }
 
-  /// Solvers of `family` whose applicability predicate accepts `inst`.
+  /// Solvers of `family` whose applicability predicate accepts `inst`
+  /// under `ctx` (a budget lifts the exact solvers' size gates).
   [[nodiscard]] std::vector<const Solver*> applicable_to(
-      const ProblemInstance& inst) const;
+      const ProblemInstance& inst, const RunContext& ctx = {}) const;
 
   /// The solvers run_applicable would run on `inst`, in registration
   /// order: every family/kind/applicability match when `only` is empty,
@@ -167,24 +192,29 @@ class SolverRegistry {
   /// single definition of sweep/run selection semantics — extend gates
   /// here, never in a caller.
   [[nodiscard]] std::vector<const Solver*> selection(
-      const ProblemInstance& inst,
-      const std::vector<std::string>& only = {}) const;
+      const ProblemInstance& inst, const std::vector<std::string>& only = {},
+      const RunContext& ctx = {}) const;
 
   /// Runs one solver: applicability gate, wall-clock timing, checker
   /// validation of whatever schedule the solver produced. Never throws on
-  /// solver refusal — the verdict lands in Solution::ok / message.
-  [[nodiscard]] Solution run(const Solver& solver,
-                             const ProblemInstance& inst) const;
+  /// solver refusal — the verdict lands in Solution::ok / message. The
+  /// context is used as given (deadline already armed by the caller); a
+  /// context cancelled before the call declines the run with message
+  /// "cancelled" so batch drivers stop promptly.
+  [[nodiscard]] Solution run(const Solver& solver, const ProblemInstance& inst,
+                             const RunContext& ctx = {}) const;
 
   /// Convenience: run(find(name)); refusal Solution when unknown.
   [[nodiscard]] Solution run(std::string_view name,
-                             const ProblemInstance& inst) const;
+                             const ProblemInstance& inst,
+                             const RunContext& ctx = {}) const;
 
   /// Runs every applicable solver (or the named subset) in registration
-  /// order.
+  /// order. Each run gets `ctx.restarted()` — the budget applies per
+  /// solver, not to the whole batch.
   [[nodiscard]] std::vector<Solution> run_applicable(
-      const ProblemInstance& inst,
-      const std::vector<std::string>& only = {}) const;
+      const ProblemInstance& inst, const std::vector<std::string>& only = {},
+      const RunContext& ctx = {}) const;
 
  private:
   std::vector<Solver> solvers_;

@@ -1,5 +1,7 @@
 #include "engine/builtin_solvers.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "active/exact.hpp"
@@ -10,6 +12,7 @@
 #include "busy/first_fit.hpp"
 #include "busy/flexible_pipeline.hpp"
 #include "busy/greedy_tracking.hpp"
+#include "busy/lower_bounds.hpp"
 #include "busy/online.hpp"
 #include "busy/preemptive.hpp"
 #include "busy/special_cases.hpp"
@@ -23,18 +26,21 @@ namespace abt::engine {
 using core::Family;
 using core::InstanceKind;
 using core::ProblemInstance;
+using core::RunContext;
 using core::Solution;
 using core::Solver;
 
 namespace {
 
-bool interval_jobs(const ProblemInstance& inst, std::string* why) {
+bool interval_jobs(const ProblemInstance& inst, const RunContext& /*ctx*/,
+                   std::string* why) {
   if (inst.continuous.all_interval_jobs(1e-6)) return true;
   if (why != nullptr) *why = "needs interval jobs (no slack)";
   return false;
 }
 
-bool flexible_jobs(const ProblemInstance& inst, std::string* why) {
+bool flexible_jobs(const ProblemInstance& inst, const RunContext& /*ctx*/,
+                   std::string* why) {
   if (!inst.continuous.all_interval_jobs(1e-6)) return true;
   if (why != nullptr) {
     *why = "interval jobs: use the direct interval algorithms";
@@ -60,7 +66,7 @@ Solver interval_solver(std::string name, std::string guarantee, double factor,
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = factor;
   s.applicable = interval_jobs;
-  s.run = [fn](const ProblemInstance& inst) {
+  s.run = [fn](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     return busy_solution(fn(inst.continuous), inst);
   };
   return s;
@@ -77,7 +83,7 @@ Solver pipeline_solver(std::string name, std::string guarantee, double factor,
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = factor;
   s.applicable = flexible_jobs;
-  s.run = [algorithm](const ProblemInstance& inst) {
+  s.run = [algorithm](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     const busy::FlexiblePipelineResult result =
         busy::schedule_flexible(inst.continuous, algorithm);
     Solution sol = busy_solution(result.schedule, inst);
@@ -95,7 +101,7 @@ Solver online_solver(std::string name, busy::OnlinePolicy policy) {
   s.guarantee = "online baseline (Omega(g) adversarial)";
   s.guarantee_factor = 0.0;
   s.applicable = interval_jobs;
-  s.run = [policy](const ProblemInstance& inst) {
+  s.run = [policy](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     return busy_solution(busy::schedule_online(inst.continuous, policy), inst);
   };
   return s;
@@ -109,7 +115,7 @@ Solver minimal_solver(std::string name, std::string guarantee,
   s.family = Family::kActive;
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = 3.0;
-  s.run = [order](const ProblemInstance& inst) {
+  s.run = [order](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     Solution sol;
     active::MinimalFeasibleOptions options;
     options.order = order;
@@ -156,26 +162,44 @@ void register_busy(core::SolverRegistry& registry) {
     Solver s;
     s.name = "busy/exact";
     s.family = Family::kBusy;
-    s.guarantee = "optimal (partition search)";
+    s.guarantee = "optimal (partition search; anytime under a budget)";
     s.guarantee_factor = 1.0;
     s.exact = true;
-    s.applicable = [](const ProblemInstance& inst, std::string* why) {
-      if (!interval_jobs(inst, why)) return false;
-      if (inst.continuous.size() > busy::ExactBusyOptions{}.max_jobs) {
-        if (why != nullptr) *why = "instance too large for the exact oracle";
+    s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
+                      std::string* why) {
+      if (!interval_jobs(inst, ctx, why)) return false;
+      // The measured gate is the free-run guard; a budget retires it —
+      // the search runs anytime to the deadline and reports its gap.
+      if (!ctx.has_budget() &&
+          inst.continuous.size() > busy::ExactBusyOptions{}.max_jobs) {
+        if (why != nullptr) {
+          *why = "instance too large for the exact oracle (give it a "
+                 "budget to run anytime)";
+        }
         return false;
       }
       return true;
     };
-    s.run = [](const ProblemInstance& inst) {
-      const auto sched = busy::solve_exact_interval(inst.continuous);
+    s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
+      busy::ExactBusyOptions options;
+      options.context = &ctx;
+      if (ctx.has_budget()) options.max_jobs = inst.continuous.size();
+      const auto result =
+          busy::solve_exact_interval_anytime(inst.continuous, options);
       Solution sol;
-      if (!sched.has_value()) {
+      if (!result.has_value()) {
         sol.message = "exact oracle refused the instance";
         return sol;
       }
-      sol = busy_solution(*sched, inst);
-      sol.exact = true;
+      sol = busy_solution(result->schedule, inst);
+      sol.exact = result->proven_optimal;
+      sol.timed_out = !result->proven_optimal;
+      if (!result->proven_optimal) {
+        sol.best_bound =
+            busy::busy_lower_bounds(inst.continuous, /*with_span=*/true)
+                .best();
+      }
+      sol.add_stat("nodes", static_cast<double>(result->nodes));
       return sol;
     };
     registry.add(std::move(s));
@@ -188,8 +212,9 @@ void register_busy(core::SolverRegistry& registry) {
     s.guarantee = "optimal (Mertzios et al. DP)";
     s.guarantee_factor = 1.0;
     s.exact = true;
-    s.applicable = [](const ProblemInstance& inst, std::string* why) {
-      if (!interval_jobs(inst, why)) return false;
+    s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
+                      std::string* why) {
+      if (!interval_jobs(inst, ctx, why)) return false;
       if (!busy::is_proper_instance(inst.continuous) ||
           !busy::is_clique_instance(inst.continuous)) {
         if (why != nullptr) *why = "needs a proper clique instance";
@@ -197,7 +222,7 @@ void register_busy(core::SolverRegistry& registry) {
       }
       return true;
     };
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       const auto sched = busy::solve_proper_clique(inst.continuous);
       Solution sol;
       if (!sched.has_value()) {
@@ -234,7 +259,7 @@ void register_busy(core::SolverRegistry& registry) {
     s.family = Family::kBusy;
     s.guarantee = "<= 2 max(OPT_inf, mass/g) (Thm 7, preemptive)";
     s.guarantee_factor = 2.0;
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       const busy::PreemptiveBoundedSolution result =
           busy::solve_preemptive_bounded(inst.continuous);
       Solution sol;
@@ -258,15 +283,20 @@ void register_busy(core::SolverRegistry& registry) {
     s.family = Family::kBusy;
     s.guarantee = "optimal when the g=inf freeze fits g (Thm 4 DP)";
     s.guarantee_factor = 0.0;
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
+      busy::UnboundedOptions options;
+      options.context = &ctx;
       const busy::UnboundedSolution dp =
-          busy::solve_unbounded(inst.continuous);
+          busy::solve_unbounded(inst.continuous, options);
       const core::ContinuousInstance frozen =
           busy::freeze_to_interval_instance(inst.continuous, dp);
       const int peak = core::max_concurrency(frozen.forced_intervals());
       Solution sol;
+      sol.timed_out = dp.timed_out;
       if (!dp.exact || peak > inst.continuous.capacity()) {
-        sol.message = "frozen g=inf solution exceeds capacity g";
+        sol.message = dp.timed_out
+                          ? "budget expired before the g=inf DP finished"
+                          : "frozen g=inf solution exceeds capacity g";
       } else {
         core::BusySchedule sched;
         sched.placements.reserve(dp.starts.size());
@@ -299,14 +329,16 @@ bool is_weighted(const ProblemInstance& inst, std::string* why) {
   return false;
 }
 
-bool weighted_interval(const ProblemInstance& inst, std::string* why) {
+bool weighted_interval(const ProblemInstance& inst, const RunContext& /*ctx*/,
+                       std::string* why) {
   if (!is_weighted(inst, why)) return false;
   if (weighted_of(inst).all_interval_jobs(1e-6)) return true;
   if (why != nullptr) *why = "needs interval jobs (no slack)";
   return false;
 }
 
-bool weighted_flexible(const ProblemInstance& inst, std::string* why) {
+bool weighted_flexible(const ProblemInstance& inst, const RunContext& /*ctx*/,
+                       std::string* why) {
   if (!is_weighted(inst, why)) return false;
   if (!weighted_of(inst).all_interval_jobs(1e-6)) return true;
   if (why != nullptr) {
@@ -346,7 +378,7 @@ Solver weighted_solver(std::string name, std::string guarantee, double factor,
   s.guarantee_factor = factor;
   s.applicable = weighted_interval;
   s.check = check_weighted;
-  s.run = [fn](const ProblemInstance& inst) {
+  s.run = [fn](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     return weighted_solution(fn(weighted_of(inst)), inst);
   };
   return s;
@@ -370,27 +402,42 @@ void register_weighted(core::SolverRegistry& registry) {
     s.name = "busy/weighted-exact";
     s.family = Family::kBusy;
     s.kind = InstanceKind::kWeighted;
-    s.guarantee = "optimal (partition search)";
+    s.guarantee = "optimal (partition search; anytime under a budget)";
     s.guarantee_factor = 1.0;
     s.exact = true;
     s.check = check_weighted;
-    s.applicable = [](const ProblemInstance& inst, std::string* why) {
-      if (!weighted_interval(inst, why)) return false;
-      if (weighted_of(inst).size() > busy::WeightedExactOptions{}.max_jobs) {
-        if (why != nullptr) *why = "instance too large for the exact oracle";
+    s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
+                      std::string* why) {
+      if (!weighted_interval(inst, ctx, why)) return false;
+      if (!ctx.has_budget() &&
+          weighted_of(inst).size() > busy::WeightedExactOptions{}.max_jobs) {
+        if (why != nullptr) {
+          *why = "instance too large for the exact oracle (give it a "
+                 "budget to run anytime)";
+        }
         return false;
       }
       return true;
     };
-    s.run = [](const ProblemInstance& inst) {
-      const auto sched = busy::solve_exact_weighted(weighted_of(inst));
+    s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
+      const busy::WeightedInstance& winst = weighted_of(inst);
+      busy::WeightedExactOptions options;
+      options.context = &ctx;
+      if (ctx.has_budget()) options.max_jobs = winst.size();
+      const auto result = busy::solve_exact_weighted_anytime(winst, options);
       Solution sol;
-      if (!sched.has_value()) {
+      if (!result.has_value()) {
         sol.message = "exact oracle refused the instance";
         return sol;
       }
-      sol = weighted_solution(*sched, inst);
-      sol.exact = true;
+      sol = weighted_solution(result->schedule, inst);
+      sol.exact = result->proven_optimal;
+      sol.timed_out = !result->proven_optimal;
+      if (!result->proven_optimal) {
+        sol.best_bound =
+            std::max(winst.mass_lower_bound(), winst.span_lower_bound());
+      }
+      sol.add_stat("nodes", static_cast<double>(result->nodes));
       return sol;
     };
     registry.add(std::move(s));
@@ -405,7 +452,7 @@ void register_weighted(core::SolverRegistry& registry) {
     s.guarantee_factor = 0.0;
     s.applicable = weighted_flexible;
     s.check = check_weighted;
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       return weighted_solution(
           busy::schedule_weighted_flexible(weighted_of(inst)), inst);
     };
@@ -431,7 +478,7 @@ void register_multi_window(core::SolverRegistry& registry) {
     s.guarantee = "minimal feasible heuristic (no factor carries over)";
     s.guarantee_factor = 0.0;
     s.check = check_multi_window;
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       Solution sol;
       const auto sched =
           active::mw_solve_minimal_feasible(multi_window_of(inst));
@@ -452,40 +499,52 @@ void register_multi_window(core::SolverRegistry& registry) {
     s.name = "active/multi-window-exact";
     s.family = Family::kActive;
     s.kind = InstanceKind::kMultiWindow;
-    s.guarantee = "optimal (subset enumeration)";
+    s.guarantee = "optimal (subset enumeration; anytime under a budget)";
     s.guarantee_factor = 1.0;
     s.exact = true;
     s.check = check_multi_window;
-    s.applicable = [](const ProblemInstance& inst, std::string* why) {
+    s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
+                      std::string* why) {
       if (inst.kind != InstanceKind::kMultiWindow) {
         if (why != nullptr) *why = "needs a multi-window instance";
         return false;
       }
       // Measured gate (docs/ALGORITHMS.md): enumeration is 2^candidates
       // max-flow checks — ~8 s at 22 candidate slots on one core, tens of
-      // ms at 18. The library primitive itself accepts up to 22.
+      // ms at 18. A budget lifts the measured gate, but only up to the
+      // 64-bit-mask structural cap of 22 candidates.
       const std::size_t candidates =
           active::mw_candidate_slots(multi_window_of(inst)).size();
-      if (candidates > 18) {
+      const std::size_t gate = ctx.has_budget() ? 22 : 18;
+      if (candidates > gate) {
         if (why != nullptr) {
           *why = "too many candidate slots (" + std::to_string(candidates) +
-                 " > 18) for subset enumeration";
+                 " > " + std::to_string(gate) + ") for subset enumeration";
         }
         return false;
       }
       return true;
     };
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
       Solution sol;
-      const auto sched = active::mw_solve_exact(multi_window_of(inst));
-      if (!sched.has_value()) {
+      active::MultiWindowExactOptions options;
+      options.context = &ctx;
+      const auto result =
+          active::mw_solve_exact_anytime(multi_window_of(inst), options);
+      if (!result.has_value()) {
         sol.message = "instance infeasible";
         return sol;
       }
       sol.ok = true;
-      sol.cost = static_cast<double>(sched->cost());
-      sol.active = *sched;
-      sol.exact = true;
+      sol.cost = static_cast<double>(result->schedule.cost());
+      sol.active = result->schedule;
+      sol.exact = result->proven_optimal;
+      sol.timed_out = !result->proven_optimal;
+      if (!result->proven_optimal) {
+        const active::MultiWindowInstance& mw = multi_window_of(inst);
+        sol.best_bound = std::ceil(static_cast<double>(mw.total_work()) /
+                                   static_cast<double>(mw.capacity()));
+      }
       return sol;
     };
     registry.add(std::move(s));
@@ -505,7 +564,7 @@ void register_active(core::SolverRegistry& registry) {
     s.family = Family::kActive;
     s.guarantee = "<= 2 OPT (Thm 2)";
     s.guarantee_factor = 2.0;
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       Solution sol;
       const auto result = active::solve_lp_rounding(inst.slotted);
       if (!result.has_value()) {
@@ -528,7 +587,7 @@ void register_active(core::SolverRegistry& registry) {
     s.family = Family::kActive;
     s.guarantee = "<= 3 OPT (minimal feasible); optimal for unit jobs";
     s.guarantee_factor = 3.0;
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       Solution sol;
       const auto schedule = active::solve_unit_greedy(inst.slotted);
       if (!schedule.has_value()) {
@@ -547,25 +606,31 @@ void register_active(core::SolverRegistry& registry) {
     Solver s;
     s.name = "active/exact";
     s.family = Family::kActive;
-    s.guarantee = "optimal (branch & bound)";
+    s.guarantee = "optimal (branch & bound; anytime under a budget)";
     s.guarantee_factor = 1.0;
     s.exact = true;
-    s.applicable = [](const ProblemInstance& inst, std::string* why) {
+    s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
+                      std::string* why) {
       // Measured gate (docs/ALGORITHMS.md): the search is horizon-driven,
       // not job-driven — worst observed wall time at horizon 24 is ~0.3 s
-      // for any n <= 20, but horizon 32 already costs seconds. The old
-      // n <= 12 limit left free headroom on the job axis.
-      if (inst.slotted.size() > 20 || inst.slotted.horizon() > 24) {
+      // for any n <= 20, but horizon 32 already costs seconds. A budget
+      // retires the gate: the branch & bound is seeded with a feasible
+      // incumbent and runs anytime to the deadline.
+      if (!ctx.has_budget() &&
+          (inst.slotted.size() > 20 || inst.slotted.horizon() > 24)) {
         if (why != nullptr) {
-          *why = "instance too large for branch & bound";
+          *why = "instance too large for branch & bound (give it a budget "
+                 "to run anytime)";
         }
         return false;
       }
       return true;
     };
-    s.run = [](const ProblemInstance& inst) {
+    s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
       Solution sol;
-      const auto result = active::solve_exact(inst.slotted);
+      active::ExactOptions options;
+      options.context = &ctx;
+      const auto result = active::solve_exact(inst.slotted, options);
       if (!result.has_value()) {
         sol.message = "instance infeasible";
         return sol;
@@ -574,6 +639,11 @@ void register_active(core::SolverRegistry& registry) {
       sol.cost = static_cast<double>(result->schedule.cost());
       sol.active = result->schedule;
       sol.exact = result->proven_optimal;
+      sol.timed_out = result->timed_out;
+      if (!result->proven_optimal) {
+        sol.best_bound =
+            static_cast<double>(inst.slotted.mass_lower_bound());
+      }
       sol.add_stat("nodes", static_cast<double>(result->nodes_explored));
       return sol;
     };

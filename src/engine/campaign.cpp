@@ -1,0 +1,322 @@
+#include "engine/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "engine/parallel.hpp"
+#include "report/table.hpp"
+
+namespace abt::engine {
+
+using core::ProblemInstance;
+
+std::vector<ScenarioSpec> expand_grid(const CampaignGrid& grid) {
+  const std::vector<int> ns = grid.ns.empty()
+                                  ? std::vector<int>{grid.base.n}
+                                  : grid.ns;
+  const std::vector<int> gs = grid.gs.empty()
+                                  ? std::vector<int>{grid.base.g}
+                                  : grid.gs;
+  std::vector<ScenarioSpec> points;
+  points.reserve(grid.scenarios.size() * ns.size() * gs.size());
+  for (const std::string& scenario : grid.scenarios) {
+    for (const int n : ns) {
+      for (const int g : gs) {
+        ScenarioSpec spec = grid.base;
+        spec.name = scenario;
+        spec.n = n;
+        spec.g = g;
+        points.push_back(std::move(spec));
+      }
+    }
+  }
+  return points;
+}
+
+std::optional<CampaignGrid> parse_campaign(std::istream& in,
+                                           std::string* error,
+                                           const ScenarioSpec& base) {
+  const auto fail = [error](int line, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  CampaignGrid grid;
+  grid.base = base;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "scenario") {
+      std::string name;
+      while (tokens >> name) grid.scenarios.push_back(name);
+      if (grid.scenarios.empty()) {
+        return fail(line_no, "scenario needs at least one name");
+      }
+      continue;
+    }
+    if (directive == "n" || directive == "g") {
+      auto& axis = directive == "n" ? grid.ns : grid.gs;
+      int value = 0;
+      while (tokens >> value) {
+        if (value < 1) return fail(line_no, directive + " must be >= 1");
+        axis.push_back(value);
+      }
+      if (!tokens.eof()) return fail(line_no, "bad value for " + directive);
+      if (axis.empty()) return fail(line_no, directive + " needs values");
+      continue;
+    }
+    // Scalar knobs shared by every grid point.
+    const auto scalar = [&](auto& out) -> bool {
+      return static_cast<bool>(tokens >> out) && (tokens >> std::ws).eof();
+    };
+    bool parsed = false;
+    if (directive == "trials") {
+      parsed = scalar(grid.trials) && grid.trials >= 1;
+    } else if (directive == "seed") {
+      parsed = scalar(grid.base.seed);
+    } else if (directive == "slack") {
+      parsed = scalar(grid.base.slack);
+    } else if (directive == "horizon") {
+      parsed = scalar(grid.base.horizon);
+    } else if (directive == "eps") {
+      parsed = scalar(grid.base.eps);
+    } else {
+      return fail(line_no, "unknown directive '" + directive + "'");
+    }
+    if (!parsed) return fail(line_no, "bad value for " + directive);
+  }
+  if (grid.scenarios.empty()) {
+    if (error != nullptr) *error = "campaign names no scenario";
+    return std::nullopt;
+  }
+  return grid;
+}
+
+const std::vector<CampaignPresetInfo>& campaign_presets() {
+  static const std::vector<CampaignPresetInfo> kPresets = {
+      {"smoke", "interval+flexible x n {8,12}, g 3 — tiny CI grid"},
+      {"families",
+       "interval+flexible+bursty+weighted x n {12,24}, g {3} — one point "
+       "per random family at two sizes"},
+      {"exact-frontier",
+       "weighted x n {12,16,20,24}, g 3 — pair with --budget-ms and "
+       "--solvers busy/weighted-exact to chart incumbent quality past the "
+       "measured gate"},
+  };
+  return kPresets;
+}
+
+std::optional<CampaignGrid> campaign_preset(std::string_view name) {
+  CampaignGrid grid;
+  if (name == "smoke") {
+    grid.scenarios = {"interval", "flexible"};
+    grid.ns = {8, 12};
+    grid.gs = {3};
+    return grid;
+  }
+  if (name == "families") {
+    grid.scenarios = {"interval", "flexible", "bursty", "weighted"};
+    grid.ns = {12, 24};
+    grid.gs = {3};
+    return grid;
+  }
+  if (name == "exact-frontier") {
+    grid.scenarios = {"weighted"};
+    grid.ns = {12, 16, 20, 24};
+    grid.gs = {3};
+    return grid;
+  }
+  return std::nullopt;
+}
+
+std::optional<CampaignReport> run_campaign(
+    const core::SolverRegistry& registry, const CampaignGrid& grid,
+    const CampaignOptions& options, std::string* error) {
+  CampaignReport report;
+  report.trials = std::max(1, grid.trials > 0 ? grid.trials : options.trials);
+  report.threads = resolve_threads(options.threads);
+  report.budget_ms = options.run.budget_ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RunContext base_ctx = make_run_context(options.run);
+
+  const std::vector<ScenarioSpec> specs = expand_grid(grid);
+  if (specs.empty()) {
+    if (error != nullptr) *error = "campaign grid is empty";
+    return std::nullopt;
+  }
+
+  // Generate every point's trial instances and solver plans up front
+  // (sequential and cheap), so a bad grid fails before any cell runs and
+  // the cell fan-out below is pure solver work.
+  const std::size_t points = specs.size();
+  std::vector<std::vector<ProblemInstance>> instances(points);
+  std::vector<std::vector<std::vector<const core::Solver*>>> plans(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    for (int t = 0; t < report.trials; ++t) {
+      ScenarioSpec spec = specs[p];
+      spec.seed = specs[p].seed + static_cast<std::uint64_t>(t);
+      std::string why;
+      auto inst = make_scenario(spec, &why);
+      if (!inst.has_value()) {
+        if (error != nullptr) {
+          *error = "point " + specs[p].name + " n=" +
+                   std::to_string(specs[p].n) + " g=" +
+                   std::to_string(specs[p].g) + ": " + why;
+        }
+        return std::nullopt;
+      }
+      plans[p].push_back(
+          registry.selection(*inst, options.run.solvers, base_ctx));
+      instances[p].push_back(std::move(*inst));
+    }
+  }
+
+  // One flat cell list across ALL points — the whole campaign shares one
+  // pool, so a short point's workers immediately pick up the next point's
+  // cells instead of idling at a per-point barrier.
+  struct Cell {
+    std::size_t point;
+    std::size_t trial;
+    std::size_t slot;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::vector<std::vector<core::Solution>>> grid_out(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    grid_out[p].resize(static_cast<std::size_t>(report.trials));
+    for (std::size_t t = 0; t < grid_out[p].size(); ++t) {
+      grid_out[p][t].resize(plans[p][t].size());
+      for (std::size_t s = 0; s < plans[p][t].size(); ++s) {
+        cells.push_back({p, t, s});
+      }
+    }
+  }
+  parallel_for(report.threads, cells.size(), [&](std::size_t i) {
+    const auto [p, t, s] = cells[i];
+    grid_out[p][t][s] =
+        registry.run(*plans[p][t][s], instances[p][t], base_ctx.restarted());
+  });
+
+  // Assemble per-point reports: refusal rows for unknown solver names,
+  // per-trial lower bounds, then the shared sweep aggregation.
+  report.points.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    CampaignPoint point;
+    point.spec = specs[p];
+    std::vector<RunReport> trial_reports;
+    trial_reports.reserve(static_cast<std::size_t>(report.trials));
+    for (std::size_t t = 0; t < instances[p].size(); ++t) {
+      RunReport cell;
+      cell.instance = std::move(instances[p][t]);
+      cell.solutions = std::move(grid_out[p][t]);
+      append_unknown_solver_rows(registry, options.run.solvers, cell);
+      cell.lower_bound =
+          derive_lower_bound(cell.instance, cell.solutions, options.run);
+      for (const core::Solution& sol : cell.solutions) {
+        point.cells += 1;
+        if (sol.ok) point.ok_cells += 1;
+        if (sol.ok && !sol.feasible) point.infeasible_cells += 1;
+      }
+      trial_reports.push_back(std::move(cell));
+    }
+    point.aggregates = aggregate_cells(trial_reports);
+    report.points.push_back(std::move(point));
+  }
+
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+void print_campaign(std::ostream& os, const CampaignReport& report) {
+  os << "campaign: " << report.points.size() << " grid points x "
+     << report.trials << " trials, " << report.threads << " thread"
+     << (report.threads == 1 ? "" : "s") << " (shared pool), "
+     << report::Table::num(report.wall_ms) << " ms total";
+  if (report.budget_ms > 0.0) {
+    os << ", budget " << report::Table::num(report.budget_ms) << " ms/cell";
+  }
+  os << "\n\n";
+  report::Table table({"scenario", "n", "g", "solver", "runs", "ok",
+                       "feasible", "exact", "t/o", "ratio med", "ms med"});
+  for (const CampaignPoint& point : report.points) {
+    for (const SolverAggregate& agg : point.aggregates) {
+      table.add_row(
+          {point.spec.name, std::to_string(point.spec.n),
+           std::to_string(point.spec.g), agg.solver,
+           std::to_string(agg.runs), std::to_string(agg.ok),
+           std::to_string(agg.feasible), std::to_string(agg.exact_runs),
+           std::to_string(agg.timed_out),
+           agg.ratio_count > 0 ? report::Table::num(agg.ratio_median) : "-",
+           agg.feasible > 0 ? report::Table::num(agg.wall_median_ms) : "-"});
+    }
+  }
+  table.print(os);
+}
+
+void write_campaign_csv(std::ostream& os, const CampaignReport& report) {
+  report::Table table({"scenario", "n", "g", "seed", "solver", "runs", "ok",
+                       "feasible", "exact", "declined", "timed_out",
+                       "ratio_mean", "ratio_median", "ratio_p95", "ratio_max",
+                       "wall_median_ms", "wall_total_ms"});
+  for (const CampaignPoint& point : report.points) {
+    for (const SolverAggregate& agg : point.aggregates) {
+      const bool has_ratio = agg.ratio_count > 0;
+      table.add_row(
+          {point.spec.name, std::to_string(point.spec.n),
+           std::to_string(point.spec.g), std::to_string(point.spec.seed),
+           agg.solver, std::to_string(agg.runs), std::to_string(agg.ok),
+           std::to_string(agg.feasible), std::to_string(agg.exact_runs),
+           std::to_string(agg.declined), std::to_string(agg.timed_out),
+           has_ratio ? report::Table::num(agg.ratio_mean, 6) : "",
+           has_ratio ? report::Table::num(agg.ratio_median, 6) : "",
+           has_ratio ? report::Table::num(agg.ratio_p95, 6) : "",
+           has_ratio ? report::Table::num(agg.ratio_max, 6) : "",
+           agg.feasible > 0 ? report::Table::num(agg.wall_median_ms, 6) : "",
+           report::Table::num(agg.wall_total_ms, 6)});
+    }
+  }
+  table.write_csv(os);
+}
+
+void write_campaign_json(std::ostream& os, const CampaignReport& report) {
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"campaign\": {\"points\": " << report.points.size()
+     << ", \"trials\": " << report.trials
+     << ", \"threads\": " << report.threads
+     << ", \"budget_ms\": " << report.budget_ms
+     << ", \"wall_ms\": " << report.wall_ms << "},\n  \"points\": [";
+  for (std::size_t p = 0; p < report.points.size(); ++p) {
+    const CampaignPoint& point = report.points[p];
+    os << (p == 0 ? "\n" : ",\n") << "    {\"scenario\": ";
+    write_json_string(os, point.spec.name);
+    os << ", \"n\": " << point.spec.n << ", \"g\": " << point.spec.g
+       << ", \"seed\": " << point.spec.seed
+       << ", \"cells\": " << point.cells
+       << ", \"ok_cells\": " << point.ok_cells
+       << ", \"infeasible_cells\": " << point.infeasible_cells
+       << ",\n     \"aggregates\": [";
+    for (std::size_t i = 0; i < point.aggregates.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "      ";
+      write_aggregate_json(os, point.aggregates[i]);
+    }
+    os << "\n     ]}";
+  }
+  os << "\n  ]\n}\n";
+  os.precision(old_precision);
+}
+
+}  // namespace abt::engine

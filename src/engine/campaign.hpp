@@ -1,0 +1,104 @@
+#pragma once
+
+// Multi-scenario campaigns: sweep a grid of ScenarioSpecs (scenario × n ×
+// g) through ONE shared thread pool in a single invocation — the
+// fleet-style batch mode layered on top of the budget-aware RunContext
+// API. Every (point, trial, solver) cell runs with a freshly armed
+// per-cell budget and the campaign-wide cancel token; per-point
+// aggregates reuse the trial sweep's statistics so a campaign point and a
+// standalone sweep of the same spec report identical numbers.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/runner.hpp"
+
+namespace abt::engine {
+
+/// A campaign grid: the cross product scenarios × ns × gs, every point
+/// sharing the remaining knobs (seed, slack, horizon, eps) of `base`.
+/// Empty axes borrow the base value, so a file may fix any subset.
+struct CampaignGrid {
+  std::vector<std::string> scenarios;
+  std::vector<int> ns;
+  std::vector<int> gs;
+  ScenarioSpec base;
+  int trials = 0;  ///< 0 = take CampaignOptions::trials.
+};
+
+/// The grid's points in scenario-major, then n, then g order.
+[[nodiscard]] std::vector<ScenarioSpec> expand_grid(const CampaignGrid& grid);
+
+/// Parses the campaign file format (one directive per line, `#` comments):
+///
+///   scenario interval flexible   # grid axis: scenario names
+///   n 8 16 24                    # grid axis: job counts
+///   g 3                          # grid axis: capacities
+///   trials 4                     # optional: per-point trials
+///   seed 7                       # optional shared knobs: seed, slack,
+///   slack 1.5                    #   horizon, eps
+///
+/// Nullopt (with a line-numbered `error`) on unknown directives or
+/// malformed values; a campaign must name at least one scenario. `base`
+/// seeds the grid's shared knobs (and the n/g axes when the file fixes
+/// none) — the CLI passes its scenario flags here, so `--seed 99` applies
+/// to a campaign file unless the file's own `seed` directive overrides it.
+[[nodiscard]] std::optional<CampaignGrid> parse_campaign(
+    std::istream& in, std::string* error, const ScenarioSpec& base = {});
+
+struct CampaignPresetInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Built-in preset grids (usable as `abt_solve --campaign <name>`).
+[[nodiscard]] const std::vector<CampaignPresetInfo>& campaign_presets();
+[[nodiscard]] std::optional<CampaignGrid> campaign_preset(
+    std::string_view name);
+
+struct CampaignOptions {
+  int trials = 4;   ///< Per-point trials (grid `trials` directive wins).
+  int threads = 1;  ///< One pool for the whole campaign; 0 = hardware.
+  RunOptions run;   ///< Solver subset, per-cell budget, cancel token.
+};
+
+/// One grid point's outcome: the spec it ran and the same per-solver
+/// aggregates a standalone sweep of that spec would report.
+struct CampaignPoint {
+  ScenarioSpec spec;
+  std::vector<SolverAggregate> aggregates;
+  int cells = 0;             ///< (trial, solver) cells fanned out.
+  int ok_cells = 0;          ///< Cells that produced a schedule.
+  int infeasible_cells = 0;  ///< Cells whose schedule FAILED its checker.
+};
+
+struct CampaignReport {
+  int trials = 0;
+  int threads = 1;
+  double budget_ms = 0.0;  ///< Per-cell budget every point ran under.
+  double wall_ms = 0.0;    ///< Whole-campaign wall clock.
+  std::vector<CampaignPoint> points;
+};
+
+/// Runs every (point, trial, solver) cell of the expanded grid through one
+/// shared pool. Nullopt (with `error`) when any point's scenario cannot be
+/// instantiated — the grid is validated up front, before any cell runs.
+[[nodiscard]] std::optional<CampaignReport> run_campaign(
+    const core::SolverRegistry& registry, const CampaignGrid& grid,
+    const CampaignOptions& options, std::string* error = nullptr);
+
+/// Aligned text table: one row per (point, solver) aggregate.
+void print_campaign(std::ostream& os, const CampaignReport& report);
+
+/// CSV rows: scenario,n,g,seed,solver,runs,ok,feasible,exact,declined,
+/// timed_out,ratio_*,wall_median_ms,wall_total_ms.
+void write_campaign_csv(std::ostream& os, const CampaignReport& report);
+
+/// Machine-readable JSON: campaign parameters plus one object per grid
+/// point with its per-solver aggregates.
+void write_campaign_json(std::ostream& os, const CampaignReport& report);
+
+}  // namespace abt::engine

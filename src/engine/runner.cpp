@@ -160,7 +160,12 @@ std::optional<ProblemInstance> make_scenario(const ScenarioSpec& spec,
   return fail("unknown scenario '" + spec.name + "' (see --scenarios)");
 }
 
-namespace {
+core::RunContext make_run_context(const RunOptions& options) {
+  core::RunContext ctx = core::RunContext::with_budget_ms(options.budget_ms);
+  ctx.set_cancel_token(options.cancel);
+  if (options.incumbent_hook) ctx.set_incumbent_hook(options.incumbent_hook);
+  return ctx;
+}
 
 /// Reference lower bound: an exact certificate beats everything; else the
 /// combinatorial bounds of the relevant family (the extension's own bound
@@ -211,14 +216,13 @@ LowerBound derive_lower_bound(const ProblemInstance& inst,
   return lb;
 }
 
-}  // namespace
-
 RunReport run_instance(const core::SolverRegistry& registry,
                        const ProblemInstance& inst,
                        const RunOptions& options) {
   RunReport report;
   report.instance = inst;
-  report.solutions = registry.run_applicable(inst, options.solvers);
+  report.solutions =
+      registry.run_applicable(inst, options.solvers, make_run_context(options));
   report.lower_bound =
       derive_lower_bound(inst, report.solutions, options);
   return report;
@@ -228,7 +232,8 @@ namespace {
 
 std::string verdict(const core::Solution& sol) {
   if (!sol.ok) return "declined";
-  return sol.feasible ? "feasible" : "INFEASIBLE";
+  if (!sol.feasible) return "INFEASIBLE";
+  return sol.timed_out ? "feasible (t/o)" : "feasible";
 }
 
 std::string ratio_cell(const RunReport& report, const core::Solution& sol) {
@@ -236,7 +241,18 @@ std::string ratio_cell(const RunReport& report, const core::Solution& sol) {
   return report::Table::num(sol.cost / report.lower_bound.value);
 }
 
-void escape_json(std::ostream& os, const std::string& text) {
+/// Optimality-gap cell: 0 for proven optima, the certified relative gap
+/// for interrupted anytime runs, "-" when the run certifies no bound.
+std::string gap_cell(const core::Solution& sol) {
+  if (!sol.ok) return "-";
+  if (sol.exact) return "0";
+  if (sol.best_bound <= 0.0) return "-";
+  return report::Table::num(sol.gap());
+}
+
+}  // namespace
+
+void write_json_string(std::ostream& os, const std::string& text) {
   os << '"';
   for (const char c : text) {
     switch (c) {
@@ -249,7 +265,41 @@ void escape_json(std::ostream& os, const std::string& text) {
   os << '"';
 }
 
-}  // namespace
+void write_aggregate_json(std::ostream& os, const SolverAggregate& agg) {
+  os << "{\"solver\": ";
+  write_json_string(os, agg.solver);
+  os << ", \"runs\": " << agg.runs << ", \"ok\": " << agg.ok
+     << ", \"feasible\": " << agg.feasible << ", \"exact\": " << agg.exact_runs
+     << ", \"declined\": " << agg.declined
+     << ", \"timed_out\": " << agg.timed_out;
+  if (agg.ratio_count > 0) {
+    os << ", \"ratio\": {\"count\": " << agg.ratio_count
+       << ", \"mean\": " << agg.ratio_mean
+       << ", \"median\": " << agg.ratio_median << ", \"p95\": " << agg.ratio_p95
+       << ", \"max\": " << agg.ratio_max << "}";
+  }
+  if (agg.feasible > 0) {
+    os << ", \"wall_ms\": {\"mean\": " << agg.wall_mean_ms
+       << ", \"median\": " << agg.wall_median_ms
+       << ", \"p95\": " << agg.wall_p95_ms
+       << ", \"total\": " << agg.wall_total_ms << "}";
+  }
+  os << "}";
+}
+
+void append_unknown_solver_rows(const core::SolverRegistry& registry,
+                                const std::vector<std::string>& only,
+                                RunReport& cell) {
+  for (const std::string& name : only) {
+    if (registry.find(name) == nullptr) {
+      core::Solution sol;
+      sol.solver = name;
+      sol.family = cell.instance.family;
+      sol.message = "unknown solver";
+      cell.solutions.push_back(std::move(sol));
+    }
+  }
+}
 
 void print_report(std::ostream& os, const RunReport& report) {
   const bool busy = report.instance.family == Family::kBusy;
@@ -269,12 +319,12 @@ void print_report(std::ostream& os, const RunReport& report) {
   os << "lower bound: " << report::Table::num(report.lower_bound.value)
      << " (" << report.lower_bound.kind << ")\n\n";
 
-  report::Table table({"solver", "cost", "/LB", busy ? "machines" : "-",
+  report::Table table({"solver", "cost", "/LB", "gap", busy ? "machines" : "-",
                        "ms", "verdict", "guarantee"});
   for (const core::Solution& sol : report.solutions) {
     table.add_row({sol.solver,
                    sol.ok ? report::Table::num(sol.cost) : "-",
-                   ratio_cell(report, sol),
+                   ratio_cell(report, sol), gap_cell(sol),
                    busy && sol.ok ? std::to_string(sol.machines) : "-",
                    report::Table::num(sol.wall_ms),
                    verdict(sol), sol.guarantee});
@@ -284,7 +334,8 @@ void print_report(std::ostream& os, const RunReport& report) {
 
 void write_csv(std::ostream& os, const RunReport& report) {
   report::Table table({"solver", "cost", "ratio_to_lb", "machines", "wall_ms",
-                       "feasible", "exact", "guarantee"});
+                       "feasible", "exact", "timed_out", "best_bound", "gap",
+                       "guarantee"});
   for (const core::Solution& sol : report.solutions) {
     table.add_row({sol.solver,
                    sol.ok ? report::Table::num(sol.cost, 6) : "",
@@ -295,6 +346,13 @@ void write_csv(std::ostream& os, const RunReport& report) {
                    std::to_string(sol.machines),
                    report::Table::num(sol.wall_ms, 6),
                    sol.feasible ? "1" : "0", sol.exact ? "1" : "0",
+                   sol.timed_out ? "1" : "0",
+                   sol.ok && sol.best_bound > 0.0
+                       ? report::Table::num(sol.best_bound, 6)
+                       : "",
+                   sol.ok && (sol.exact || sol.best_bound > 0.0)
+                       ? report::Table::num(sol.gap(), 6)
+                       : "",
                    sol.guarantee});
   }
   table.write_csv(os);
@@ -315,7 +373,7 @@ void write_json(std::ostream& os, const RunReport& report) {
        << ",\n  \"description\": ";
     // Parity with the text report header: the extension's one-line model
     // summary, since kind alone does not identify the concrete shape.
-    escape_json(os, report.instance.extension->describe());
+    write_json_string(os, report.instance.extension->describe());
   } else if (busy) {
     os << "  \"jobs\": " << report.instance.continuous.size()
        << ",\n  \"capacity\": " << report.instance.continuous.capacity()
@@ -328,30 +386,36 @@ void write_json(std::ostream& os, const RunReport& report) {
   }
   os << ",\n  \"lower_bound\": {\"value\": " << report.lower_bound.value
      << ", \"kind\": ";
-  escape_json(os, report.lower_bound.kind);
+  write_json_string(os, report.lower_bound.kind);
   os << "},\n  \"solutions\": [";
   for (std::size_t i = 0; i < report.solutions.size(); ++i) {
     const core::Solution& sol = report.solutions[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"solver\": ";
-    escape_json(os, sol.solver);
+    write_json_string(os, sol.solver);
     os << ", \"ok\": " << (sol.ok ? "true" : "false")
        << ", \"feasible\": " << (sol.feasible ? "true" : "false");
     if (sol.ok) {
       os << ", \"cost\": " << sol.cost << ", \"machines\": " << sol.machines
          << ", \"exact\": " << (sol.exact ? "true" : "false");
+      if (sol.timed_out) os << ", \"timed_out\": true";
+      if (sol.best_bound > 0.0) {
+        os << ", \"best_bound\": " << sol.best_bound;
+        os << ", \"gap\": " << sol.gap();
+      }
     }
+    if (sol.budget_ms > 0.0) os << ", \"budget_ms\": " << sol.budget_ms;
     os << ", \"wall_ms\": " << sol.wall_ms;
     if (!sol.message.empty()) {
       os << ", \"message\": ";
-      escape_json(os, sol.message);
+      write_json_string(os, sol.message);
     }
     os << ", \"guarantee\": ";
-    escape_json(os, sol.guarantee);
+    write_json_string(os, sol.guarantee);
     if (!sol.stats.empty()) {
       os << ", \"stats\": {";
       for (std::size_t k = 0; k < sol.stats.size(); ++k) {
         if (k > 0) os << ", ";
-        escape_json(os, sol.stats[k].first);
+        write_json_string(os, sol.stats[k].first);
         os << ": " << sol.stats[k].second;
       }
       os << "}";
@@ -395,6 +459,64 @@ OrderStats order_stats(std::vector<double> values) {
 
 }  // namespace
 
+std::vector<SolverAggregate> aggregate_cells(
+    const std::vector<RunReport>& cells) {
+  std::vector<SolverAggregate> aggregates;
+  std::vector<std::vector<double>> ratios;
+  std::vector<std::vector<double>> walls;
+  const auto index_of = [&](const core::Solution& sol) {
+    for (std::size_t i = 0; i < aggregates.size(); ++i) {
+      if (aggregates[i].solver == sol.solver) return i;
+    }
+    SolverAggregate agg;
+    agg.solver = sol.solver;
+    agg.guarantee = sol.guarantee;
+    aggregates.push_back(std::move(agg));
+    ratios.emplace_back();
+    walls.emplace_back();
+    return aggregates.size() - 1;
+  };
+  for (const RunReport& cell : cells) {
+    for (const core::Solution& sol : cell.solutions) {
+      const std::size_t idx = index_of(sol);
+      SolverAggregate& agg = aggregates[idx];
+      agg.runs += 1;
+      agg.wall_total_ms += sol.wall_ms;
+      if (sol.timed_out) agg.timed_out += 1;
+      if (!sol.ok) {
+        agg.declined += 1;
+        continue;
+      }
+      agg.ok += 1;
+      if (sol.exact) agg.exact_runs += 1;
+      // Checker-failed schedules contribute to the verdict counts only:
+      // an infeasible cost must never pollute the published ratio/wall
+      // statistics (the infeasibility itself surfaces through
+      // feasible < ok and the CLI's exit code 2).
+      if (!sol.feasible) continue;
+      agg.feasible += 1;
+      walls[idx].push_back(sol.wall_ms);
+      if (cell.lower_bound.value > 0.0) {
+        ratios[idx].push_back(sol.cost / cell.lower_bound.value);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    SolverAggregate& agg = aggregates[i];
+    agg.ratio_count = static_cast<int>(ratios[i].size());
+    const OrderStats ratio = order_stats(ratios[i]);
+    agg.ratio_mean = ratio.mean;
+    agg.ratio_median = ratio.median;
+    agg.ratio_p95 = ratio.p95;
+    agg.ratio_max = ratio.max;
+    const OrderStats wall = order_stats(walls[i]);
+    agg.wall_mean_ms = wall.mean;
+    agg.wall_median_ms = wall.median;
+    agg.wall_p95_ms = wall.p95;
+  }
+  return aggregates;
+}
+
 std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
                                      const ScenarioSpec& base,
                                      const SweepOptions& options,
@@ -403,7 +525,9 @@ std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
   report.base = base;
   report.trials = std::max(1, options.trials);
   report.threads = resolve_threads(options.threads);
+  report.budget_ms = options.run.budget_ms;
   const auto t0 = std::chrono::steady_clock::now();
+  const core::RunContext base_ctx = make_run_context(options.run);
 
   // Instance generation is sequential: it is cheap, and trial t's workload
   // depends only on (scenario, base.seed + t), never on thread scheduling.
@@ -417,8 +541,9 @@ std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
     auto inst = make_scenario(spec, error);
     if (!inst.has_value()) return std::nullopt;
     // The registry owns the selection semantics: the sweep's per-trial
-    // plan is exactly what run_applicable would run on this instance.
-    plans.push_back(registry.selection(*inst, options.run.solvers));
+    // plan is exactly what run_applicable would run on this instance
+    // (budget-aware — a budget lifts the exact gates).
+    plans.push_back(registry.selection(*inst, options.run.solvers, base_ctx));
     instances.push_back(std::move(*inst));
   }
 
@@ -442,9 +567,11 @@ std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
   }
   parallel_for(report.threads, cells.size(), [&](std::size_t i) {
     const auto [trial, slot] = cells[i];
+    // Each cell gets a freshly armed deadline; the cancel token and the
+    // incumbent hook are shared across the whole sweep.
     grid[static_cast<std::size_t>(trial)][slot] = registry.run(
         *plans[static_cast<std::size_t>(trial)][slot],
-        instances[static_cast<std::size_t>(trial)]);
+        instances[static_cast<std::size_t>(trial)], base_ctx.restarted());
   });
 
   // Assemble the per-trial reports (plus refusal rows for unknown solver
@@ -454,69 +581,14 @@ std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
     RunReport cell;
     cell.instance = std::move(instances[static_cast<std::size_t>(t)]);
     cell.solutions = std::move(grid[static_cast<std::size_t>(t)]);
-    for (const std::string& name : options.run.solvers) {
-      if (registry.find(name) == nullptr) {
-        core::Solution sol;
-        sol.solver = name;
-        sol.family = cell.instance.family;
-        sol.message = "unknown solver";
-        cell.solutions.push_back(std::move(sol));
-      }
-    }
+    append_unknown_solver_rows(registry, options.run.solvers, cell);
     cell.lower_bound =
         derive_lower_bound(cell.instance, cell.solutions, options.run);
     report.cells.push_back(std::move(cell));
   }
 
   // Aggregate per solver, in first-seen (registration) order.
-  std::vector<std::vector<double>> ratios;
-  std::vector<std::vector<double>> walls;
-  const auto index_of = [&](const core::Solution& sol) {
-    for (std::size_t i = 0; i < report.aggregates.size(); ++i) {
-      if (report.aggregates[i].solver == sol.solver) return i;
-    }
-    SolverAggregate agg;
-    agg.solver = sol.solver;
-    agg.guarantee = sol.guarantee;
-    report.aggregates.push_back(std::move(agg));
-    ratios.emplace_back();
-    walls.emplace_back();
-    return report.aggregates.size() - 1;
-  };
-  for (const RunReport& cell : report.cells) {
-    for (const core::Solution& sol : cell.solutions) {
-      const std::size_t idx = index_of(sol);
-      SolverAggregate& agg = report.aggregates[idx];
-      agg.runs += 1;
-      agg.wall_total_ms += sol.wall_ms;
-      if (!sol.ok) continue;
-      agg.ok += 1;
-      if (sol.exact) agg.exact_runs += 1;
-      // Checker-failed schedules contribute to the verdict counts only:
-      // an infeasible cost must never pollute the published ratio/wall
-      // statistics (the infeasibility itself surfaces through
-      // feasible < ok and the CLI's exit code 2).
-      if (!sol.feasible) continue;
-      agg.feasible += 1;
-      walls[idx].push_back(sol.wall_ms);
-      if (cell.lower_bound.value > 0.0) {
-        ratios[idx].push_back(sol.cost / cell.lower_bound.value);
-      }
-    }
-  }
-  for (std::size_t i = 0; i < report.aggregates.size(); ++i) {
-    SolverAggregate& agg = report.aggregates[i];
-    agg.ratio_count = static_cast<int>(ratios[i].size());
-    const OrderStats ratio = order_stats(ratios[i]);
-    agg.ratio_mean = ratio.mean;
-    agg.ratio_median = ratio.median;
-    agg.ratio_p95 = ratio.p95;
-    agg.ratio_max = ratio.max;
-    const OrderStats wall = order_stats(walls[i]);
-    agg.wall_mean_ms = wall.mean;
-    agg.wall_median_ms = wall.median;
-    agg.wall_p95_ms = wall.p95;
-  }
+  report.aggregates = aggregate_cells(report.cells);
 
   report.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
@@ -530,7 +602,11 @@ void print_sweep(std::ostream& os, const SweepReport& report) {
      << report.base.seed + static_cast<std::uint64_t>(report.trials - 1)
      << "), " << report.threads << " thread"
      << (report.threads == 1 ? "" : "s") << ", "
-     << report::Table::num(report.wall_ms) << " ms total\n";
+     << report::Table::num(report.wall_ms) << " ms total";
+  if (report.budget_ms > 0.0) {
+    os << ", budget " << report::Table::num(report.budget_ms) << " ms/cell";
+  }
+  os << "\n";
   if (!report.cells.empty()) {
     const RunReport& first = report.cells.front();
     if (first.instance.kind != core::InstanceKind::kStandard) {
@@ -538,7 +614,7 @@ void print_sweep(std::ostream& os, const SweepReport& report) {
     }
   }
   os << "\n";
-  report::Table table({"solver", "runs", "ok", "feasible", "exact",
+  report::Table table({"solver", "runs", "ok", "feasible", "exact", "t/o",
                        "ratio mean", "med", "p95", "max", "ms med",
                        "ms p95"});
   for (const SolverAggregate& agg : report.aggregates) {
@@ -546,6 +622,7 @@ void print_sweep(std::ostream& os, const SweepReport& report) {
     table.add_row(
         {agg.solver, std::to_string(agg.runs), std::to_string(agg.ok),
          std::to_string(agg.feasible), std::to_string(agg.exact_runs),
+         std::to_string(agg.timed_out),
          has_ratio ? report::Table::num(agg.ratio_mean) : "-",
          has_ratio ? report::Table::num(agg.ratio_median) : "-",
          has_ratio ? report::Table::num(agg.ratio_p95) : "-",
@@ -558,6 +635,7 @@ void print_sweep(std::ostream& os, const SweepReport& report) {
 
 void write_sweep_csv(std::ostream& os, const SweepReport& report) {
   report::Table table({"solver", "runs", "ok", "feasible", "exact",
+                       "declined", "timed_out",
                        "ratio_mean", "ratio_median", "ratio_p95",
                        "ratio_max", "wall_mean_ms", "wall_median_ms",
                        "wall_p95_ms", "wall_total_ms"});
@@ -566,6 +644,7 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
     table.add_row(
         {agg.solver, std::to_string(agg.runs), std::to_string(agg.ok),
          std::to_string(agg.feasible), std::to_string(agg.exact_runs),
+         std::to_string(agg.declined), std::to_string(agg.timed_out),
          has_ratio ? report::Table::num(agg.ratio_mean, 6) : "",
          has_ratio ? report::Table::num(agg.ratio_median, 6) : "",
          has_ratio ? report::Table::num(agg.ratio_p95, 6) : "",
@@ -582,34 +661,17 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
   const std::streamsize old_precision =
       os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\n  \"scenario\": ";
-  escape_json(os, report.base.name);
+  write_json_string(os, report.base.name);
   os << ",\n  \"trials\": " << report.trials
      << ",\n  \"threads\": " << report.threads
      << ",\n  \"base_seed\": " << report.base.seed
      << ",\n  \"n\": " << report.base.n << ",\n  \"g\": " << report.base.g
+     << ",\n  \"budget_ms\": " << report.budget_ms
      << ",\n  \"wall_ms\": " << report.wall_ms
      << ",\n  \"aggregates\": [";
   for (std::size_t i = 0; i < report.aggregates.size(); ++i) {
-    const SolverAggregate& agg = report.aggregates[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"solver\": ";
-    escape_json(os, agg.solver);
-    os << ", \"runs\": " << agg.runs << ", \"ok\": " << agg.ok
-       << ", \"feasible\": " << agg.feasible
-       << ", \"exact\": " << agg.exact_runs;
-    if (agg.ratio_count > 0) {
-      os << ", \"ratio\": {\"count\": " << agg.ratio_count
-         << ", \"mean\": " << agg.ratio_mean
-         << ", \"median\": " << agg.ratio_median
-         << ", \"p95\": " << agg.ratio_p95 << ", \"max\": " << agg.ratio_max
-         << "}";
-    }
-    if (agg.feasible > 0) {
-      os << ", \"wall_ms\": {\"mean\": " << agg.wall_mean_ms
-         << ", \"median\": " << agg.wall_median_ms
-         << ", \"p95\": " << agg.wall_p95_ms
-         << ", \"total\": " << agg.wall_total_ms << "}";
-    }
-    os << "}";
+    os << (i == 0 ? "\n" : ",\n") << "    ";
+    write_aggregate_json(os, report.aggregates[i]);
   }
   os << "\n  ],\n  \"cells\": [";
   for (std::size_t t = 0; t < report.cells.size(); ++t) {
@@ -618,17 +680,22 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
        << report.base.seed + static_cast<std::uint64_t>(t)
        << ", \"lower_bound\": {\"value\": " << cell.lower_bound.value
        << ", \"kind\": ";
-    escape_json(os, cell.lower_bound.kind);
+    write_json_string(os, cell.lower_bound.kind);
     os << "}, \"solutions\": [";
     for (std::size_t s = 0; s < cell.solutions.size(); ++s) {
       const core::Solution& sol = cell.solutions[s];
       os << (s == 0 ? "" : ", ") << "{\"solver\": ";
-      escape_json(os, sol.solver);
+      write_json_string(os, sol.solver);
       os << ", \"ok\": " << (sol.ok ? "true" : "false") << ", \"feasible\": "
          << (sol.feasible ? "true" : "false");
       if (sol.ok) {
         os << ", \"cost\": " << sol.cost
            << ", \"exact\": " << (sol.exact ? "true" : "false");
+        if (sol.timed_out) os << ", \"timed_out\": true";
+        if (sol.best_bound > 0.0 && !sol.exact) {
+          os << ", \"best_bound\": " << sol.best_bound
+             << ", \"gap\": " << sol.gap();
+        }
       }
       os << ", \"wall_ms\": " << sol.wall_ms << "}";
     }

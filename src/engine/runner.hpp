@@ -52,7 +52,22 @@ struct RunOptions {
   /// Compute the g=infinity span bound for flexible instances no larger
   /// than this (the DP can be expensive); mass/profile bounds are always on.
   int span_bound_max_jobs = 48;
+  /// Per-cell wall-clock budget in ms (0 = unlimited). Every solver run
+  /// gets a fresh deadline; a budget also lifts the exact solvers' size
+  /// gates — they run anytime to the deadline and report incumbent + gap.
+  double budget_ms = 0.0;
+  /// Shared cancellation: once cancelled, remaining cells decline with
+  /// message "cancelled" and running anytime solvers return their
+  /// incumbent at the next poll.
+  core::CancelToken cancel;
+  /// Observer for incumbents the anytime solvers report mid-run.
+  core::IncumbentHook incumbent_hook;
 };
+
+/// The invocation context `options` describes: budget, token, hook. The
+/// clock starts now — callers arm it per cell (registry/sweep drivers call
+/// restarted() per run).
+[[nodiscard]] core::RunContext make_run_context(const RunOptions& options);
 
 /// One instance driven through a solver subset: the uniform run record the
 /// CLI, the benches and the tests all consume.
@@ -79,8 +94,8 @@ struct SweepOptions {
 
 /// Aggregate statistics of one solver across the sweep's trials. Cost and
 /// verdict aggregates are deterministic functions of (scenario, seeds,
-/// solver subset) — identical for every thread count; only the wall-clock
-/// fields vary run to run.
+/// solver subset) — identical for every thread count when no budget is in
+/// play; only the wall-clock fields vary run to run.
 struct SolverAggregate {
   std::string solver;
   std::string guarantee;
@@ -88,6 +103,8 @@ struct SolverAggregate {
   int ok = 0;          ///< Produced a schedule.
   int feasible = 0;    ///< Passed the checker.
   int exact_runs = 0;  ///< Proved optimality.
+  int declined = 0;    ///< Refused the cell (== runs - ok).
+  int timed_out = 0;   ///< Budget/cancellation interrupted the run.
 
   /// Cost / per-trial lower bound, over checker-validated cells with a
   /// positive bound (an infeasible cost never enters the statistics).
@@ -97,17 +114,49 @@ struct SolverAggregate {
   double ratio_p95 = 0.0;
   double ratio_max = 0.0;
 
-  /// Wall-clock per run() call, over checker-validated cells.
+  /// Wall-clock per run() call, over checker-validated cells only —
+  /// EXCEPT wall_total_ms, which sums every cell including declined ones
+  /// (a declined cell still costs its applicability probe, and the total
+  /// is the sweep's actual spend). The `declined` count above makes the
+  /// denominator difference explicit in the reports.
   double wall_mean_ms = 0.0;
   double wall_median_ms = 0.0;
   double wall_p95_ms = 0.0;
   double wall_total_ms = 0.0;  ///< Over every cell, including declined.
 };
 
+/// Per-solver aggregation over assembled cells, in first-seen (solution)
+/// order — shared by the trial sweep and the campaign engine so both
+/// report identical statistics for identical cells.
+[[nodiscard]] std::vector<SolverAggregate> aggregate_cells(
+    const std::vector<RunReport>& cells);
+
+/// Reference lower bound of one run: an exact certificate from
+/// `solutions` beats everything; otherwise the combinatorial bounds of
+/// the instance's family (the extension's own bound for extended kinds).
+[[nodiscard]] LowerBound derive_lower_bound(
+    const core::ProblemInstance& inst,
+    const std::vector<core::Solution>& solutions, const RunOptions& options);
+
+/// Shared report plumbing (used by the sweep and campaign writers so the
+/// two schemas cannot silently diverge):
+/// `write_json_string` emits `text` as an escaped JSON string literal;
+/// `write_aggregate_json` emits one SolverAggregate as a single-line JSON
+/// object (solver/runs/ok/feasible/exact/declined/timed_out + optional
+/// ratio and wall_ms groups); `append_unknown_solver_rows` adds the
+/// refusal row every requested-but-unregistered solver name gets,
+/// mirroring run_applicable.
+void write_json_string(std::ostream& os, const std::string& text);
+void write_aggregate_json(std::ostream& os, const SolverAggregate& agg);
+void append_unknown_solver_rows(const core::SolverRegistry& registry,
+                                const std::vector<std::string>& only,
+                                RunReport& cell);
+
 struct SweepReport {
   ScenarioSpec base;  ///< Trial t used seed base.seed + t.
   int trials = 0;
   int threads = 1;
+  double budget_ms = 0.0;  ///< Per-cell budget the sweep ran under.
   double wall_ms = 0.0;  ///< Whole-sweep wall clock (all cells, all threads).
   std::vector<RunReport> cells;             ///< One per trial, seed order.
   std::vector<SolverAggregate> aggregates;  ///< Registration order.

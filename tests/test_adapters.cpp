@@ -119,7 +119,7 @@ TEST(Adapters, AdapterCheckerRejectsOverloadedSchedules) {
            busy::check_weighted_schedule(engine::weighted_of(inst), *sol.busy,
                                          why);
   };
-  bogus.run = [](const ProblemInstance& inst) {
+  bogus.run = [](const ProblemInstance& inst, const core::RunContext&) {
     const busy::WeightedInstance& w = engine::weighted_of(inst);
     core::BusySchedule sched;
     for (const busy::WeightedJob& wj : w.jobs()) {

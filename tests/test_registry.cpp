@@ -118,7 +118,7 @@ TEST_P(RegistryGuarantees, BusySolversRespectGuaranteesOnIntervalInstances) {
       if (solver.family != Family::kBusy) continue;
       if (solver.kind != core::InstanceKind::kStandard) continue;
       std::string why;
-      if (solver.applicable && !solver.applicable(inst, &why)) continue;
+      if (solver.applicable && !solver.applicable(inst, {}, &why)) continue;
       const Solution sol = registry.run(solver, inst);
       if (!sol.ok) continue;  // dp-unbounded may decline after the fact.
       EXPECT_TRUE(sol.feasible) << solver.name << ": " << sol.message;

@@ -1,0 +1,227 @@
+// The budget-aware RunContext API: budget expiry returns a feasible
+// incumbent with a certified gap instead of a refusal, cancellation
+// declines work promptly, incumbent hooks observe improving costs, and a
+// budget lifts the exact solvers' measured size gates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "active/multi_window.hpp"
+#include "core/run_context.hpp"
+#include "core/solver.hpp"
+#include "engine/builtin_solvers.hpp"
+#include "engine/runner.hpp"
+
+namespace abt {
+namespace {
+
+using core::CancelSource;
+using core::ProblemInstance;
+using core::RunContext;
+using core::Solution;
+
+ProblemInstance scenario_instance(const std::string& name, int n, int g,
+                                  std::uint64_t seed = 7) {
+  engine::ScenarioSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.g = g;
+  spec.seed = seed;
+  std::string error;
+  const auto inst = engine::make_scenario(spec, &error);
+  EXPECT_TRUE(inst.has_value()) << error;
+  return *inst;
+}
+
+TEST(RunContext, DefaultIsUnlimitedAndNeverStops) {
+  const RunContext ctx;
+  EXPECT_FALSE(ctx.has_budget());
+  EXPECT_EQ(ctx.budget_ms(), 0.0);
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.out_of_budget());
+  EXPECT_FALSE(ctx.should_stop());
+  EXPECT_EQ(ctx.remaining_ms(), std::numeric_limits<double>::infinity());
+}
+
+TEST(RunContext, BudgetExpiresAndRestartRearmsIt) {
+  const RunContext ctx = RunContext::with_budget_ms(1e-6);
+  EXPECT_TRUE(ctx.has_budget());
+  // The budget is far below any measurable elapsed time, so by the time
+  // the assertion runs it has expired.
+  while (!ctx.out_of_budget()) {
+  }
+  EXPECT_TRUE(ctx.should_stop());
+  // A generous re-armed deadline is live again.
+  const RunContext fresh = RunContext::with_budget_ms(60'000).restarted();
+  EXPECT_FALSE(fresh.out_of_budget());
+  EXPECT_GT(fresh.remaining_ms(), 0.0);
+}
+
+TEST(RunContext, CancelSourceReachesEveryToken) {
+  CancelSource source;
+  const RunContext ctx = RunContext().set_cancel_token(source.token());
+  EXPECT_FALSE(ctx.should_stop());
+  source.cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_TRUE(ctx.should_stop());
+}
+
+TEST(RunContext, GapSemantics) {
+  Solution sol;
+  sol.cost = 12.0;
+  EXPECT_TRUE(std::isinf(sol.gap()));  // no bound certified
+  sol.best_bound = 10.0;
+  EXPECT_NEAR(sol.gap(), 0.2, 1e-12);
+  sol.exact = true;
+  EXPECT_EQ(sol.gap(), 0.0);  // proven optimum, whatever the bound says
+  sol.exact = false;
+  sol.best_bound = 15.0;  // bound above cost clamps to 0, never negative
+  EXPECT_EQ(sol.gap(), 0.0);
+}
+
+// The acceptance criterion verbatim: n = 24 is past the measured gate
+// (14), so a free run refuses; with a budget the oracle runs anytime and
+// returns a checker-validated incumbent with timed_out and a gap.
+TEST(RunContext, BudgetExpiryReturnsFeasibleIncumbentWithGap) {
+  const ProblemInstance inst = scenario_instance("weighted", 24, 3);
+  const core::SolverRegistry& registry = engine::shared_registry();
+
+  const Solution refused = registry.run("busy/weighted-exact", inst);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.message.find("too large"), std::string::npos)
+      << refused.message;
+
+  const RunContext ctx = RunContext::with_budget_ms(100).restarted();
+  const Solution sol = registry.run("busy/weighted-exact", inst, ctx);
+  ASSERT_TRUE(sol.ok) << sol.message;
+  EXPECT_TRUE(sol.feasible) << sol.message;
+  EXPECT_TRUE(sol.timed_out);
+  EXPECT_FALSE(sol.exact);
+  EXPECT_EQ(sol.budget_ms, 100.0);
+  EXPECT_GT(sol.best_bound, 0.0);
+  EXPECT_GE(sol.cost, sol.best_bound - 1e-9);
+  EXPECT_GE(sol.gap(), 0.0);
+  EXPECT_TRUE(std::isfinite(sol.gap()));
+}
+
+TEST(RunContext, BudgetLiftsExactGatesInSelection) {
+  const ProblemInstance inst = scenario_instance("weighted", 24, 3);
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const auto has_exact = [](const std::vector<const core::Solver*>& plan) {
+    for (const core::Solver* s : plan) {
+      if (s->name == "busy/weighted-exact") return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_exact(registry.selection(inst)));
+  EXPECT_TRUE(has_exact(
+      registry.selection(inst, {}, RunContext::with_budget_ms(50))));
+}
+
+TEST(RunContext, ActiveExactRunsAnytimePastItsGate) {
+  // n = 30 at horizon 60 is far past the free-run gate (n 20, horizon 24);
+  // the branch & bound seeds a minimal-feasible incumbent and must return
+  // it (or better) at the deadline.
+  const ProblemInstance inst = scenario_instance("slotted", 30, 3);
+  const core::SolverRegistry& registry = engine::shared_registry();
+
+  EXPECT_FALSE(registry.run("active/exact", inst).ok);
+
+  const RunContext ctx = RunContext::with_budget_ms(100).restarted();
+  const Solution sol = registry.run("active/exact", inst, ctx);
+  ASSERT_TRUE(sol.ok) << sol.message;
+  EXPECT_TRUE(sol.feasible) << sol.message;
+  // Either the search finished inside the budget (proven optimum) or it
+  // was interrupted with a certified mass bound.
+  if (!sol.exact) {
+    EXPECT_TRUE(sol.timed_out);
+    EXPECT_GT(sol.best_bound, 0.0);
+    EXPECT_GE(sol.cost, sol.best_bound - 1e-9);
+  }
+}
+
+TEST(RunContext, CancelledContextDeclinesEverySolver) {
+  const ProblemInstance inst = scenario_instance("interval", 10, 3);
+  const core::SolverRegistry& registry = engine::shared_registry();
+  CancelSource source;
+  source.cancel();
+  const RunContext ctx = RunContext().set_cancel_token(source.token());
+  const Solution sol = registry.run("busy/first-fit", inst, ctx);
+  EXPECT_FALSE(sol.ok);
+  EXPECT_TRUE(sol.timed_out);
+  EXPECT_EQ(sol.message, "cancelled");
+}
+
+TEST(RunContext, IncumbentHookObservesImprovingCosts) {
+  const ProblemInstance inst = scenario_instance("slotted", 12, 2, 11);
+  const core::SolverRegistry& registry = engine::shared_registry();
+  std::mutex mutex;
+  std::vector<double> costs;
+  RunContext ctx;
+  ctx.set_incumbent_hook([&](const core::Incumbent& incumbent) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    costs.push_back(incumbent.cost);
+    EXPECT_GE(incumbent.elapsed_ms, 0.0);
+  });
+  const Solution sol = registry.run("active/exact", inst, ctx);
+  ASSERT_TRUE(sol.ok) << sol.message;
+  ASSERT_FALSE(costs.empty());
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_LE(costs[i], costs[i - 1]) << "incumbents must improve";
+  }
+  // The final reported incumbent is the returned cost.
+  EXPECT_EQ(costs.back(), sol.cost);
+}
+
+TEST(RunContext, MultiWindowInfeasibleConcludesWithoutEnumerating) {
+  // Two 2-slot jobs, one shared single-slot window, g = 1: infeasible.
+  // The anytime path must conclude from the failed all-slots check —
+  // never burn the budget enumerating subsets that cannot succeed.
+  const active::MultiWindowInstance infeasible(
+      {{{{0, 2}}, 2}, {{{0, 2}}, 2}}, 1);
+  const RunContext ctx = RunContext::with_budget_ms(5).restarted();
+  active::MultiWindowExactOptions options;
+  options.context = &ctx;
+  EXPECT_FALSE(active::mw_solve_exact_anytime(infeasible, options)
+                   .has_value());
+}
+
+TEST(RunContext, PolynomialSolversIgnoreExpiredBudgets) {
+  // An (effectively) expired budget must not stop a polynomial solver:
+  // it runs to completion and reports a full, untimed-out solution.
+  const ProblemInstance inst = scenario_instance("interval", 20, 3);
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const RunContext ctx = RunContext::with_budget_ms(1e-6);
+  const Solution sol = registry.run("busy/first-fit", inst, ctx);
+  ASSERT_TRUE(sol.ok) << sol.message;
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_FALSE(sol.timed_out);
+}
+
+TEST(RunContext, RunInstanceCarriesBudgetIntoEveryCell) {
+  const ProblemInstance inst = scenario_instance("weighted", 20, 3);
+  engine::RunOptions options;
+  options.budget_ms = 60;
+  const engine::RunReport report =
+      engine::run_instance(engine::shared_registry(), inst, options);
+  bool saw_exact = false;
+  for (const Solution& sol : report.solutions) {
+    EXPECT_EQ(sol.budget_ms, 60.0) << sol.solver;
+    if (sol.solver == "busy/weighted-exact") {
+      saw_exact = true;
+      ASSERT_TRUE(sol.ok) << sol.message;
+      EXPECT_TRUE(sol.feasible);
+      // Completed inside the budget or timed out with an incumbent —
+      // either way the cell reports, never refuses.
+      EXPECT_TRUE(sol.exact || sol.timed_out);
+    }
+  }
+  EXPECT_TRUE(saw_exact) << "budget must lift the n=20 gate";
+}
+
+}  // namespace
+}  // namespace abt

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/builtin_solvers.hpp"
+#include "engine/campaign.hpp"
 #include "engine/parallel.hpp"
 #include "engine/runner.hpp"
 
@@ -114,6 +115,9 @@ TEST(TrialSweep, AggregatesAreDeterministicAcrossThreadCounts) {
       EXPECT_EQ(a.ok, b.ok);
       EXPECT_EQ(a.feasible, b.feasible);
       EXPECT_EQ(a.exact_runs, b.exact_runs);
+      EXPECT_EQ(a.declined, b.declined);
+      EXPECT_EQ(a.timed_out, b.timed_out);
+      EXPECT_EQ(a.runs, a.ok + a.declined) << a.solver;
       EXPECT_EQ(a.ratio_count, b.ratio_count);
       EXPECT_EQ(a.ratio_mean, b.ratio_mean) << scenario << " " << a.solver;
       EXPECT_EQ(a.ratio_median, b.ratio_median);
@@ -173,6 +177,74 @@ TEST(TrialSweep, ExplicitSubsetAndUnknownNamesGetRowsInEveryCell) {
   EXPECT_EQ(report->aggregates[1].ok, 0);
 }
 
+/// The cancellation contract: a cancelled sweep declines every cell
+/// promptly ("cancelled" rows, no solver work), instead of grinding
+/// through the remaining grid.
+TEST(TrialSweep, CancellationStopsASweepPromptly) {
+  core::CancelSource source;
+  source.cancel();  // cancelled before any cell runs
+  engine::ScenarioSpec spec;
+  spec.name = "weighted";
+  spec.n = 13;  // inside the exact gate: a full sweep would be seconds
+  spec.g = 3;
+  spec.seed = 3;
+  engine::SweepOptions options;
+  options.trials = 8;
+  options.threads = 2;
+  options.run.cancel = source.token();
+  std::string error;
+  const auto report = engine::run_sweep(engine::shared_registry(), spec,
+                                        options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  for (const engine::RunReport& cell : report->cells) {
+    for (const Solution& sol : cell.solutions) {
+      EXPECT_FALSE(sol.ok);
+      EXPECT_EQ(sol.message, "cancelled");
+      EXPECT_TRUE(sol.timed_out);
+    }
+  }
+  for (const engine::SolverAggregate& agg : report->aggregates) {
+    EXPECT_EQ(agg.ok, 0) << agg.solver;
+    EXPECT_EQ(agg.declined, agg.runs) << agg.solver;
+  }
+}
+
+/// A budgeted sweep past the measured gate: every weighted-exact cell
+/// reports (completed or timed out with an incumbent), none refuses.
+TEST(TrialSweep, BudgetedSweepRunsExactPastTheGate) {
+  engine::ScenarioSpec spec;
+  spec.name = "weighted";
+  spec.n = 18;  // past the free-run gate of 14
+  spec.g = 3;
+  spec.seed = 5;
+  engine::SweepOptions options;
+  options.trials = 3;
+  options.threads = 2;
+  options.run.solvers = {"busy/weighted-exact"};
+  options.run.budget_ms = 40;
+  std::string error;
+  const auto report = engine::run_sweep(engine::shared_registry(), spec,
+                                        options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->budget_ms, 40.0);
+  ASSERT_EQ(report->aggregates.size(), 1u);
+  const engine::SolverAggregate& agg = report->aggregates[0];
+  EXPECT_EQ(agg.ok, 3);
+  EXPECT_EQ(agg.feasible, 3) << "incumbents must pass the checker";
+  EXPECT_EQ(agg.declined, 0);
+  EXPECT_EQ(agg.exact_runs + agg.timed_out, 3)
+      << "every cell either proves optimality or times out";
+  for (const engine::RunReport& cell : report->cells) {
+    for (const Solution& sol : cell.solutions) {
+      ASSERT_TRUE(sol.ok) << sol.message;
+      if (sol.timed_out) {
+        EXPECT_GT(sol.best_bound, 0.0);
+        EXPECT_GE(sol.cost, sol.best_bound - 1e-9);
+      }
+    }
+  }
+}
+
 TEST(TrialSweep, UnknownScenarioFailsWithError) {
   engine::ScenarioSpec spec;
   spec.name = "no-such-scenario";
@@ -202,6 +274,197 @@ TEST(TrialSweep, WritersCarryTheAggregates) {
   EXPECT_NE(json.str().find("\"cells\""), std::string::npos);
   EXPECT_NE(json.str().find("\"scenario\": \"multi-window\""),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns: a scenario grid through one shared pool.
+
+TEST(Campaign, ExpandGridIsScenarioMajorCrossProduct) {
+  engine::CampaignGrid grid;
+  grid.scenarios = {"interval", "flexible"};
+  grid.ns = {8, 12};
+  grid.gs = {2, 3};
+  grid.base.seed = 9;
+  const auto points = engine::expand_grid(grid);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_EQ(points[0].name, "interval");
+  EXPECT_EQ(points[0].n, 8);
+  EXPECT_EQ(points[0].g, 2);
+  EXPECT_EQ(points[1].g, 3);
+  EXPECT_EQ(points[4].name, "flexible");
+  for (const engine::ScenarioSpec& spec : points) EXPECT_EQ(spec.seed, 9u);
+}
+
+TEST(Campaign, ParseFileFormatAndRejectBadDirectives) {
+  std::istringstream good(
+      "# tiny grid\n"
+      "scenario interval weighted\n"
+      "n 8 10\n"
+      "g 3\n"
+      "trials 2\n"
+      "seed 21\n");
+  std::string error;
+  const auto grid = engine::parse_campaign(good, &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  EXPECT_EQ(grid->scenarios.size(), 2u);
+  EXPECT_EQ(grid->ns.size(), 2u);
+  EXPECT_EQ(grid->trials, 2);
+  EXPECT_EQ(grid->base.seed, 21u);
+  EXPECT_EQ(engine::expand_grid(*grid).size(), 4u);
+
+  // A CLI-provided base seeds the shared knobs; file directives override.
+  engine::ScenarioSpec base;
+  base.seed = 99;
+  base.slack = 2.5;
+  std::istringstream with_base("scenario interval\nseed 3\n");
+  const auto seeded = engine::parse_campaign(with_base, &error, base);
+  ASSERT_TRUE(seeded.has_value()) << error;
+  EXPECT_EQ(seeded->base.seed, 3u) << "file directive wins";
+  EXPECT_EQ(seeded->base.slack, 2.5) << "base knob carries when file silent";
+
+  std::istringstream unknown("scenario interval\nbogus 3\n");
+  EXPECT_FALSE(engine::parse_campaign(unknown, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  std::istringstream empty("n 8\n");
+  EXPECT_FALSE(engine::parse_campaign(empty, &error).has_value());
+}
+
+TEST(Campaign, PresetsResolveAndUnknownNamesDoNot) {
+  EXPECT_FALSE(engine::campaign_presets().empty());
+  for (const engine::CampaignPresetInfo& info : engine::campaign_presets()) {
+    const auto grid = engine::campaign_preset(info.name);
+    ASSERT_TRUE(grid.has_value()) << info.name;
+    EXPECT_GE(engine::expand_grid(*grid).size(), 4u) << info.name;
+  }
+  EXPECT_FALSE(engine::campaign_preset("no-such-preset").has_value());
+}
+
+engine::CampaignReport campaign_with_threads(int threads) {
+  engine::CampaignGrid grid;
+  grid.scenarios = {"interval", "weighted"};
+  grid.ns = {8, 10};
+  grid.gs = {3};
+  grid.base.seed = 17;
+  engine::CampaignOptions options;
+  options.trials = 3;
+  options.threads = threads;
+  std::string error;
+  const auto report = engine::run_campaign(engine::shared_registry(), grid,
+                                           options, &error);
+  EXPECT_TRUE(report.has_value()) << error;
+  return *report;
+}
+
+/// The satellite requirement for campaigns: identical grids => identical
+/// per-point cost/verdict aggregates for any worker count (no budget in
+/// play), because every cell writes only its own slot of the shared pool's
+/// fan-out.
+TEST(Campaign, AggregatesDeterministicAcrossThreadCounts) {
+  const engine::CampaignReport one = campaign_with_threads(1);
+  const engine::CampaignReport four = campaign_with_threads(4);
+  ASSERT_EQ(one.points.size(), 4u);
+  ASSERT_EQ(one.points.size(), four.points.size());
+  for (std::size_t p = 0; p < one.points.size(); ++p) {
+    const engine::CampaignPoint& a = one.points[p];
+    const engine::CampaignPoint& b = four.points[p];
+    EXPECT_EQ(a.spec.name, b.spec.name);
+    EXPECT_EQ(a.cells, b.cells);
+    EXPECT_EQ(a.ok_cells, b.ok_cells);
+    EXPECT_EQ(a.infeasible_cells, 0);
+    ASSERT_EQ(a.aggregates.size(), b.aggregates.size()) << a.spec.name;
+    for (std::size_t i = 0; i < a.aggregates.size(); ++i) {
+      const engine::SolverAggregate& x = a.aggregates[i];
+      const engine::SolverAggregate& y = b.aggregates[i];
+      EXPECT_EQ(x.solver, y.solver);
+      EXPECT_EQ(x.runs, y.runs);
+      EXPECT_EQ(x.ok, y.ok);
+      EXPECT_EQ(x.feasible, y.feasible);
+      EXPECT_EQ(x.exact_runs, y.exact_runs);
+      EXPECT_EQ(x.declined, y.declined);
+      EXPECT_EQ(x.timed_out, y.timed_out);
+      EXPECT_EQ(x.ratio_mean, y.ratio_mean)
+          << a.spec.name << " " << x.solver << ": bit-identical or bust";
+      EXPECT_EQ(x.ratio_median, y.ratio_median);
+      EXPECT_EQ(x.ratio_p95, y.ratio_p95);
+      EXPECT_EQ(x.ratio_max, y.ratio_max);
+    }
+  }
+}
+
+/// A campaign point must report exactly what a standalone sweep of the
+/// same spec reports — the aggregation path is shared, not parallel.
+TEST(Campaign, PointMatchesStandaloneSweep) {
+  const engine::CampaignReport campaign = campaign_with_threads(2);
+  const engine::CampaignPoint& point = campaign.points.front();
+
+  engine::SweepOptions options;
+  options.trials = campaign.trials;
+  options.threads = 1;
+  std::string error;
+  const auto sweep = engine::run_sweep(engine::shared_registry(), point.spec,
+                                       options, &error);
+  ASSERT_TRUE(sweep.has_value()) << error;
+  ASSERT_EQ(sweep->aggregates.size(), point.aggregates.size());
+  for (std::size_t i = 0; i < point.aggregates.size(); ++i) {
+    EXPECT_EQ(point.aggregates[i].solver, sweep->aggregates[i].solver);
+    EXPECT_EQ(point.aggregates[i].feasible, sweep->aggregates[i].feasible);
+    EXPECT_EQ(point.aggregates[i].ratio_mean,
+              sweep->aggregates[i].ratio_mean)
+        << point.aggregates[i].solver;
+  }
+}
+
+TEST(Campaign, CancelledCampaignDeclinesAllCells) {
+  core::CancelSource source;
+  source.cancel();
+  engine::CampaignGrid grid;
+  grid.scenarios = {"interval", "flexible"};
+  grid.ns = {8, 12};
+  grid.gs = {3};
+  engine::CampaignOptions options;
+  options.trials = 2;
+  options.threads = 2;
+  options.run.cancel = source.token();
+  std::string error;
+  const auto report = engine::run_campaign(engine::shared_registry(), grid,
+                                           options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  for (const engine::CampaignPoint& point : report->points) {
+    EXPECT_EQ(point.ok_cells, 0);
+    EXPECT_GT(point.cells, 0);
+  }
+}
+
+TEST(Campaign, BadGridPointFailsUpFrontWithContext) {
+  engine::CampaignGrid grid;
+  grid.scenarios = {"fig3"};
+  grid.ns = {8};
+  grid.gs = {2};  // fig3 requires g >= 3
+  std::string error;
+  EXPECT_FALSE(engine::run_campaign(engine::shared_registry(), grid, {},
+                                    &error)
+                   .has_value());
+  EXPECT_NE(error.find("fig3"), std::string::npos) << error;
+}
+
+TEST(Campaign, WritersCarryThePoints) {
+  const engine::CampaignReport report = campaign_with_threads(2);
+
+  std::ostringstream table;
+  engine::print_campaign(table, report);
+  EXPECT_NE(table.str().find("4 grid points"), std::string::npos);
+  EXPECT_NE(table.str().find("weighted"), std::string::npos);
+
+  std::ostringstream csv;
+  engine::write_campaign_csv(csv, report);
+  EXPECT_NE(csv.str().find("scenario,n,g,seed,solver"), std::string::npos);
+
+  std::ostringstream json;
+  engine::write_campaign_json(json, report);
+  EXPECT_NE(json.str().find("\"campaign\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"points\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"declined\""), std::string::npos);
 }
 
 }  // namespace
