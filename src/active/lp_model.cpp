@@ -97,8 +97,13 @@ std::vector<double> ActiveTimeLp::y_values(const std::vector<double>& x) const {
   return y;
 }
 
-ActiveLpSolution solve_active_lp(const ActiveTimeLp& model) {
-  lp::SimplexSolver solver;
+ActiveLpSolution solve_active_lp(const ActiveTimeLp& model,
+                                 const core::RunContext* ctx) {
+  lp::SimplexSolver::Options options;
+  if (ctx != nullptr) {
+    options.should_stop = [ctx] { return ctx->should_stop(); };
+  }
+  const lp::SimplexSolver solver(options);
   const lp::Solution sol = solver.solve(model.problem());
   ActiveLpSolution out;
   out.status = sol.status;

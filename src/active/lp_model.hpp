@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "core/slotted_instance.hpp"
 #include "lp/simplex.hpp"
 
@@ -53,6 +54,11 @@ struct ActiveLpSolution {
   std::vector<double> raw;          ///< full LP variable vector
 };
 
-[[nodiscard]] ActiveLpSolution solve_active_lp(const ActiveTimeLp& model);
+/// When `ctx` is given, its should_stop() is polled inside the simplex
+/// iteration loop; a trip surfaces as lp::SolveStatus::kCancelled, so a
+/// budget-capped campaign can abandon a long LP solve mid-flight instead
+/// of only between solver calls.
+[[nodiscard]] ActiveLpSolution solve_active_lp(
+    const ActiveTimeLp& model, const core::RunContext* ctx = nullptr);
 
 }  // namespace abt::active

@@ -83,12 +83,18 @@ class SlotLedger {
 
 }  // namespace
 
-std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst) {
+std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
+                                                  const core::RunContext* ctx) {
   std::vector<SlotTime> candidates = candidate_slots(inst);
   if (!is_feasible_with_slots(inst, candidates)) return std::nullopt;
 
   const ActiveTimeLp model(inst);
-  const ActiveLpSolution lp = solve_active_lp(model);
+  const ActiveLpSolution lp = solve_active_lp(model, ctx);
+  if (lp.status == lp::SolveStatus::kCancelled) {
+    LpRoundingResult cancelled;
+    cancelled.cancelled = true;
+    return cancelled;
+  }
   ABT_ASSERT(lp.status == lp::SolveStatus::kOptimal,
              "LP must be solvable for a feasible instance");
 

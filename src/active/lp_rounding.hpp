@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/active_schedule.hpp"
+#include "core/run_context.hpp"
 #include "core/slotted_instance.hpp"
 
 namespace abt::active {
@@ -23,6 +24,9 @@ struct LpRoundingResult {
   /// Slots opened by the defensive repair loop; the paper's analysis
   /// guarantees this stays 0, and tests assert it.
   int repair_opens = 0;
+  /// True when the run context cancelled the LP solve mid-iteration; the
+  /// rest of the result is empty and must not be interpreted.
+  bool cancelled = false;
 };
 
 /// Right-shifts an optimal LP solution: LP mass within each deadline segment
@@ -42,8 +46,10 @@ struct LpRoundingResult {
 /// Guarantees (asserted in tests): feasible output, cost <= 2 * LP optimum
 /// <= 2 * OPT.
 ///
-/// Returns nullopt when the instance is infeasible.
+/// Returns nullopt when the instance is infeasible. When `ctx` is given,
+/// the LP solve polls its should_stop(); on cancellation the result is
+/// engaged with `cancelled = true` and no schedule.
 [[nodiscard]] std::optional<LpRoundingResult> solve_lp_rounding(
-    const core::SlottedInstance& inst);
+    const core::SlottedInstance& inst, const core::RunContext* ctx = nullptr);
 
 }  // namespace abt::active

@@ -30,7 +30,11 @@ BusySchedule first_fit_ordered(const ContinuousInstance& inst,
   ABT_ASSERT(inst.all_interval_jobs(1e-6), "FIRSTFIT expects interval jobs");
   BusySchedule sched;
   sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
-  std::vector<core::OccupancyIndex> machines;
+  // Per-worker machine pool: a cleared FlatOccupancyIndex keeps its flat
+  // arrays, so every trial after a worker thread's first reuses the
+  // allocations instead of rebuilding each machine from empty heap.
+  thread_local std::vector<core::OccupancyIndex> pool;
+  std::size_t active = 0;  ///< pool[0, active) are this run's machines.
   core::MachineFreeIndex free_at;  ///< Machine index by earliest-free time.
   const int capacity = inst.capacity();
   for (JobId j : order) {
@@ -39,11 +43,10 @@ BusySchedule first_fit_ordered(const ContinuousInstance& inst,
     // All machines from `idle` on are irrelevant: `idle` itself fits for
     // free, and first-fit never places beyond the first fitting machine.
     const int idle = free_at.first_at_most(run.lo);
-    const int scan_end = idle >= 0 ? idle : static_cast<int>(machines.size());
+    const int scan_end = idle >= 0 ? idle : static_cast<int>(active);
     int chosen = -1;
     for (int m = 0; m < scan_end; ++m) {
-      if (machines[static_cast<std::size_t>(m)].max_coverage_in(run.lo,
-                                                                run.hi) +
+      if (pool[static_cast<std::size_t>(m)].max_coverage_in(run.lo, run.hi) +
               1 <=
           capacity) {
         chosen = m;
@@ -52,12 +55,17 @@ BusySchedule first_fit_ordered(const ContinuousInstance& inst,
     }
     if (chosen < 0) chosen = idle;
     if (chosen < 0) {
-      machines.emplace_back();
+      if (active == pool.size()) {
+        pool.emplace_back();
+      } else {
+        pool[active].clear();
+      }
+      ++active;
       chosen = free_at.push_back(run.hi);
     } else {
       free_at.set(chosen, std::max(free_at.key(chosen), run.hi));
     }
-    machines[static_cast<std::size_t>(chosen)].insert(run);
+    pool[static_cast<std::size_t>(chosen)].insert(run);
     sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
   }
   return sched;

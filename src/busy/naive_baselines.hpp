@@ -2,17 +2,19 @@
 
 // Pre-optimization implementations of the busy-time hot paths (first_fit /
 // demand_profile / track peeling from PR 1, online / preemptive from
-// PR 4), kept verbatim as the single source of truth for (a) the
-// equivalence suites (tests/test_sweep.cpp, tests/test_online.cpp,
-// tests/test_preemptive.cpp), which assert the optimized algorithms
-// reproduce these placement-for-placement, and (b) the BM_*Naive baselines
-// in bench/bench_perf.cpp, which record the speedup in every
-// BENCH_PR<k>.json. Do not optimize this header; its value is staying
-// frozen.
+// PR 4, the std::map-backed OccupancyIndex / OpenSet from PR 6's flat
+// data-layout pass), kept verbatim as the single source of truth for
+// (a) the equivalence suites (tests/test_sweep.cpp, tests/test_online.cpp,
+// tests/test_preemptive.cpp, tests/test_flat_layout.cpp), which assert the
+// optimized algorithms reproduce these placement-for-placement, and
+// (b) the BM_*Naive baselines in bench/bench_perf.cpp, which record the
+// speedup in every BENCH_PR<k>.json. Do not optimize this header; its
+// value is staying frozen.
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <numeric>
 #include <vector>
 
@@ -23,6 +25,155 @@
 #include "core/continuous_instance.hpp"
 
 namespace abt::busy::naive {
+
+/// core/sweep's original (PR 1 - PR 5) OccupancyIndex: a std::map endpoint
+/// map from coordinate to coverage level on [key, next key). Node-based,
+/// so every probe chases allocator pointers; frozen here as the bit-exact
+/// reference for core::FlatOccupancyIndex (tests/test_flat_layout.cpp).
+class MapOccupancyIndex {
+ public:
+  [[nodiscard]] int max_coverage_in(core::RealTime lo,
+                                    core::RealTime hi) const {
+    if (hi <= lo || steps_.empty()) return 0;
+    auto it = steps_.upper_bound(lo);
+    int best = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+    for (; it != steps_.end() && it->first < hi; ++it) {
+      best = std::max(best, it->second);
+    }
+    return best;
+  }
+
+  [[nodiscard]] core::RealTime covered_measure_in(core::RealTime lo,
+                                                  core::RealTime hi) const {
+    if (hi <= lo || steps_.empty()) return 0.0;
+    auto it = steps_.upper_bound(lo);
+    int level = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+    core::RealTime covered = 0.0;
+    core::RealTime cursor = lo;
+    for (; it != steps_.end() && it->first < hi; ++it) {
+      if (level > 0) covered += it->first - cursor;
+      cursor = it->first;
+      level = it->second;
+    }
+    if (level > 0) covered += hi - cursor;
+    return covered;
+  }
+
+  void insert(const core::Interval& iv) {
+    if (iv.empty()) return;
+    const auto split = [this](core::RealTime t) {
+      auto it = steps_.lower_bound(t);
+      if (it == steps_.end() || it->first != t) {
+        const int level = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+        it = steps_.emplace_hint(it, t, level);
+      }
+      return it;
+    };
+    const auto it_hi = split(iv.hi);
+    for (auto it = split(iv.lo); it != it_hi; ++it) ++it->second;
+    ++count_;
+  }
+
+  [[nodiscard]] int size() const { return count_; }
+
+  /// The (coordinate, level) steps, ascending — lets the equivalence suite
+  /// compare internal state, not just query answers.
+  [[nodiscard]] std::vector<std::pair<core::RealTime, int>> steps() const {
+    return {steps_.begin(), steps_.end()};
+  }
+
+ private:
+  std::map<core::RealTime, int> steps_;
+  int count_ = 0;
+};
+
+/// busy/preemptive's original (PR 4 - PR 5) OpenSet: a std::map from lo to
+/// hi over disjoint open intervals. Frozen as the bit-exact reference for
+/// core::FlatIntervalSet (tests/test_flat_layout.cpp).
+class MapOpenSet {
+ public:
+  static constexpr double kMergeEps = 1e-12;
+  static constexpr double kSliverEps = 1e-9;
+
+  [[nodiscard]] double measure_in(const core::Interval& window) const {
+    double total = 0.0;
+    for (auto it = first_overlapping(window);
+         it != set_.end() && it->first < window.hi; ++it) {
+      const double lo = std::max(it->first, window.lo);
+      const double hi = std::min(it->second, window.hi);
+      if (hi > lo) total += hi - lo;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::vector<core::Interval> covered_in(
+      const core::Interval& window) const {
+    std::vector<core::Interval> out;
+    for (auto it = first_overlapping(window);
+         it != set_.end() && it->first < window.hi; ++it) {
+      const double lo = std::max(it->first, window.lo);
+      const double hi = std::min(it->second, window.hi);
+      if (hi > lo + kSliverEps) out.push_back({lo, hi});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<core::Interval> free_in(
+      const core::Interval& window) const {
+    std::vector<core::Interval> out;
+    double cursor = window.lo;
+    for (auto it = first_overlapping(window);
+         it != set_.end() && it->first < window.hi; ++it) {
+      if (it->first > cursor) {
+        out.push_back({cursor, std::min(it->first, window.hi)});
+      }
+      cursor = std::max(cursor, it->second);
+      if (cursor >= window.hi) break;
+    }
+    if (cursor < window.hi) out.push_back({cursor, window.hi});
+    std::erase_if(out, [](const core::Interval& iv) {
+      return iv.length() <= kSliverEps;
+    });
+    return out;
+  }
+
+  void insert(core::Interval iv) {
+    auto it = set_.upper_bound(iv.lo);
+    if (it != set_.begin()) {
+      const auto prev = std::prev(it);
+      if (iv.lo <= prev->second + kMergeEps) {
+        iv.lo = prev->first;
+        iv.hi = std::max(iv.hi, prev->second);
+        it = set_.erase(prev);
+      }
+    }
+    while (it != set_.end() && it->first <= iv.hi + kMergeEps) {
+      iv.hi = std::max(iv.hi, it->second);
+      it = set_.erase(it);
+    }
+    set_.emplace(iv.lo, iv.hi);
+  }
+
+  [[nodiscard]] std::vector<core::Interval> intervals() const {
+    std::vector<core::Interval> out;
+    out.reserve(set_.size());
+    for (const auto& [lo, hi] : set_) out.push_back({lo, hi});
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::map<double, double>::const_iterator first_overlapping(
+      const core::Interval& w) const {
+    auto it = set_.upper_bound(w.lo);
+    if (it != set_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second > w.lo) return prev;
+    }
+    return it;
+  }
+
+  std::map<double, double> set_;
+};
 
 /// busy/first_fit's original MachineState: per-job interval list with an
 /// O(k^2) probe per candidate (rescan all k jobs at every event point).

@@ -32,6 +32,13 @@ class Machine {
  public:
   explicit Machine(int capacity) : capacity_(capacity) {}
 
+  /// Pool-reuse hook: re-arms a recycled machine, keeping the occupancy
+  /// index's flat-array capacity.
+  void reset(int capacity) {
+    capacity_ = capacity;
+    occupancy_.clear();
+  }
+
   [[nodiscard]] bool fits(const Interval& candidate) const {
     return occupancy_.max_coverage_in(candidate.lo, candidate.hi) + 1 <=
            capacity_;
@@ -42,6 +49,17 @@ class Machine {
   [[nodiscard]] double growth(const Interval& candidate) const {
     return candidate.length() -
            occupancy_.covered_measure_in(candidate.lo, candidate.hi);
+  }
+
+  /// Fused fits + growth for best-fit: one locate pass answers both
+  /// questions. Returns whether the candidate fits; `out_growth` gets the
+  /// busy-time increase (same values as fits() + growth(), bit for bit).
+  [[nodiscard]] bool fits_with_growth(const Interval& candidate,
+                                      double* out_growth) const {
+    core::RealTime covered = 0.0;
+    const int cov = occupancy_.probe(candidate.lo, candidate.hi, &covered);
+    *out_growth = candidate.length() - covered;
+    return cov + 1 <= capacity_;
   }
 
   void add(const Interval& iv) { occupancy_.insert(iv); }
@@ -65,7 +83,9 @@ BusySchedule schedule_online(const ContinuousInstance& inst,
 
   BusySchedule sched;
   sched.placements.assign(static_cast<std::size_t>(inst.size()), {});
-  std::vector<Machine> machines;
+  // Per-worker machine pool, recycled across trials (see first_fit.cpp).
+  thread_local std::vector<Machine> pool;
+  std::size_t active = 0;  ///< pool[0, active) are this run's machines.
 
   for (JobId j : order) {
     const core::ContinuousJob& job = inst.job(j);
@@ -73,8 +93,8 @@ BusySchedule schedule_online(const ContinuousInstance& inst,
     int chosen = -1;
     switch (policy) {
       case OnlinePolicy::kFirstFit:
-        for (std::size_t m = 0; m < machines.size(); ++m) {
-          if (machines[m].fits(run)) {
+        for (std::size_t m = 0; m < active; ++m) {
+          if (pool[m].fits(run)) {
             chosen = static_cast<int>(m);
             break;
           }
@@ -82,9 +102,9 @@ BusySchedule schedule_online(const ContinuousInstance& inst,
         break;
       case OnlinePolicy::kBestFit: {
         double best_growth = std::numeric_limits<double>::infinity();
-        for (std::size_t m = 0; m < machines.size(); ++m) {
-          if (!machines[m].fits(run)) continue;
-          const double g = machines[m].growth(run);
+        for (std::size_t m = 0; m < active; ++m) {
+          double g = 0.0;
+          if (!pool[m].fits_with_growth(run, &g)) continue;
           if (g < best_growth - 1e-12) {
             best_growth = g;
             chosen = static_cast<int>(m);
@@ -93,16 +113,21 @@ BusySchedule schedule_online(const ContinuousInstance& inst,
         break;
       }
       case OnlinePolicy::kNextFit:
-        if (!machines.empty() && machines.back().fits(run)) {
-          chosen = static_cast<int>(machines.size()) - 1;
+        if (active > 0 && pool[active - 1].fits(run)) {
+          chosen = static_cast<int>(active) - 1;
         }
         break;
     }
     if (chosen < 0) {
-      machines.emplace_back(inst.capacity());
-      chosen = static_cast<int>(machines.size()) - 1;
+      if (active == pool.size()) {
+        pool.emplace_back(inst.capacity());
+      } else {
+        pool[active].reset(inst.capacity());
+      }
+      chosen = static_cast<int>(active);
+      ++active;
     }
-    machines[static_cast<std::size_t>(chosen)].add(run);
+    pool[static_cast<std::size_t>(chosen)].add(run);
     sched.placements[static_cast<std::size_t>(j)] = {chosen, job.release};
   }
   return sched;

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <numeric>
 
 #include "core/assert.hpp"
+#include "core/scratch.hpp"
+#include "core/sweep.hpp"
 
 namespace abt::busy {
 
@@ -18,102 +19,14 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Sorted disjoint set of open intervals (lo -> hi), the incremental form
-/// of core::interval_union: neighbours closer than `kMergeEps` coalesce on
-/// insert, exactly as the batch union would merge them. The original kept
-/// a flat vector and paid a full O(n) scan per measure/free query plus an
-/// O(n log n) re-union per job — the quadratic scans the ROADMAP flagged.
-/// Every operation here costs O(log n) to locate the window plus one step
-/// per intersected interval; outputs are unchanged (asserted against the
-/// frozen original in tests/test_preemptive.cpp).
-class OpenSet {
- public:
-  /// interval_union's merge tolerance (treats touching as merged).
-  static constexpr double kMergeEps = 1e-12;
-
-  /// Measure of window ∩ union(open).
-  [[nodiscard]] double measure_in(const Interval& window) const {
-    double total = 0.0;
-    for (auto it = first_overlapping(window);
-         it != set_.end() && it->first < window.hi; ++it) {
-      const double lo = std::max(it->first, window.lo);
-      const double hi = std::min(it->second, window.hi);
-      if (hi > lo) total += hi - lo;
-    }
-    return total;
-  }
-
-  /// Clipped covered sub-intervals of `window` (sorted, disjoint, slivers
-  /// <= kEps dropped) — union(open) ∩ window.
-  [[nodiscard]] std::vector<Interval> covered_in(const Interval& window) const {
-    std::vector<Interval> out;
-    for (auto it = first_overlapping(window);
-         it != set_.end() && it->first < window.hi; ++it) {
-      const double lo = std::max(it->first, window.lo);
-      const double hi = std::min(it->second, window.hi);
-      if (hi > lo + kEps) out.push_back({lo, hi});
-    }
-    return out;
-  }
-
-  /// Free sub-intervals of `window` not covered by the set (sorted,
-  /// disjoint, slivers <= kEps dropped).
-  [[nodiscard]] std::vector<Interval> free_in(const Interval& window) const {
-    std::vector<Interval> out;
-    double cursor = window.lo;
-    for (auto it = first_overlapping(window);
-         it != set_.end() && it->first < window.hi; ++it) {
-      if (it->first > cursor) {
-        out.push_back({cursor, std::min(it->first, window.hi)});
-      }
-      cursor = std::max(cursor, it->second);
-      if (cursor >= window.hi) break;
-    }
-    if (cursor < window.hi) out.push_back({cursor, window.hi});
-    std::erase_if(out, [](const Interval& iv) { return iv.length() <= kEps; });
-    return out;
-  }
-
-  /// Adds one interval, coalescing with every neighbour within kMergeEps.
-  void insert(Interval iv) {
-    auto it = set_.upper_bound(iv.lo);
-    if (it != set_.begin()) {
-      const auto prev = std::prev(it);
-      if (iv.lo <= prev->second + kMergeEps) {
-        iv.lo = prev->first;
-        iv.hi = std::max(iv.hi, prev->second);
-        it = set_.erase(prev);
-      }
-    }
-    while (it != set_.end() && it->first <= iv.hi + kMergeEps) {
-      iv.hi = std::max(iv.hi, it->second);
-      it = set_.erase(it);
-    }
-    set_.emplace(iv.lo, iv.hi);
-  }
-
-  [[nodiscard]] std::vector<Interval> intervals() const {
-    std::vector<Interval> out;
-    out.reserve(set_.size());
-    for (const auto& [lo, hi] : set_) out.push_back({lo, hi});
-    return out;
-  }
-
- private:
-  /// First stored interval intersecting `w` (or the first starting past
-  /// it). O(log n).
-  [[nodiscard]] std::map<double, double>::const_iterator first_overlapping(
-      const Interval& w) const {
-    auto it = set_.upper_bound(w.lo);
-    if (it != set_.begin()) {
-      const auto prev = std::prev(it);
-      if (prev->second > w.lo) return prev;
-    }
-    return it;
-  }
-
-  std::map<double, double> set_;  ///< lo -> hi, disjoint, gaps > kMergeEps.
-};
+/// Sorted disjoint set of the machine-open time, on one flat sorted vector
+/// (core::FlatIntervalSet). The std::map predecessor is frozen as
+/// naive::MapOpenSet; outputs are bit-exact against it
+/// (tests/test_flat_layout.cpp) and against the original full-rescan form
+/// (tests/test_preemptive.cpp). kEps here equals FlatIntervalSet's default
+/// sliver threshold, so covered_in / free_in filter exactly as before.
+using OpenSet = core::FlatIntervalSet;
+static_assert(OpenSet::kSliverEps == kEps);
 
 }  // namespace
 
@@ -208,29 +121,61 @@ PreemptiveBoundedSolution solve_preemptive_bounded(
     cells.push_back(cell);
     mids.push_back(cell.lo + cell.length() / 2);
   }
-  std::vector<std::vector<JobId>> running(cells.size());
+  // Per-cell running lists in CSR form on arena scratch (flat counts /
+  // offsets / ids instead of a vector-of-vectors): the buffers are bump
+  // allocations a worker thread reuses across trials, and the fill order
+  // (jobs ascending, pieces in order) reproduces the per-cell lists of the
+  // nested-vector predecessor element for element.
+  core::MonotonicArena& arena = core::thread_arena();
+  const core::ArenaScope scope(arena);
+  std::size_t num_pieces = 0;
+  for (JobId j = 0; j < inst.size(); ++j) {
+    num_pieces += unbounded.schedule.pieces[static_cast<std::size_t>(j)].size();
+  }
+  struct PieceCells {
+    std::size_t first;
+    std::size_t last;
+    JobId job;
+  };
+  const std::span<PieceCells> ranges = arena.alloc<PieceCells>(num_pieces);
+  const std::span<int> counts = arena.alloc<int>(cells.size());
+  std::fill(counts.begin(), counts.end(), 0);
+  std::size_t nr = 0;
   for (JobId j = 0; j < inst.size(); ++j) {
     for (const auto& piece :
          unbounded.schedule.pieces[static_cast<std::size_t>(j)]) {
       // Cells whose midpoint lies in [run.lo, run.hi) — the same predicate
       // the per-cell scan evaluated.
-      const auto first =
-          std::lower_bound(mids.begin(), mids.end(), piece.run.lo);
-      const auto last =
-          std::lower_bound(mids.begin(), mids.end(), piece.run.hi);
-      for (auto it = first; it != last; ++it) {
-        running[static_cast<std::size_t>(it - mids.begin())].push_back(j);
-      }
+      const std::size_t first = core::flat_lower_bound(
+          mids.data(), mids.size(), piece.run.lo);
+      const std::size_t last = core::flat_lower_bound(
+          mids.data(), mids.size(), piece.run.hi);
+      ranges[nr++] = {first, last, j};
+      for (std::size_t c = first; c < last; ++c) ++counts[c];
+    }
+  }
+  const std::span<std::size_t> offsets =
+      arena.alloc<std::size_t>(cells.size() + 1);
+  offsets[0] = 0;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    offsets[c + 1] = offsets[c] + static_cast<std::size_t>(counts[c]);
+  }
+  const std::span<JobId> ids = arena.alloc<JobId>(offsets[cells.size()]);
+  const std::span<std::size_t> cursor =
+      arena.alloc<std::size_t>(cells.size());
+  std::copy(offsets.begin(), offsets.end() - 1, cursor.begin());
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = ranges[r].first; c < ranges[r].last; ++c) {
+      ids[cursor[c]++] = ranges[r].job;
     }
   }
   for (std::size_t c = 0; c < cells.size(); ++c) {
     // Deal onto ceil(count/g) machines, filling g at a time: at most one
     // machine per cell is below capacity (charged to the span bound).
-    const std::vector<JobId>& here = running[c];
-    for (std::size_t idx = 0; idx < here.size(); ++idx) {
+    for (std::size_t idx = 0; idx + offsets[c] < offsets[c + 1]; ++idx) {
       const int machine = static_cast<int>(idx) / inst.capacity();
-      out.schedule.pieces[static_cast<std::size_t>(here[idx])].push_back(
-          {machine, cells[c]});
+      out.schedule.pieces[static_cast<std::size_t>(ids[offsets[c] + idx])]
+          .push_back({machine, cells[c]});
     }
   }
 

@@ -32,7 +32,8 @@ std::vector<JobId> TrackPeeler::extract_max_weight_track() {
   ends_.resize(m);
   pred_.resize(m);
   best_.assign(m + 1, 0.0);
-  take_.assign(m, 0);
+  take_.resize(m);
+  take_.clear();
   for (std::size_t i = 0; i < m; ++i) ends_[i] = items_[i].end;
   for (std::size_t i = 0; i < m; ++i) {
     const auto it = std::upper_bound(
@@ -47,17 +48,18 @@ std::vector<JobId> TrackPeeler::extract_max_weight_track() {
         items_[i].weight + best_[static_cast<std::size_t>(pred_[i] + 1)];
     if (with_item > best_[i]) {
       best_[i + 1] = with_item;
-      take_[i] = 1;
+      take_.set(i, 1);
     } else {
       best_[i + 1] = best_[i];
     }
   }
 
   std::vector<JobId> out;
-  std::vector<char> chosen(m, 0);
+  chosen_.resize(m);
+  chosen_.clear();
   for (auto i = static_cast<std::ptrdiff_t>(m) - 1; i >= 0;) {
-    if (take_[static_cast<std::size_t>(i)] != 0) {
-      chosen[static_cast<std::size_t>(i)] = 1;
+    if (take_.get(static_cast<std::size_t>(i)) != 0) {
+      chosen_.set(static_cast<std::size_t>(i), 1);
       out.push_back(items_[static_cast<std::size_t>(i)].job);
       i = pred_[static_cast<std::size_t>(i)];
     } else {
@@ -70,7 +72,7 @@ std::vector<JobId> TrackPeeler::extract_max_weight_track() {
   // peel needs no sort.
   std::size_t w = 0;
   for (std::size_t i = 0; i < m; ++i) {
-    if (chosen[i] == 0) items_[w++] = items_[i];
+    if (chosen_.get(i) == 0) items_[w++] = items_[i];
   }
   items_.resize(w);
   return out;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/continuous_instance.hpp"
+#include "core/scratch.hpp"
 
 namespace abt::busy {
 
@@ -56,10 +57,13 @@ class TrackPeeler {
   };
   std::vector<Item> items_;  ///< Alive candidates, sorted by end.
   // Scratch buffers reused across peels to keep extraction allocation-light.
+  // The marker arrays use O(1) epoch resets instead of a full refill per
+  // peel (the refill dominated shallow peels over large pools).
   std::vector<double> ends_;
   std::vector<int> pred_;
   std::vector<double> best_;
-  std::vector<char> take_;
+  core::FastResetVector<char> take_;
+  core::FastResetVector<char> chosen_;
 };
 
 }  // namespace abt::busy

@@ -1,0 +1,10 @@
+#include "core/scratch.hpp"
+
+namespace abt::core {
+
+MonotonicArena& thread_arena() {
+  thread_local MonotonicArena arena;
+  return arena;
+}
+
+}  // namespace abt::core

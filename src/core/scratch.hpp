@@ -1,0 +1,172 @@
+#pragma once
+
+// Scratch-memory primitives for the sweep hot paths (ROADMAP direction 4;
+// the shape follows TCPSPSuite's fast_reset_vector + skyline ground):
+//
+//  - FastResetVector<T>: a dense vector whose logical clear is O(1) via
+//    epoch stamps, replacing the assign(n, 0) marker arrays that cost a
+//    full fill per loop iteration.
+//  - MonotonicArena: a chained-block bump allocator whose reset rewinds in
+//    O(1) and keeps its blocks, so per-trial flat buffers are carved out of
+//    memory that is allocated once per worker thread.
+//  - thread_arena(): the calling thread's arena. Solvers borrow from it
+//    through an ArenaScope (stack discipline); the engine's workers rewind
+//    and trim it between cells (engine/scratch.hpp).
+//
+// Everything here is thread-affine by design: instances are either owned by
+// one object or reached through thread_local storage, never shared.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace abt::core {
+
+/// Dense vector with O(1) logical clear: every slot carries the epoch that
+/// last wrote it, and reads from an older epoch see T{}. `resize` only
+/// grows the backing storage; values surviving from earlier epochs are
+/// invisible, so no fill is ever needed.
+template <typename T>
+class FastResetVector {
+ public:
+  void resize(std::size_t n) {
+    if (n > data_.size()) {
+      data_.resize(n);
+      stamp_.resize(n, 0);
+    }
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// O(1): bumps the epoch so every slot reads as T{} again.
+  void clear() {
+    if (++epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+      std::fill(stamp_.begin(), stamp_.end(), std::uint32_t{0});
+      epoch_ = 1;
+    }
+  }
+
+  void set(std::size_t i, T v) {
+    data_[i] = v;
+    stamp_[i] = epoch_;
+  }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    return stamp_[i] == epoch_ ? data_[i] : T{};
+  }
+
+ private:
+  std::vector<T> data_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+};
+
+/// Chained-block bump allocator. Allocations stay valid until the owning
+/// scope (or the arena) is rewound; blocks are never freed by reset, so a
+/// worker thread touching the same solver repeatedly allocates real memory
+/// only on its first, largest trial. Only trivially copyable element types
+/// are allowed — nothing is constructed or destroyed.
+class MonotonicArena {
+ public:
+  /// Uninitialized span of `n` elements.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena memory is raw bytes");
+    if (n == 0) return {};
+    void* p = allocate(n * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  /// O(1) full rewind; keeps every block.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Drops trailing blocks until capacity fits `max_bytes`. Only safe (and
+  /// only acted upon) when the arena is fully rewound.
+  void trim(std::size_t max_bytes) {
+    if (current_ != 0 || offset_ != 0) return;
+    while (!blocks_.empty() && capacity() > max_bytes) blocks_.pop_back();
+  }
+
+ private:
+  friend class ArenaScope;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& b = blocks_[current_];
+        const std::size_t off = (offset_ + align - 1) & ~(align - 1);
+        if (off + bytes <= b.size) {
+          offset_ = off + bytes;
+          return b.data.get() + off;
+        }
+        if (current_ + 1 < blocks_.size()) {  // skip to the next block
+          ++current_;
+          offset_ = 0;
+          continue;
+        }
+      }
+      const std::size_t last = blocks_.empty() ? 0 : blocks_.back().size;
+      const std::size_t want =
+          std::max({bytes + align, 2 * last, kMinBlockBytes});
+      blocks_.push_back({std::make_unique<std::byte[]>(want), want});
+      current_ = blocks_.size() - 1;
+      offset_ = 0;
+    }
+  }
+
+  static constexpr std::size_t kMinBlockBytes = 1 << 12;
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< Block being bumped.
+  std::size_t offset_ = 0;   ///< Bump offset within it.
+};
+
+/// RAII rewind point: allocations made inside the scope are reclaimed when
+/// it ends. Scopes nest in stack order, which makes arena use safe even
+/// when nobody ever calls reset() (benchmarks, direct API callers).
+class ArenaScope {
+ public:
+  explicit ArenaScope(MonotonicArena& arena)
+      : arena_(arena), block_(arena.current_), offset_(arena.offset_) {}
+  ~ArenaScope() {
+    arena_.current_ = block_;
+    arena_.offset_ = offset_;
+  }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  MonotonicArena& arena_;
+  std::size_t block_;
+  std::size_t offset_;
+};
+
+/// The calling thread's scratch arena. Worker threads of the sweep engine
+/// keep one alive across every cell they execute (engine/scratch.hpp wires
+/// the per-cell rewind + trim); standalone callers get the same reuse
+/// across repeated calls on one thread via ArenaScope.
+[[nodiscard]] MonotonicArena& thread_arena();
+
+}  // namespace abt::core

@@ -3,32 +3,71 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/scratch.hpp"
+
 namespace abt::core {
 
+namespace {
+
+/// One endpoint event of the coverage sweep: +1 opens an interval at t,
+/// -1 closes one.
+struct SweepEvent {
+  RealTime t;
+  int delta;
+};
+
+}  // namespace
+
 CoverageProfile::CoverageProfile(std::span<const Interval> ivs, RealTime eps) {
-  const std::vector<RealTime> points = event_points(ivs, eps);
-  if (points.size() < 2) return;
+  if (ivs.empty()) return;
+  MonotonicArena& arena = thread_arena();
+  const ArenaScope scope(arena);
 
-  // Each endpoint was merged into the cluster representative at or just
-  // below it, so the greatest boundary <= the endpoint recovers its index.
-  const auto snap = [&points](RealTime t) -> std::size_t {
-    const auto it = std::upper_bound(points.begin(), points.end(), t);
-    return static_cast<std::size_t>(it - points.begin()) - 1;
-  };
-
-  std::vector<int> delta(points.size(), 0);
+  // Event sort into one flat arena span: (coordinate, +-1) per endpoint.
+  const std::span<SweepEvent> events = arena.alloc<SweepEvent>(2 * ivs.size());
+  std::size_t ne = 0;
   for (const Interval& iv : ivs) {
     if (iv.empty()) continue;
-    ++delta[snap(iv.lo)];
-    --delta[snap(iv.hi)];
+    events[ne++] = {iv.lo, +1};
+    events[ne++] = {iv.hi, -1};
   }
+  if (ne == 0) return;
+  std::sort(events.begin(), events.begin() + static_cast<std::ptrdiff_t>(ne),
+            [](const SweepEvent& a, const SweepEvent& b) { return a.t < b.t; });
 
-  segments_.reserve(points.size() - 1);
-  int count = 0;
-  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
-    count += delta[i];
-    if (count > 0) {
-      segments_.push_back({{points[i], points[i + 1]}, count});
+  // Cluster representatives (event_points' eps merge) and per-cluster
+  // deltas fall out of the same linear pass: a sorted event within eps of
+  // the current representative snaps to it — the greatest boundary <= the
+  // endpoint, exactly what the per-endpoint upper_bound recovered before.
+  const std::span<RealTime> points = arena.alloc<RealTime>(ne);
+  const std::span<int> delta = arena.alloc<int>(ne);
+  std::size_t np = 0;
+  for (std::size_t i = 0; i < ne; ++i) {
+    if (np == 0 || events[i].t > points[np - 1] + eps) {
+      points[np] = events[i].t;
+      delta[np] = 0;
+      ++np;
+    }
+    delta[np - 1] += events[i].delta;
+  }
+  if (np < 2) return;
+
+  // Prefix-sum the deltas into coverage counts — one tight loop over flat
+  // int arrays — then emit the positive segments into exactly-sized output.
+  const std::span<int> counts = arena.alloc<int>(np - 1);
+  int run = 0;
+  for (std::size_t i = 0; i + 1 < np; ++i) {
+    run += delta[i];
+    counts[i] = run;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i + 1 < np; ++i) {
+    kept += counts[i] > 0 ? std::size_t{1} : std::size_t{0};
+  }
+  segments_.reserve(kept);
+  for (std::size_t i = 0; i + 1 < np; ++i) {
+    if (counts[i] > 0) {
+      segments_.push_back({{points[i], points[i + 1]}, counts[i]});
     }
   }
 }
@@ -72,71 +111,395 @@ int CoverageProfile::max_coverage_in(RealTime lo, RealTime hi) const {
 }
 
 int max_concurrency(std::span<const Interval> ivs) {
-  struct Event {
-    RealTime t;
-    int delta;
-  };
-  std::vector<Event> events;
-  events.reserve(ivs.size() * 2);
+  if (ivs.empty()) return 0;
+  MonotonicArena& arena = thread_arena();
+  const ArenaScope scope(arena);
+  const std::span<SweepEvent> events = arena.alloc<SweepEvent>(2 * ivs.size());
+  std::size_t ne = 0;
   for (const Interval& iv : ivs) {
     if (iv.empty()) continue;
-    events.push_back({iv.lo, +1});
-    events.push_back({iv.hi, -1});
+    events[ne++] = {iv.lo, +1};
+    events[ne++] = {iv.hi, -1};
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    // Closings before openings at the same coordinate: half-open intervals
-    // [a,b) and [b,c) do not overlap.
-    return a.t < b.t || (a.t == b.t && a.delta < b.delta);
-  });
+  std::sort(events.begin(), events.begin() + static_cast<std::ptrdiff_t>(ne),
+            [](const SweepEvent& a, const SweepEvent& b) {
+              // Closings before openings at the same coordinate: half-open
+              // intervals [a,b) and [b,c) do not overlap.
+              return a.t < b.t || (a.t == b.t && a.delta < b.delta);
+            });
   int cur = 0;
   int best = 0;
-  for (const Event& e : events) {
-    cur += e.delta;
+  for (std::size_t i = 0; i < ne; ++i) {
+    cur += events[i].delta;
     best = std::max(best, cur);
   }
   return best;
 }
 
-int OccupancyIndex::max_coverage_in(RealTime lo, RealTime hi) const {
-  if (hi <= lo || steps_.empty()) return 0;
-  auto it = steps_.upper_bound(lo);
-  int best = (it == steps_.begin()) ? 0 : std::prev(it)->second;
-  for (; it != steps_.end() && it->first < hi; ++it) {
-    best = std::max(best, it->second);
+FlatOccupancyIndex::Pos FlatOccupancyIndex::locate_lower(RealTime t) const {
+  const std::size_t nb = blocks_.size();
+  // Frontier fast path: release-ordered drivers probe and insert at or
+  // past the right edge almost every time, so one predictable compare
+  // replaces the serial block-directory search.
+  const std::size_t fb = (firsts_[nb - 1] < t)
+                             ? nb
+                             : flat_lower_bound(firsts_.data(), nb, t);
+  if (fb == 0) return {0, 0};
+  // First block whose first coordinate is >= t; the answer lives in the
+  // block before it (or at the very front when there is none).
+  const std::size_t b = fb - 1;
+  const Block& blk = blocks_[b];
+  if (blk.coords[blk.n - 1] < t) return {b + 1, 0};
+  const std::size_t off = flat_lower_bound(blk.coords.data(), blk.n, t);
+  return {b, off};
+}
+
+FlatOccupancyIndex::Pos FlatOccupancyIndex::locate_upper(RealTime t) const {
+  const std::size_t nb = blocks_.size();
+  const std::size_t fb = (!(t < firsts_[nb - 1]))
+                             ? nb
+                             : flat_upper_bound(firsts_.data(), nb, t);
+  if (fb == 0) return {0, 0};
+  const std::size_t b = fb - 1;
+  const Block& blk = blocks_[b];
+  if (!(t < blk.coords[blk.n - 1])) return {b + 1, 0};
+  const std::size_t off = flat_upper_bound(blk.coords.data(), blk.n, t);
+  return {b, off};
+}
+
+int FlatOccupancyIndex::pred_level(Pos p) const {
+  if (p.off > 0) return blocks_[p.block].levels[p.off - 1];
+  if (p.block > 0) {
+    const Block& prev = blocks_[p.block - 1];
+    return prev.levels[prev.n - 1];
+  }
+  return 0;
+}
+
+int FlatOccupancyIndex::max_coverage_in(RealTime lo, RealTime hi) const {
+  if (hi <= lo || blocks_.empty()) return 0;
+  const Pos i = locate_upper(lo);
+  int best = pred_level(i);
+  const Pos j = locate_lower(hi);
+  if (i.block < j.block || (i.block == j.block && i.off < j.off)) {
+    best = std::max(best, range_max(i, j));
   }
   return best;
 }
 
-RealTime OccupancyIndex::covered_measure_in(RealTime lo, RealTime hi) const {
-  if (hi <= lo || steps_.empty()) return 0.0;
-  auto it = steps_.upper_bound(lo);
-  int level = (it == steps_.begin()) ? 0 : std::prev(it)->second;
+RealTime FlatOccupancyIndex::covered_from(Pos p, int level, RealTime lo,
+                                          RealTime hi) const {
   RealTime covered = 0.0;
   RealTime cursor = lo;
-  for (; it != steps_.end() && it->first < hi; ++it) {
-    if (level > 0) covered += it->first - cursor;
-    cursor = it->first;
-    level = it->second;
+  // Walks the breakpoints in ascending order exactly as the single flat
+  // array (and the frozen map) did — same values, same FP op sequence.
+  const std::size_t nb = blocks_.size();
+  std::size_t x = p.off;
+  for (std::size_t b = p.block; b < nb; ++b) {
+    const Block& blk = blocks_[b];
+    for (; x < blk.n; ++x) {
+      const RealTime c = blk.coords[x];
+      if (c >= hi) {
+        if (level > 0) covered += hi - cursor;
+        return covered;
+      }
+      if (level > 0) covered += c - cursor;
+      cursor = c;
+      level = blk.levels[x];
+    }
+    x = 0;
   }
   if (level > 0) covered += hi - cursor;
   return covered;
 }
 
-void OccupancyIndex::insert(const Interval& iv) {
-  if (iv.empty()) return;
-  // Split a breakpoint at each endpoint (carrying the incumbent level), then
-  // raise every step inside [lo, hi) by one.
-  const auto split = [this](RealTime t) {
-    auto it = steps_.lower_bound(t);
-    if (it == steps_.end() || it->first != t) {
-      const int level = (it == steps_.begin()) ? 0 : std::prev(it)->second;
-      it = steps_.emplace_hint(it, t, level);
+RealTime FlatOccupancyIndex::covered_measure_in(RealTime lo,
+                                                RealTime hi) const {
+  if (hi <= lo || blocks_.empty()) return 0.0;
+  const Pos p = locate_upper(lo);
+  return covered_from(p, pred_level(p), lo, hi);
+}
+
+int FlatOccupancyIndex::probe(RealTime lo, RealTime hi,
+                              RealTime* covered) const {
+  if (hi <= lo || blocks_.empty()) {
+    if (covered != nullptr) *covered = 0.0;
+    return 0;
+  }
+  const Pos i = locate_upper(lo);
+  const int pred = pred_level(i);
+  int best = pred;
+  const Pos j = locate_lower(hi);
+  if (i.block < j.block || (i.block == j.block && i.off < j.off)) {
+    best = std::max(best, range_max(i, j));
+  }
+  if (covered != nullptr) *covered = covered_from(i, pred, lo, hi);
+  return best;
+}
+
+void FlatOccupancyIndex::split_block(std::size_t b) {
+  constexpr std::size_t kHalf = kBlockCap / 2;
+  blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(b) + 1,
+                 Block{});
+  Block& lo = blocks_[b];
+  Block& hi = blocks_[b + 1];
+  std::copy(lo.coords.begin() + kHalf, lo.coords.end(), hi.coords.begin());
+  std::copy(lo.levels.begin() + kHalf, lo.levels.end(), hi.levels.begin());
+  lo.n = kHalf;
+  hi.n = kBlockCap - kHalf;
+  lo.max_level = *std::max_element(lo.levels.begin(),
+                                   lo.levels.begin() + static_cast<std::ptrdiff_t>(lo.n));
+  hi.max_level = *std::max_element(hi.levels.begin(),
+                                   hi.levels.begin() + static_cast<std::ptrdiff_t>(hi.n));
+  firsts_.insert(firsts_.begin() + static_cast<std::ptrdiff_t>(b) + 1,
+                 hi.coords[0]);
+  on_blocks_changed(b);
+}
+
+FlatOccupancyIndex::Pos FlatOccupancyIndex::split(RealTime t, bool* created) {
+  if (blocks_.empty()) {
+    blocks_.emplace_back();
+    Block& blk = blocks_.back();
+    blk.coords[0] = t;
+    blk.levels[0] = 0;
+    blk.n = 1;
+    blk.max_level = 0;
+    firsts_.push_back(t);
+    on_blocks_changed(0);
+    *created = true;
+    return {0, 0};
+  }
+  const Pos p = locate_lower(t);
+  if (p.block < blocks_.size() && blocks_[p.block].coords[p.off] == t) {
+    *created = false;
+    return p;
+  }
+  const int level = pred_level(p);
+  std::size_t b = p.block;
+  std::size_t off = p.off;
+  if (b == blocks_.size()) {  // global append: extend the last block
+    b = blocks_.size() - 1;
+    off = blocks_[b].n;
+  }
+  if (blocks_[b].n == kBlockCap) {
+    split_block(b);
+    constexpr std::size_t kHalf = kBlockCap / 2;
+    if (off > kHalf) {
+      ++b;
+      off -= kHalf;
     }
-    return it;
-  };
-  const auto it_hi = split(iv.hi);
-  for (auto it = split(iv.lo); it != it_hi; ++it) ++it->second;
+  }
+  Block& blk = blocks_[b];
+  std::copy_backward(
+      blk.coords.begin() + static_cast<std::ptrdiff_t>(off),
+      blk.coords.begin() + static_cast<std::ptrdiff_t>(blk.n),
+      blk.coords.begin() + static_cast<std::ptrdiff_t>(blk.n) + 1);
+  std::copy_backward(
+      blk.levels.begin() + static_cast<std::ptrdiff_t>(off),
+      blk.levels.begin() + static_cast<std::ptrdiff_t>(blk.n),
+      blk.levels.begin() + static_cast<std::ptrdiff_t>(blk.n) + 1);
+  blk.coords[off] = t;
+  blk.levels[off] = level;
+  ++blk.n;
+  if (off == 0) firsts_[b] = t;
+  if (level > blk.max_level) {
+    // The incumbent level came from the previous block and exceeds this
+    // block's own maximum (all of whose steps it now precedes).
+    blk.max_level = level;
+    patch_tree(b, b + 1);
+  }
+  *created = true;
+  return {b, off};
+}
+
+void FlatOccupancyIndex::increment_range(Pos a, Pos b) {
+  const std::size_t nb = blocks_.size();
+  for (std::size_t bi = a.block; bi < nb && bi <= b.block; ++bi) {
+    Block& blk = blocks_[bi];
+    const std::size_t x0 = (bi == a.block) ? a.off : 0;
+    const std::size_t x1 = (bi == b.block) ? b.off : blk.n;
+    for (std::size_t x = x0; x < x1; ++x) {
+      ++blk.levels[x];
+      if (blk.levels[x] > blk.max_level) blk.max_level = blk.levels[x];
+    }
+  }
+  patch_tree(a.block, std::min(nb, b.block + 1));
+}
+
+void FlatOccupancyIndex::on_blocks_changed(std::size_t from_block) {
+  const std::size_t nb = blocks_.size();
+  if (nb > cap_) {
+    std::size_t cap = cap_ == 0 ? 1 : cap_;
+    while (cap < nb) cap *= 2;
+    cap_ = cap;
+    tree_.assign(2 * cap_, 0);
+    patch_tree(0, nb);
+  } else {
+    patch_tree(from_block, nb);
+  }
+}
+
+void FlatOccupancyIndex::patch_tree(std::size_t first, std::size_t last) {
+  if (first >= last) return;
+  std::size_t a = cap_ + first;
+  std::size_t b = cap_ + last - 1;  // inclusive node range per level
+  for (std::size_t i = a; i <= b; ++i) tree_[i] = blocks_[i - cap_].max_level;
+  while (a > 1) {
+    a >>= 1;
+    b >>= 1;
+    for (std::size_t i = a; i <= b; ++i) {
+      tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+}
+
+int FlatOccupancyIndex::range_max(Pos i, Pos j) const {
+  if (i.block == j.block) {
+    const Block& blk = blocks_[i.block];
+    int best = 0;
+    for (std::size_t x = i.off; x < j.off; ++x) {
+      best = std::max(best, blk.levels[x]);
+    }
+    return best;
+  }
+  const Block& head = blocks_[i.block];
+  int best = 0;
+  for (std::size_t x = i.off; x < head.n; ++x) {
+    best = std::max(best, head.levels[x]);
+  }
+  if (j.block < blocks_.size() && j.off > 0) {
+    const Block& tail = blocks_[j.block];
+    for (std::size_t x = 0; x < j.off; ++x) {
+      best = std::max(best, tail.levels[x]);
+    }
+  }
+  return std::max(best, tree_range_max(i.block + 1, j.block));
+}
+
+int FlatOccupancyIndex::tree_range_max(std::size_t first,
+                                       std::size_t last) const {
+  // Bottom-up decomposition: only nodes whose whole subtree lies inside
+  // [first, last) are aggregated, so leaves past blocks_.size() — stale
+  // after a clear() — are never read.
+  int best = 0;
+  std::size_t a = cap_ + first;
+  std::size_t b = cap_ + last;
+  while (a < b) {
+    if ((a & 1) != 0) best = std::max(best, tree_[a++]);
+    if ((b & 1) != 0) best = std::max(best, tree_[--b]);
+    a >>= 1;
+    b >>= 1;
+  }
+  return best;
+}
+
+void FlatOccupancyIndex::insert(const Interval& iv) {
+  if (iv.empty()) return;
+  // Split a breakpoint at each endpoint (carrying the incumbent level),
+  // then raise every step inside [lo, hi) by one — the same splice the
+  // map predecessor performed, now as bounded in-block moves. The hi
+  // split sits strictly after lo, so it can only move lo's position by
+  // splitting a block — re-locate only in that (1-in-kBlockCap/2) case.
+  bool created_lo = false;
+  bool created_hi = false;
+  Pos lo = split(iv.lo, &created_lo);
+  const std::size_t blocks_before = blocks_.size();
+  const Pos hi = split(iv.hi, &created_hi);
+  if (blocks_.size() != blocks_before) lo = locate_lower(iv.lo);
+  increment_range(lo, hi);
   ++count_;
+}
+
+double FlatIntervalSet::measure_in(const Interval& window) const {
+  double total = 0.0;
+  const std::size_t n = set_.size();
+  for (std::size_t i = first_overlapping(window);
+       i < n && set_[i].lo < window.hi; ++i) {
+    const double lo = std::max(set_[i].lo, window.lo);
+    const double hi = std::min(set_[i].hi, window.hi);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+std::vector<Interval> FlatIntervalSet::covered_in(const Interval& window,
+                                                  double sliver_eps) const {
+  std::vector<Interval> out;
+  const std::size_t n = set_.size();
+  for (std::size_t i = first_overlapping(window);
+       i < n && set_[i].lo < window.hi; ++i) {
+    const double lo = std::max(set_[i].lo, window.lo);
+    const double hi = std::min(set_[i].hi, window.hi);
+    if (hi > lo + sliver_eps) out.push_back({lo, hi});
+  }
+  return out;
+}
+
+std::vector<Interval> FlatIntervalSet::free_in(const Interval& window,
+                                               double sliver_eps) const {
+  std::vector<Interval> out;
+  double cursor = window.lo;
+  const std::size_t n = set_.size();
+  for (std::size_t i = first_overlapping(window);
+       i < n && set_[i].lo < window.hi; ++i) {
+    if (set_[i].lo > cursor) {
+      out.push_back({cursor, std::min(set_[i].lo, window.hi)});
+    }
+    cursor = std::max(cursor, set_[i].hi);
+    if (cursor >= window.hi) break;
+  }
+  if (cursor < window.hi) out.push_back({cursor, window.hi});
+  std::erase_if(out, [sliver_eps](const Interval& iv) {
+    return iv.length() <= sliver_eps;
+  });
+  return out;
+}
+
+void FlatIntervalSet::insert(Interval iv) {
+  // First stored lo > iv.lo, mirroring the map's upper_bound on the lo key.
+  const Interval* base = set_.data();
+  std::size_t idx = 0;
+  {
+    std::size_t len = set_.size();
+    while (len > 0) {
+      const std::size_t half = len / 2;
+      const bool right = !(iv.lo < base[idx + half].lo);
+      idx = right ? idx + half + 1 : idx;
+      len = right ? len - half - 1 : half;
+    }
+  }
+  std::size_t erase_begin = idx;
+  std::size_t erase_end = idx;
+  if (idx > 0 && iv.lo <= set_[idx - 1].hi + kMergeEps) {
+    iv.lo = set_[idx - 1].lo;
+    iv.hi = std::max(iv.hi, set_[idx - 1].hi);
+    --erase_begin;
+  }
+  while (erase_end < set_.size() && set_[erase_end].lo <= iv.hi + kMergeEps) {
+    iv.hi = std::max(iv.hi, set_[erase_end].hi);
+    ++erase_end;
+  }
+  if (erase_begin < erase_end) {
+    set_[erase_begin] = iv;
+    set_.erase(set_.begin() + static_cast<std::ptrdiff_t>(erase_begin) + 1,
+               set_.begin() + static_cast<std::ptrdiff_t>(erase_end));
+  } else {
+    set_.insert(set_.begin() + static_cast<std::ptrdiff_t>(erase_begin), iv);
+  }
+}
+
+std::size_t FlatIntervalSet::first_overlapping(const Interval& w) const {
+  const Interval* base = set_.data();
+  std::size_t idx = 0;
+  std::size_t len = set_.size();
+  while (len > 0) {
+    const std::size_t half = len / 2;
+    const bool right = !(w.lo < base[idx + half].lo);
+    idx = right ? idx + half + 1 : idx;
+    len = right ? len - half - 1 : half;
+  }
+  if (idx > 0 && set_[idx - 1].hi > w.lo) return idx - 1;
+  return idx;
 }
 
 namespace {
@@ -152,10 +515,21 @@ void MachineFreeIndex::rebuild(std::size_t capacity) {
   }
 }
 
+void MachineFreeIndex::reserve(std::size_t machines) {
+  std::size_t cap = cap_ == 0 ? 1 : cap_;
+  while (cap < machines) cap *= 2;
+  if (cap <= cap_) return;
+  // Reserve one doubling ahead so the next growth's assign() reuses the
+  // allocation instead of reallocating and re-copying the whole tree.
+  keys_.reserve(2 * cap);
+  tree_.reserve(4 * cap);
+  rebuild(cap);
+}
+
 int MachineFreeIndex::push_back(RealTime key) {
   keys_.push_back(key);
   if (keys_.size() > cap_) {
-    rebuild(std::max<std::size_t>(2 * cap_, 1));
+    reserve(keys_.size());  // geometric: rounds up to the next power of two
   } else {
     set(static_cast<int>(keys_.size()) - 1, key);
   }

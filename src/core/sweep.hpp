@@ -1,12 +1,43 @@
 #pragma once
 
-#include <map>
+#include <array>
+#include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/interval.hpp"
 
 namespace abt::core {
+
+/// Lower bound over a sorted flat array: index of the first element >= x.
+/// The halving loop carries no data-dependent branches (both updates are
+/// conditional moves), so probes into the flat sweep structures never pay
+/// a mispredict on random query positions.
+[[nodiscard]] inline std::size_t flat_lower_bound(const RealTime* data,
+                                                  std::size_t n, RealTime x) {
+  std::size_t lo = 0;
+  while (n > 0) {
+    const std::size_t half = n / 2;
+    const bool right = data[lo + half] < x;
+    lo = right ? lo + half + 1 : lo;
+    n = right ? n - half - 1 : half;
+  }
+  return lo;
+}
+
+/// Upper bound over a sorted flat array: index of the first element > x.
+[[nodiscard]] inline std::size_t flat_upper_bound(const RealTime* data,
+                                                  std::size_t n, RealTime x) {
+  std::size_t lo = 0;
+  while (n > 0) {
+    const std::size_t half = n / 2;
+    const bool right = !(x < data[lo + half]);
+    lo = right ? lo + half + 1 : lo;
+    n = right ? n - half - 1 : half;
+  }
+  return lo;
+}
 
 /// One maximal piece of a coverage step function: exactly `count` of the
 /// input intervals cover every point of `interval`.
@@ -25,6 +56,12 @@ struct CoverageSegment {
 /// its `count` is the raw demand |A(t)| (Definition 11). Segments with zero
 /// coverage are not stored; adjacent equal-count segments are kept separate
 /// so that each segment spans exactly one interesting interval.
+///
+/// Construction works on flat arena-backed event arrays: one sort of
+/// (coordinate, +-1) events, a linear cluster-and-accumulate pass that
+/// folds event_points' eps merging and the endpoint snapping into the same
+/// sweep, then a tight prefix-sum loop over flat int arrays. No per-element
+/// binary searches, no per-call heap allocation beyond the output.
 class CoverageProfile {
  public:
   CoverageProfile() = default;
@@ -55,22 +92,35 @@ class CoverageProfile {
 /// no profile materialization — the lean form of CoverageProfile::max().
 [[nodiscard]] int max_concurrency(std::span<const Interval> ivs);
 
-/// Incremental occupancy structure for one machine: a sorted endpoint map
-/// from coordinate to coverage level on [coordinate, next coordinate).
-/// `insert` and `max_coverage_in` cost O(log k) to locate the boundary plus
-/// one step per breakpoint spanned by the query interval — O(log k) whenever
-/// interval lengths are bounded relative to the machine's span, which turns
-/// first-fit's per-candidate probe from O(k^2) into a logarithmic lookup.
-class OccupancyIndex {
+/// Incremental occupancy structure for one machine on blocked flat storage:
+/// the sorted breakpoint sequence (coordinate, coverage level on
+/// [coordinate, next coordinate)) lives in fixed-capacity blocks of
+/// kBlockCap parallel (coords, levels) arrays, each block carrying its own
+/// level maximum, with an implicit binary max-tree over the block maxima.
+/// `max_coverage_in` is two branch-free probes (block directory + in-block)
+/// plus at most two partial-block scans and one tree range-max — worst-case
+/// O(log k) for constant block size, which retires the "steps spanned" term
+/// the endpoint-map predecessor paid (frozen as naive::MapOccupancyIndex).
+/// `insert` shifts within one block (a bounded memmove) instead of the
+/// whole array, so it costs O(kBlockCap + span + log k) amortized rather
+/// than the O(k) a single flat vector pays — the difference dominates once
+/// a machine accumulates thousands of breakpoints.
+class FlatOccupancyIndex {
  public:
   /// Max coverage over [lo, hi); 0 for empty ranges or an empty index.
+  /// Worst-case O(log k) (block size is a compile-time constant).
   [[nodiscard]] int max_coverage_in(RealTime lo, RealTime hi) const;
 
   /// Measure of {t in [lo, hi) : coverage(t) > 0} — how much of the query
-  /// interval is already busy. Same cost shape as max_coverage_in; it is
-  /// the O(log k) replacement for the "copy all intervals and re-span"
-  /// growth probe of the online best-fit policy.
+  /// interval is already busy. O(log k + breakpoints spanned); the
+  /// accumulation order matches the frozen map baseline bit for bit.
   [[nodiscard]] RealTime covered_measure_in(RealTime lo, RealTime hi) const;
+
+  /// Fused probe: returns max_coverage_in(lo, hi) and, when `covered` is
+  /// non-null, writes covered_measure_in(lo, hi) — identical values (the
+  /// covered walk runs the same FP op sequence), one shared locate pass.
+  /// Best-fit drivers ask both questions about every candidate machine.
+  int probe(RealTime lo, RealTime hi, RealTime* covered) const;
 
   /// Adds one covering interval (no-op when empty).
   void insert(const Interval& iv);
@@ -78,9 +128,137 @@ class OccupancyIndex {
   /// Number of intervals inserted so far.
   [[nodiscard]] int size() const { return count_; }
 
+  /// Logical reset that keeps every capacity — the machine-pool reuse hook
+  /// for per-worker scratch (first-fit / online drivers).
+  void clear() {
+    blocks_.clear();
+    firsts_.clear();
+    count_ = 0;
+  }
+
+  /// The (coordinate, level) steps, ascending. Equivalence-suite hook.
+  [[nodiscard]] std::vector<std::pair<RealTime, int>> steps() const {
+    std::vector<std::pair<RealTime, int>> out;
+    for (const Block& blk : blocks_) {
+      for (std::size_t i = 0; i < blk.n; ++i) {
+        out.emplace_back(blk.coords[i], blk.levels[i]);
+      }
+    }
+    return out;
+  }
+
  private:
-  std::map<RealTime, int> steps_;  ///< coordinate -> level on [key, next).
+  /// Entries per block. Inserts memmove at most this many entries; probes
+  /// scan at most two partial blocks. Constant, so O(kBlockCap) = O(1).
+  static constexpr std::size_t kBlockCap = 64;
+
+  struct Block {
+    std::array<RealTime, kBlockCap> coords;  ///< Ascending breakpoints.
+    std::array<int, kBlockCap> levels;  ///< Level on [coords[i], next).
+    std::size_t n = 0;                  ///< Live entries in [0, kBlockCap].
+    int max_level = 0;                  ///< max(levels[0..n)).
+  };
+
+  /// Position of one breakpoint: (block index, offset within block). The
+  /// one-past-the-end position is canonically (blocks_.size(), 0).
+  struct Pos {
+    std::size_t block;
+    std::size_t off;
+  };
+
+  /// First position with coordinate >= t (canonical form). O(log k).
+  [[nodiscard]] Pos locate_lower(RealTime t) const;
+
+  /// First position with coordinate > t (canonical form). O(log k).
+  [[nodiscard]] Pos locate_upper(RealTime t) const;
+
+  /// Level of the breakpoint immediately before p, or 0 when p is first.
+  [[nodiscard]] int pred_level(Pos p) const;
+
+  /// Covered-measure walk from position p (incumbent level `level`) up to
+  /// hi, accumulating from cursor lo — the shared tail of
+  /// covered_measure_in and probe.
+  [[nodiscard]] RealTime covered_from(Pos p, int level, RealTime lo,
+                                      RealTime hi) const;
+
+  /// Ensures a breakpoint at t (carrying the incumbent level); returns its
+  /// position and reports whether a new breakpoint was created. May split
+  /// a full block (which shifts positions at and after that block).
+  Pos split(RealTime t, bool* created);
+
+  /// Halves full block b into blocks b and b+1 (B-tree leaf split).
+  void split_block(std::size_t b);
+
+  /// Raises every level in [a, b) by one and repairs block maxima + tree.
+  void increment_range(Pos a, Pos b);
+
+  /// Regrows or repairs the block max-tree after blocks_[from..] changed.
+  void on_blocks_changed(std::size_t from_block);
+
+  /// Recomputes tree leaves [first, last) from block maxima and repairs
+  /// parents. O((last - first) + log): the touched range halves per level.
+  void patch_tree(std::size_t first, std::size_t last);
+
+  /// Max level over positions [i, j): two partial-block scans plus a tree
+  /// range-max over the whole blocks strictly between them.
+  [[nodiscard]] int range_max(Pos i, Pos j) const;
+
+  /// Max of block maxima over blocks [first, last) via the implicit tree.
+  [[nodiscard]] int tree_range_max(std::size_t first, std::size_t last) const;
+
+  std::vector<Block> blocks_;     ///< Breakpoints, ascending across blocks.
+  std::vector<RealTime> firsts_;  ///< firsts_[b] == blocks_[b].coords[0].
+  std::vector<int> tree_;         ///< 1-based max-tree over cap_ blocks.
+  std::size_t cap_ = 0;           ///< Power-of-two leaf (block) count.
   int count_ = 0;
+};
+
+/// The flat index is a drop-in swap behind the name every driver already
+/// uses (first-fit, online, best-fit, tests).
+using OccupancyIndex = FlatOccupancyIndex;
+
+/// Sorted disjoint set of open intervals on one flat vector — the
+/// incremental form of core::interval_union. Neighbours closer than
+/// `kMergeEps` coalesce on insert, exactly as the batch union would merge
+/// them. Queries are one branch-free lower-bound probe plus one step per
+/// intersected interval; insert is a contiguous splice. Bit-exact against
+/// the std::map predecessor (frozen as naive::MapOpenSet) — every compare
+/// and every double op happens in the same order on the same values.
+class FlatIntervalSet {
+ public:
+  /// interval_union's merge tolerance (treats touching as merged).
+  static constexpr double kMergeEps = 1e-12;
+  /// Default sliver threshold for covered_in / free_in output filtering.
+  static constexpr double kSliverEps = 1e-9;
+
+  /// Measure of window ∩ union(set).
+  [[nodiscard]] double measure_in(const Interval& window) const;
+
+  /// Clipped covered sub-intervals of `window` (sorted, disjoint, slivers
+  /// <= sliver_eps dropped) — union(set) ∩ window.
+  [[nodiscard]] std::vector<Interval> covered_in(
+      const Interval& window, double sliver_eps = kSliverEps) const;
+
+  /// Free sub-intervals of `window` not covered by the set (sorted,
+  /// disjoint, slivers <= sliver_eps dropped).
+  [[nodiscard]] std::vector<Interval> free_in(
+      const Interval& window, double sliver_eps = kSliverEps) const;
+
+  /// Adds one interval, coalescing with every neighbour within kMergeEps.
+  void insert(Interval iv);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return set_;
+  }
+
+  void clear() { set_.clear(); }
+
+ private:
+  /// Index of the first stored interval intersecting `w` (or of the first
+  /// starting past it). O(log n), branch-free probe.
+  [[nodiscard]] std::size_t first_overlapping(const Interval& w) const;
+
+  std::vector<Interval> set_;  ///< Ascending, disjoint, gaps > kMergeEps.
 };
 
 /// Positional first-fit index over a dynamic sequence of machines, each
@@ -105,6 +283,12 @@ class MachineFreeIndex {
   [[nodiscard]] int first_at_most(RealTime x) const;
 
   [[nodiscard]] int size() const { return static_cast<int>(keys_.size()); }
+
+  /// Pre-sizes the tree for at least `machines` leaves (rounded up to a
+  /// power of two) and reserves the backing storage, so a driver that can
+  /// bound its machine count pays one allocation and zero mid-run
+  /// rebuilds.
+  void reserve(std::size_t machines);
 
  private:
   void rebuild(std::size_t capacity);

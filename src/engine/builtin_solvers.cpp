@@ -564,11 +564,16 @@ void register_active(core::SolverRegistry& registry) {
     s.family = Family::kActive;
     s.guarantee = "<= 2 OPT (Thm 2)";
     s.guarantee_factor = 2.0;
-    s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
+    s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
       Solution sol;
-      const auto result = active::solve_lp_rounding(inst.slotted);
+      const auto result = active::solve_lp_rounding(inst.slotted, &ctx);
       if (!result.has_value()) {
         sol.message = "instance infeasible";
+        return sol;
+      }
+      if (result->cancelled) {
+        sol.timed_out = true;
+        sol.message = "cancelled before LP solve completed";
         return sol;
       }
       sol.ok = true;

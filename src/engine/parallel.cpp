@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/scratch.hpp"
+
 namespace abt::engine {
 
 int resolve_threads(int requested) {
@@ -64,14 +66,24 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(int threads, std::size_t items,
                   const std::function<void(std::size_t)>& fn) {
+  // Every cell starts with begin_cell(): the executing thread rewinds its
+  // scratch arena so per-trial solver buffers are recycled (and
+  // periodically trimmed) instead of growing a monotonic footprint across
+  // a sweep or campaign.
   if (threads <= 1 || items <= 1) {
-    for (std::size_t i = 0; i < items; ++i) fn(i);
+    for (std::size_t i = 0; i < items; ++i) {
+      begin_cell();
+      fn(i);
+    }
     return;
   }
   ThreadPool pool(static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(threads), items)));
   for (std::size_t i = 0; i < items; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+    pool.submit([&fn, i] {
+      begin_cell();
+      fn(i);
+    });
   }
   pool.wait_idle();
 }

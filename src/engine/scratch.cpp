@@ -1,0 +1,21 @@
+#include "engine/scratch.hpp"
+
+#include <algorithm>
+
+namespace abt::engine {
+
+WorkerScratch& worker_scratch() {
+  thread_local WorkerScratch scratch;
+  return scratch;
+}
+
+void begin_cell() {
+  WorkerScratch& scratch = worker_scratch();
+  core::MonotonicArena& arena = core::thread_arena();
+  scratch.peak_arena_bytes = std::max(scratch.peak_arena_bytes,
+                                      arena.capacity());
+  arena.reset();
+  if (++scratch.cells_served % kTrimPeriod == 0) arena.trim(kTrimBytes);
+}
+
+}  // namespace abt::engine

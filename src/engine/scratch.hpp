@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/scratch.hpp"
+
+namespace abt::engine {
+
+/// Per-worker-thread scratch bookkeeping for campaign-scale runs. Each
+/// worker of a sweep keeps one thread_local WorkerScratch alive for the
+/// pool's lifetime; `begin_cell()` runs at the top of every cell (trial)
+/// and rewinds the thread's MonotonicArena so solver scratch carved out of
+/// it is reused instead of re-allocated, trial after trial.
+///
+/// The arena is only rewound between cells, never inside one — solvers use
+/// core::ArenaScope for intra-cell stack discipline, so a missing scope
+/// cannot leak past the next begin_cell().
+struct WorkerScratch {
+  /// Cells this worker has executed since thread start.
+  std::size_t cells_served = 0;
+
+  /// High-water mark of arena capacity observed at cell boundaries.
+  std::size_t peak_arena_bytes = 0;
+};
+
+/// The calling worker's scratch record.
+[[nodiscard]] WorkerScratch& worker_scratch();
+
+/// Marks the start of one sweep/campaign cell on the calling worker
+/// thread: rewinds the thread arena (O(1), keeps blocks) and, every
+/// kTrimPeriod cells, trims it back to kTrimBytes so one pathological
+/// trial cannot pin a huge footprint for the rest of a campaign.
+void begin_cell();
+
+/// Trim threshold: a worker's arena may keep up to this many bytes of
+/// blocks across cells. 8 MiB comfortably holds the flat event buffers of
+/// the largest benchmark trials (n = 8192 is well under 1 MiB).
+inline constexpr std::size_t kTrimBytes = std::size_t{8} << 20;
+
+/// How many cells between trim checks.
+inline constexpr std::size_t kTrimPeriod = 256;
+
+}  // namespace abt::engine

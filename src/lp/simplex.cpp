@@ -192,7 +192,7 @@ int ratio_test(const Tableau& tab, int col, double eps) {
   return best_row;
 }
 
-enum class PhaseResult { kOptimal, kUnbounded, kIterLimit };
+enum class PhaseResult { kOptimal, kUnbounded, kIterLimit, kCancelled };
 
 /// Runs simplex iterations on `tab` minimizing the objective encoded in the
 /// reduced-cost row `z` (z[num_cols] holds minus the objective value).
@@ -204,6 +204,10 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& z, int allowed_cols,
   int stall = 0;
   double last_obj = std::numeric_limits<double>::infinity();
   while (iterations_left-- > 0) {
+    if ((iterations_left & 63) == 0 && options.should_stop &&
+        options.should_stop()) {
+      return PhaseResult::kCancelled;
+    }
     const bool bland = stall >= options.degeneracy_patience;
     int entering = -1;
     double most_negative = -eps;
@@ -295,6 +299,10 @@ Solution SimplexSolver::solve(const LinearProblem& problem) const {
       result.status = SolveStatus::kIterLimit;
       return result;
     }
+    if (pr == PhaseResult::kCancelled) {
+      result.status = SolveStatus::kCancelled;
+      return result;
+    }
     ABT_ASSERT(pr != PhaseResult::kUnbounded,
                "phase-1 objective is bounded below by zero");
     const double phase1_obj = -z[static_cast<std::size_t>(total_cols)];
@@ -331,6 +339,10 @@ Solution SimplexSolver::solve(const LinearProblem& problem) const {
       run_phase(tab, z, tab.artificial_start(), options_, iterations_left);
   if (pr == PhaseResult::kIterLimit) {
     result.status = SolveStatus::kIterLimit;
+    return result;
+  }
+  if (pr == PhaseResult::kCancelled) {
+    result.status = SolveStatus::kCancelled;
     return result;
   }
   if (pr == PhaseResult::kUnbounded) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,7 +31,15 @@ struct LinearProblem {
               double rhs);
 };
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  /// options.should_stop returned true mid-solve (budget exhausted or an
+  /// external cancel); the tableau state is abandoned.
+  kCancelled,
+};
 
 struct Solution {
   SolveStatus status = SolveStatus::kIterLimit;
@@ -49,6 +58,12 @@ class SimplexSolver {
     double eps = 1e-9;
     /// Switch to Bland's rule after this many non-improving iterations.
     int degeneracy_patience = 256;
+    /// Cooperative cancellation hook, polled once every 64 simplex
+    /// iterations (cheap relative to a pivot, responsive relative to the
+    /// half-second solves budget-capped campaigns interrupt). Kept as a
+    /// plain callable so the lp layer stays free of core:: types; callers
+    /// typically wrap core::RunContext::should_stop.
+    std::function<bool()> should_stop;
   };
 
   SimplexSolver() : options_() {}
