@@ -6,7 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "active/feasibility.hpp"
@@ -25,6 +30,10 @@
 #include "busy/weighted.hpp"
 #include "core/rng.hpp"
 #include "core/run_context.hpp"
+#include "engine/builtin_solvers.hpp"
+#include "engine/parallel.hpp"
+#include "engine/runner.hpp"
+#include "engine/scratch.hpp"
 #include "gen/extended_instances.hpp"
 #include "gen/random_instances.hpp"
 
@@ -309,6 +318,201 @@ BENCHMARK(BM_WeightedExactBudget)
     ->Arg(80)
     ->Arg(320)
     ->Unit(benchmark::kMillisecond);
+
+// --- Scheduler overhead: persistent work-stealing pool vs the frozen ---
+// --- PR 6 spawn-per-call engine (the naive denominator).              ---
+
+namespace naive_sched {
+
+// The PR 6 engine, frozen verbatim so BENCH_PR<k>.json keeps an honest
+// denominator: a pool is constructed PER parallel_for call, every cell is
+// a heap-allocated closure pushed through one mutex-guarded queue, and the
+// workers are joined when the call ends.
+class SpawnPool {
+ public:
+  explicit SpawnPool(int threads) {
+    const int count = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~SpawnPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --busy_;
+        if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+};
+
+void parallel_for(int threads, std::size_t items,
+                  const std::function<void(std::size_t)>& fn) {
+  if (threads <= 1 || items <= 1) {
+    for (std::size_t i = 0; i < items; ++i) {
+      engine::begin_cell();
+      fn(i);
+    }
+    return;
+  }
+  SpawnPool pool(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), items)));
+  for (std::size_t i = 0; i < items; ++i) {
+    pool.submit([&fn, i] {
+      engine::begin_cell();
+      fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace naive_sched
+
+/// The many-small-cell workload both scheduler benchmarks dispatch: cell i
+/// mixes its index through a few dozen integer rounds and stores the
+/// result into slot i. The cell body is ~100 ns on purpose — this
+/// benchmark isolates dispatch cost (spawn, wakeup, queue traffic,
+/// per-cell allocation), which is what the two engines differ in; the
+/// end-to-end view with real solver cells is BM_CampaignThroughput.
+struct SmallCellWorkload {
+  explicit SmallCellWorkload(std::size_t cells) : results(cells, 0) {}
+
+  std::vector<std::uint64_t> results;
+
+  [[nodiscard]] std::function<void(std::size_t)> fn() {
+    return [this](std::size_t i) {
+      std::uint64_t h = static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
+      for (int round = 0; round < 32; ++round) {
+        h ^= h >> 33;
+        h *= 0xFF51AFD7ED558CCDULL;
+      }
+      results[i] = h;
+      benchmark::DoNotOptimize(results[i]);
+    };
+  }
+};
+
+constexpr std::size_t kSchedulerCells = 1024;
+
+void BM_SchedulerOverhead(benchmark::State& state) {
+  // Persistent work-stealing pool (PR 7): workers are spawned once and
+  // reused across every iteration; cells are claimed as index ranges off
+  // per-worker deques, no per-cell allocation.
+  const int threads = static_cast<int>(state.range(0));
+  engine::ThreadPool::shared().resize(engine::resolve_threads(threads));
+  SmallCellWorkload workload(kSchedulerCells);
+  const auto fn = workload.fn();
+  for (auto _ : state) {
+    engine::parallel_for(threads, kSchedulerCells, fn);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSchedulerCells));
+}
+BENCHMARK(BM_SchedulerOverhead)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SchedulerOverheadNaive(benchmark::State& state) {
+  // Frozen PR 6 engine on the identical workload: thread spawn + join per
+  // call, one heap closure per cell through a single locked queue.
+  const int threads = static_cast<int>(state.range(0));
+  SmallCellWorkload workload(kSchedulerCells);
+  const auto fn = workload.fn();
+  for (auto _ : state) {
+    naive_sched::parallel_for(threads, kSchedulerCells, fn);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSchedulerCells));
+}
+BENCHMARK(BM_SchedulerOverheadNaive)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CampaignThroughput(benchmark::State& state) {
+  // End-to-end sweep through the real engine (registry dispatch, scratch
+  // arenas, aggregation) at the given thread count — the macro view of
+  // what the scheduler rebuild buys a sweep of cheap cells.
+  const int threads = static_cast<int>(state.range(0));
+  engine::ScenarioSpec spec;
+  spec.name = "interval";
+  spec.n = 12;
+  spec.g = 3;
+  spec.seed = 7;
+  engine::SweepOptions options;
+  options.trials = 32;
+  options.threads = threads;
+  options.run.solvers = {"busy/first-fit", "busy/greedy-tracking"};
+  const core::SolverRegistry& registry = engine::shared_registry();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    std::string error;
+    const auto report = engine::run_sweep(registry, spec, options, &error);
+    if (!report.has_value()) state.SkipWithError(error.c_str());
+    cells = static_cast<std::size_t>(options.trials) *
+            report->aggregates.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_CampaignThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

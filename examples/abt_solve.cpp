@@ -37,6 +37,7 @@
 #include "core/solver.hpp"
 #include "engine/builtin_solvers.hpp"
 #include "engine/campaign.hpp"
+#include "engine/parallel.hpp"
 #include "engine/runner.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
@@ -260,6 +261,15 @@ int main(int argc, char** argv) {
   }
 
   const core::SolverRegistry& registry = engine::shared_registry();
+
+  // Size the shared persistent pool once, up front: every sweep/campaign
+  // this process runs (including back-to-back invocations in one session)
+  // reuses these workers and their warm scratch arenas.
+  if (options.threads != 1) {
+    engine::ThreadPool::shared().resize(
+        engine::resolve_threads(options.threads));
+  }
+
   if (options.list) {
     list_solvers(registry);
     return 0;

@@ -89,13 +89,41 @@ class BranchAndBound {
         work_(inst) {}
 
   std::optional<ExactResult> run() {
-    if (!is_feasible_with_slots(inst_, slots_)) return std::nullopt;
+    // The root check polls CANCELLATION only: completing it (and the
+    // incumbent seed below) even on an expired budget is what makes the
+    // search anytime — a budgeted cell always gets a feasible schedule.
+    switch (feasibility_with_slots(inst_, slots_, cancel_poll())) {
+      case FeasStatus::kInfeasible:
+        return std::nullopt;
+      case FeasStatus::kCancelled: {
+        ExactResult cancelled;
+        cancelled.proven_optimal = false;
+        cancelled.timed_out = true;
+        cancelled.cancelled = true;
+        return cancelled;
+      }
+      case FeasStatus::kFeasible:
+        break;
+    }
 
     // Incumbent: a minimal feasible solution (3-approx) seeds the bound,
     // which is also what makes the search anytime — any interruption
     // still has this (or better) to return.
-    auto incumbent = solve_minimal_feasible(inst_);
-    ABT_ASSERT(incumbent.has_value(), "feasible instance has minimal solution");
+    MinimalFeasibleOptions minimal_options;
+    minimal_options.context = options_.context;
+    bool seed_cancelled = false;
+    auto incumbent =
+        solve_minimal_feasible(inst_, minimal_options, &seed_cancelled);
+    if (!incumbent.has_value()) {
+      // The root check above proved feasibility, so a missing incumbent
+      // can only mean cancellation struck during the seeding pass.
+      ABT_ASSERT(seed_cancelled, "feasible instance has minimal solution");
+      ExactResult cancelled;
+      cancelled.proven_optimal = false;
+      cancelled.timed_out = true;
+      cancelled.cancelled = true;
+      return cancelled;
+    }
     best_cost_ = static_cast<int>(incumbent->active_slots.size());
     best_slots_ = incumbent->active_slots;
     if (options_.context != nullptr) {
@@ -117,6 +145,21 @@ class BranchAndBound {
   }
 
  private:
+  /// Stop predicate for the flow checks INSIDE the search: budget and
+  /// cancellation both count, since aborting mid-search still returns the
+  /// incumbent.
+  [[nodiscard]] std::function<bool()> stop_poll() const {
+    if (options_.context == nullptr) return {};
+    return [ctx = options_.context] { return ctx->should_stop(); };
+  }
+
+  /// Stop predicate for the pre-search phase: cancellation only, so an
+  /// expired budget cannot rob the run of its incumbent.
+  [[nodiscard]] std::function<bool()> cancel_poll() const {
+    if (options_.context == nullptr) return {};
+    return [ctx = options_.context] { return ctx->cancelled(); };
+  }
+
   void dfs(std::size_t index, int open_count) {
     if (aborted_) return;
     ++nodes_;
@@ -145,12 +188,22 @@ class BranchAndBound {
       for (std::size_t i = 0; i < slots_.size(); ++i) {
         if (state_[i] == WindowWork::SlotState::kOpen) open.push_back(slots_[i]);
       }
-      if (is_feasible_with_slots(inst_, open)) {
-        best_cost_ = open_count;
-        best_slots_ = std::move(open);
-        if (options_.context != nullptr) {
-          options_.context->report_incumbent(static_cast<double>(best_cost_));
-        }
+      switch (feasibility_with_slots(inst_, open, stop_poll())) {
+        case FeasStatus::kFeasible:
+          best_cost_ = open_count;
+          best_slots_ = std::move(open);
+          if (options_.context != nullptr) {
+            options_.context->report_incumbent(
+                static_cast<double>(best_cost_));
+          }
+          break;
+        case FeasStatus::kCancelled:
+          // An abandoned flow proves nothing — do not accept, stop search.
+          aborted_ = true;
+          timed_out_ = true;
+          break;
+        case FeasStatus::kInfeasible:
+          break;
       }
       return;
     }
@@ -164,7 +217,16 @@ class BranchAndBound {
           optimistic.push_back(slots_[i]);
         }
       }
-      if (!is_feasible_with_slots(inst_, optimistic)) return;
+      switch (feasibility_with_slots(inst_, optimistic, stop_poll())) {
+        case FeasStatus::kInfeasible:
+          return;  // subtree is dead
+        case FeasStatus::kCancelled:
+          aborted_ = true;
+          timed_out_ = true;
+          return;
+        case FeasStatus::kFeasible:
+          break;
+      }
     }
 
     // Try closing first: finds cheap solutions early.

@@ -29,6 +29,11 @@ struct ExactResult {
   core::ActiveSchedule schedule;
   bool proven_optimal = true;
   bool timed_out = false;  ///< The RunContext (not node_limit) stopped it.
+  /// Cancelled before an incumbent existed (during the root feasibility
+  /// flow or the incumbent seeding) — `schedule` is empty and must not be
+  /// read. Distinct from timed_out-with-incumbent, where the anytime
+  /// guarantee still delivers a feasible schedule.
+  bool cancelled = false;
   long nodes_explored = 0;
 };
 

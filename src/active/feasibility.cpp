@@ -14,10 +14,13 @@ using core::SlottedInstance;
 
 namespace {
 
-/// Builds G_feas and runs max-flow. Returns the flow value, plus (optionally)
-/// the per-(job, slot) routed units through `assignment_out`.
+/// Builds G_feas and runs max-flow. Returns the deficit (0 iff feasible),
+/// plus (optionally) the per-(job, slot) routed units through
+/// `assignment_out`. When `should_stop` trips mid-flow, sets `*cancelled`
+/// and the returned deficit is meaningless.
 flow::Dinic::Cap run_feasibility_flow(
     const SlottedInstance& inst, const std::vector<SlotTime>& active_slots,
+    const std::function<bool()>& should_stop, bool* cancelled,
     const std::vector<JobId>* jobs_subset,
     std::vector<std::vector<SlotTime>>* assignment_out) {
   std::vector<JobId> jobs;
@@ -67,7 +70,13 @@ flow::Dinic::Cap run_feasibility_flow(
     dinic.add_edge(1 + num_jobs + si, sink, inst.capacity());
   }
 
-  const auto flow_value = dinic.max_flow(source, sink);
+  flow::Dinic::Options flow_options;
+  flow_options.should_stop = should_stop;
+  bool flow_cancelled = false;
+  const auto flow_value =
+      dinic.max_flow(source, sink, flow_options, &flow_cancelled);
+  if (cancelled != nullptr) *cancelled = flow_cancelled;
+  if (flow_cancelled) return total_work;  // deficit is meaningless here
   if (assignment_out != nullptr && flow_value == total_work) {
     assignment_out->assign(static_cast<std::size_t>(inst.size()), {});
     for (const JobSlotEdge& e : job_slot_edges) {
@@ -81,12 +90,24 @@ flow::Dinic::Cap run_feasibility_flow(
 
 }  // namespace
 
+FeasStatus feasibility_with_slots(const SlottedInstance& inst,
+                                  const std::vector<SlotTime>& active_slots,
+                                  const std::function<bool()>& should_stop,
+                                  const std::vector<JobId>* jobs_subset) {
+  ABT_ASSERT(std::is_sorted(active_slots.begin(), active_slots.end()),
+             "active slots must be sorted");
+  bool cancelled = false;
+  const auto deficit = run_feasibility_flow(inst, active_slots, should_stop,
+                                            &cancelled, jobs_subset, nullptr);
+  if (cancelled) return FeasStatus::kCancelled;
+  return deficit == 0 ? FeasStatus::kFeasible : FeasStatus::kInfeasible;
+}
+
 bool is_feasible_with_slots(const SlottedInstance& inst,
                             const std::vector<SlotTime>& active_slots,
                             const std::vector<JobId>* jobs_subset) {
-  ABT_ASSERT(std::is_sorted(active_slots.begin(), active_slots.end()),
-             "active slots must be sorted");
-  return run_feasibility_flow(inst, active_slots, jobs_subset, nullptr) == 0;
+  return feasibility_with_slots(inst, active_slots, {}, jobs_subset) ==
+         FeasStatus::kFeasible;
 }
 
 bool is_feasible(const SlottedInstance& inst) {
@@ -94,11 +115,14 @@ bool is_feasible(const SlottedInstance& inst) {
 }
 
 std::optional<ActiveSchedule> extract_assignment(
-    const SlottedInstance& inst, std::vector<SlotTime> active_slots) {
+    const SlottedInstance& inst, std::vector<SlotTime> active_slots,
+    const std::function<bool()>& should_stop, bool* cancelled) {
   ABT_ASSERT(std::is_sorted(active_slots.begin(), active_slots.end()),
              "active slots must be sorted");
+  if (cancelled != nullptr) *cancelled = false;
   std::vector<std::vector<SlotTime>> assignment;
-  if (run_feasibility_flow(inst, active_slots, nullptr, &assignment) != 0) {
+  if (run_feasibility_flow(inst, active_slots, should_stop, cancelled,
+                           nullptr, &assignment) != 0) {
     return std::nullopt;
   }
   ActiveSchedule sched;

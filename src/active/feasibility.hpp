@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -8,13 +9,37 @@
 
 namespace abt::active {
 
+/// Tri-state verdict of a cancellable feasibility check. The third state
+/// exists so an abandoned flow computation can never be misread as
+/// "infeasible" — Dinic returns only a lower bound on the max flow when
+/// stopped early.
+enum class FeasStatus {
+  kFeasible,
+  kInfeasible,
+  kCancelled,
+};
+
 /// Flow-based feasibility for the active-time model (the network G_feas of
 /// Fig 2): source -> job (cap p_j), job -> live active slot (cap 1),
 /// active slot -> sink (cap g). The instance restricted to `active_slots`
 /// is feasible iff max-flow == total work.
 ///
+/// `should_stop` (may be empty) is polled inside the max-flow — per BFS
+/// phase and every Dinic::kStopPollPaths augmenting paths; when it trips
+/// the check returns kCancelled. A plain callback (the simplex / Dinic
+/// pattern) so callers decide whether "stop" means cancellation only
+/// (polynomial solvers, whose output a budget must not change) or
+/// cancellation + budget (budgeted exact search).
+///
 /// `jobs_subset` (optional) restricts the check to those job ids; used by
 /// the LP rounding which checks prefixes "all jobs with deadline <= t_di".
+[[nodiscard]] FeasStatus feasibility_with_slots(
+    const core::SlottedInstance& inst,
+    const std::vector<core::SlotTime>& active_slots,
+    const std::function<bool()>& should_stop,
+    const std::vector<core::JobId>* jobs_subset = nullptr);
+
+/// Boolean convenience wrapper (no cancellation): kFeasible => true.
 [[nodiscard]] bool is_feasible_with_slots(
     const core::SlottedInstance& inst,
     const std::vector<core::SlotTime>& active_slots,
@@ -25,10 +50,13 @@ namespace abt::active {
 
 /// Computes an integral assignment of all jobs into `active_slots` via
 /// max-flow (integrality of flow gives an integral schedule, paper sec. 2).
-/// Returns nullopt when infeasible.
+/// Returns nullopt when infeasible — or when `should_stop` tripped, in
+/// which case `*cancelled` (when non-null) is set so the caller can tell
+/// the two apart.
 [[nodiscard]] std::optional<core::ActiveSchedule> extract_assignment(
     const core::SlottedInstance& inst,
-    std::vector<core::SlotTime> active_slots);
+    std::vector<core::SlotTime> active_slots,
+    const std::function<bool()>& should_stop = {}, bool* cancelled = nullptr);
 
 /// Slots in which at least one job is live — the only candidates worth
 /// opening. Sorted ascending.

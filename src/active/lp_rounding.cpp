@@ -85,8 +85,27 @@ class SlotLedger {
 
 std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
                                                   const core::RunContext* ctx) {
+  // Same stop predicate the LP solve uses, now also polled inside every
+  // feasibility max-flow — the rounding's flow checks used to be the one
+  // place a cancelled cell could keep grinding.
+  const std::function<bool()> stop =
+      ctx == nullptr ? std::function<bool()>{}
+                     : [ctx] { return ctx->should_stop(); };
+  const auto cancelled_result = [] {
+    LpRoundingResult cancelled;
+    cancelled.cancelled = true;
+    return cancelled;
+  };
+
   std::vector<SlotTime> candidates = candidate_slots(inst);
-  if (!is_feasible_with_slots(inst, candidates)) return std::nullopt;
+  switch (feasibility_with_slots(inst, candidates, stop)) {
+    case FeasStatus::kInfeasible:
+      return std::nullopt;
+    case FeasStatus::kCancelled:
+      return cancelled_result();
+    case FeasStatus::kFeasible:
+      break;
+  }
 
   const ActiveTimeLp model(inst);
   const ActiveLpSolution lp = solve_active_lp(model, ctx);
@@ -121,8 +140,12 @@ std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
     for (JobId j = 0; j < inst.size(); ++j) {
       if (inst.job(j).deadline <= td) prefix_jobs.push_back(j);
     }
+    bool prefix_cancelled = false;
     auto prefix_feasible = [&]() {
-      return is_feasible_with_slots(inst, ledger.open_slots(), &prefix_jobs);
+      const FeasStatus status = feasibility_with_slots(
+          inst, ledger.open_slots(), stop, &prefix_jobs);
+      if (status == FeasStatus::kCancelled) prefix_cancelled = true;
+      return status == FeasStatus::kFeasible;
     };
 
     // Fully open slots: the last floor(total) slots of the segment; overflow
@@ -146,6 +169,8 @@ std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
       // its value as a proxy; otherwise open it.
       if (prefix_feasible()) {
         carry = frac;
+      } else if (prefix_cancelled) {
+        return cancelled_result();
       } else {
         if (ledger.open_latest(1, prev_deadline, td) == 0) {
           ledger.open_latest(1, 0, td);
@@ -157,6 +182,7 @@ std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
     // keeps the implementation safe against numerical edge cases and is
     // reported so tests can assert it stayed at zero.
     while (!prefix_feasible()) {
+      if (prefix_cancelled) return cancelled_result();
       if (ledger.open_latest(1, 0, td) == 0) {
         ABT_ASSERT(false,
                    "prefix infeasible with all candidate slots open; "
@@ -168,7 +194,10 @@ std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
     prev_deadline = td;
   }
 
-  auto schedule = extract_assignment(inst, ledger.open_slots());
+  bool extract_cancelled = false;
+  auto schedule =
+      extract_assignment(inst, ledger.open_slots(), stop, &extract_cancelled);
+  if (extract_cancelled) return cancelled_result();
   ABT_ASSERT(schedule.has_value(), "final rounded slot set must be feasible");
   result.schedule = std::move(*schedule);
   return result;

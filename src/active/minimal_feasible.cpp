@@ -51,9 +51,27 @@ std::vector<std::size_t> closing_order(const SlottedInstance& inst,
 }  // namespace
 
 std::optional<ActiveSchedule> solve_minimal_feasible(
-    const SlottedInstance& inst, MinimalFeasibleOptions options) {
+    const SlottedInstance& inst, MinimalFeasibleOptions options,
+    bool* cancelled) {
+  if (cancelled != nullptr) *cancelled = false;
+  // Cancellation only — never the budget. A deadline must not change what
+  // this polynomial solver returns; a hard cancel may stop the closing
+  // pass early because any prefix of it leaves a feasible set.
+  const std::function<bool()> cancel_poll =
+      options.context == nullptr
+          ? std::function<bool()>{}
+          : [ctx = options.context] { return ctx->cancelled(); };
+
   std::vector<SlotTime> slots = candidate_slots(inst);
-  if (!is_feasible_with_slots(inst, slots)) return std::nullopt;
+  switch (feasibility_with_slots(inst, slots, cancel_poll)) {
+    case FeasStatus::kInfeasible:
+      return std::nullopt;
+    case FeasStatus::kCancelled:
+      if (cancelled != nullptr) *cancelled = true;
+      return std::nullopt;
+    case FeasStatus::kFeasible:
+      break;
+  }
 
   const std::vector<std::size_t> order = closing_order(inst, slots, options);
   std::vector<char> open(slots.size(), 1);
@@ -67,13 +85,17 @@ std::optional<ActiveSchedule> solve_minimal_feasible(
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (open[i] != 0) trial.push_back(slots[i]);
     }
-    if (!is_feasible_with_slots(inst, trial)) open[idx] = 1;
+    const FeasStatus status = feasibility_with_slots(inst, trial, cancel_poll);
+    if (status != FeasStatus::kFeasible) open[idx] = 1;
+    if (status == FeasStatus::kCancelled) break;  // keep the feasible set
   }
 
   std::vector<SlotTime> final_slots;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (open[i] != 0) final_slots.push_back(slots[i]);
   }
+  // The final extraction must complete to return anything at all — it is
+  // one flow on an already-feasible set, so it is not worth interrupting.
   return extract_assignment(inst, std::move(final_slots));
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/active_schedule.hpp"
+#include "core/run_context.hpp"
 #include "core/slotted_instance.hpp"
 
 namespace abt::active {
@@ -23,6 +24,12 @@ enum class CloseOrder {
 struct MinimalFeasibleOptions {
   CloseOrder order = CloseOrder::kLeftToRight;
   std::uint64_t seed = 1;  ///< Used by kRandom.
+  /// Polled for CANCELLATION ONLY (never the budget — this is a polynomial
+  /// solver whose output must not depend on the wall clock; an expired
+  /// budget must produce the same schedule as a free run). On cancellation
+  /// mid-pass the closing stops early: the set kept is still feasible,
+  /// merely not minimal, and is returned as the anytime result.
+  const core::RunContext* context = nullptr;
 };
 
 /// Computes a minimal feasible solution: starts from all candidate slots
@@ -30,9 +37,14 @@ struct MinimalFeasibleOptions {
 /// whenever the remaining set is still feasible (checked by max-flow).
 /// Feasibility is monotone in the slot set, so one pass yields minimality.
 ///
-/// Returns nullopt when the instance itself is infeasible. Cost of the
-/// result is at most 3 * OPT (Theorem 1), and the bound is tight (Fig 3).
+/// Returns nullopt when the instance itself is infeasible — or when
+/// cancellation tripped before feasibility was established, in which case
+/// `*cancelled` (when non-null) is set so callers can tell the two apart.
+///
+/// Cost of the result is at most 3 * OPT (Theorem 1), and the bound is
+/// tight (Fig 3).
 [[nodiscard]] std::optional<core::ActiveSchedule> solve_minimal_feasible(
-    const core::SlottedInstance& inst, MinimalFeasibleOptions options = {});
+    const core::SlottedInstance& inst, MinimalFeasibleOptions options = {},
+    bool* cancelled = nullptr);
 
 }  // namespace abt::active

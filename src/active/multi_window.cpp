@@ -63,9 +63,16 @@ std::vector<SlotTime> mw_candidate_slots(const MultiWindowInstance& inst) {
 
 namespace {
 
+/// Deficit (total work minus max flow) of the Fig 2-style network over the
+/// given slots. `should_stop` is forwarded into the max-flow; when it trips
+/// the returned deficit is meaningless (`*cancelled` is set) and no
+/// assignment is extracted.
 flow::Dinic::Cap mw_flow_deficit(
     const MultiWindowInstance& inst, const std::vector<SlotTime>& slots,
-    std::vector<std::vector<SlotTime>>* assignment_out) {
+    std::vector<std::vector<SlotTime>>* assignment_out,
+    const std::function<bool()>& should_stop = {},
+    bool* cancelled = nullptr) {
+  if (cancelled != nullptr) *cancelled = false;
   const int num_jobs = inst.size();
   const int num_slots = static_cast<int>(slots.size());
   const int source = 0;
@@ -100,7 +107,15 @@ flow::Dinic::Cap mw_flow_deficit(
   for (int s = 0; s < num_slots; ++s) {
     dinic.add_edge(1 + num_jobs + s, sink, inst.capacity());
   }
-  const auto flow_value = dinic.max_flow(source, sink);
+  flow::Dinic::Options flow_options;
+  flow_options.should_stop = should_stop;
+  bool flow_cancelled = false;
+  const auto flow_value =
+      dinic.max_flow(source, sink, flow_options, &flow_cancelled);
+  if (flow_cancelled) {
+    if (cancelled != nullptr) *cancelled = true;
+    return total_work;  // deficit meaningless; caller must check the flag
+  }
   if (assignment_out != nullptr && flow_value == total_work) {
     assignment_out->assign(static_cast<std::size_t>(num_jobs), {});
     for (const JobSlotEdge& e : edges) {
@@ -117,6 +132,16 @@ flow::Dinic::Cap mw_flow_deficit(
 bool mw_is_feasible_with_slots(const MultiWindowInstance& inst,
                                const std::vector<SlotTime>& active_slots) {
   return mw_flow_deficit(inst, active_slots, nullptr) == 0;
+}
+
+FeasStatus mw_feasibility_with_slots(const MultiWindowInstance& inst,
+                                     const std::vector<SlotTime>& active_slots,
+                                     const std::function<bool()>& should_stop) {
+  bool cancelled = false;
+  const auto deficit =
+      mw_flow_deficit(inst, active_slots, nullptr, should_stop, &cancelled);
+  if (cancelled) return FeasStatus::kCancelled;
+  return deficit == 0 ? FeasStatus::kFeasible : FeasStatus::kInfeasible;
 }
 
 std::optional<ActiveSchedule> mw_extract_assignment(
@@ -218,6 +243,11 @@ std::optional<SubsetSearchResult> mw_best_slot_subset(
     result.open = std::move(minimal->active_slots);
     context->report_incumbent(static_cast<double>(best));
   }
+  // Per-flow stop predicate: only armed once a feasible incumbent exists,
+  // so an interrupted flow never leaves the search with nothing to return.
+  const std::function<bool()> stop =
+      context == nullptr ? std::function<bool()>{}
+                         : [context] { return context->should_stop(); };
   for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
     if ((mask & 4095ULL) == 0 && context != nullptr && best >= 0 &&
         context->should_stop()) {
@@ -230,7 +260,15 @@ std::optional<SubsetSearchResult> mw_best_slot_subset(
     for (std::size_t i = 0; i < m; ++i) {
       if ((mask >> i) & 1ULL) open.push_back(candidates[i]);
     }
-    if (mw_is_feasible_with_slots(inst, open)) {
+    const FeasStatus status = mw_feasibility_with_slots(
+        inst, open, best >= 0 ? stop : std::function<bool()>{});
+    if (status == FeasStatus::kCancelled) {
+      // An abandoned flow proves nothing about this mask — keep the
+      // incumbent and stop enumerating instead of misreading it.
+      result.proven_optimal = false;
+      break;
+    }
+    if (status == FeasStatus::kFeasible) {
       best = bits;
       result.open = std::move(open);
       if (context != nullptr) {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "active/feasibility.hpp"
 #include "core/active_schedule.hpp"
 #include "core/job.hpp"
 #include "core/run_context.hpp"
@@ -76,6 +78,14 @@ class MultiWindowInstance {
 [[nodiscard]] bool mw_is_feasible_with_slots(
     const MultiWindowInstance& inst,
     const std::vector<core::SlotTime>& active_slots);
+
+/// Cancellable tri-state variant: `should_stop` (may be empty) is polled
+/// inside the max-flow; a trip yields FeasStatus::kCancelled, which must
+/// never be read as infeasible.
+[[nodiscard]] FeasStatus mw_feasibility_with_slots(
+    const MultiWindowInstance& inst,
+    const std::vector<core::SlotTime>& active_slots,
+    const std::function<bool()>& should_stop);
 
 /// Integral assignment into the given slots, or nullopt.
 [[nodiscard]] std::optional<core::ActiveSchedule> mw_extract_assignment(

@@ -2,9 +2,15 @@
 
 namespace abt::core {
 
+namespace {
+thread_local MonotonicArena* tl_arena_override = nullptr;
+}  // namespace
+
 MonotonicArena& thread_arena() {
   thread_local MonotonicArena arena;
-  return arena;
+  return tl_arena_override != nullptr ? *tl_arena_override : arena;
 }
+
+void set_thread_arena(MonotonicArena* arena) { tl_arena_override = arena; }
 
 }  // namespace abt::core

@@ -167,6 +167,17 @@ class ArenaScope {
 /// keep one alive across every cell they execute (engine/scratch.hpp wires
 /// the per-cell rewind + trim); standalone callers get the same reuse
 /// across repeated calls on one thread via ArenaScope.
+///
+/// By default this is a thread_local arena that dies with the thread. The
+/// persistent thread pool instead binds each worker to a pool-owned arena
+/// (set_thread_arena), so scratch identity follows the worker SLOT: the
+/// arena survives pool resizes and is reused across every sweep/campaign
+/// the process ever runs, not just across cells of one call.
 [[nodiscard]] MonotonicArena& thread_arena();
+
+/// Overrides thread_arena() for the calling thread (nullptr restores the
+/// thread_local default). The pointee must outlive the binding; bindings
+/// are thread-affine and never shared.
+void set_thread_arena(MonotonicArena* arena);
 
 }  // namespace abt::core

@@ -115,12 +115,20 @@ Solver minimal_solver(std::string name, std::string guarantee,
   s.family = Family::kActive;
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = 3.0;
-  s.run = [order](const ProblemInstance& inst, const RunContext& /*ctx*/) {
+  s.run = [order](const ProblemInstance& inst, const RunContext& ctx) {
     Solution sol;
     active::MinimalFeasibleOptions options;
     options.order = order;
-    const auto schedule = active::solve_minimal_feasible(inst.slotted, options);
+    options.context = &ctx;  // cancellation only; budgets cannot alter output
+    bool cancelled = false;
+    const auto schedule =
+        active::solve_minimal_feasible(inst.slotted, options, &cancelled);
     if (!schedule.has_value()) {
+      if (cancelled) {
+        sol.timed_out = true;
+        sol.message = "cancelled before feasibility was established";
+        return sol;
+      }
       sol.message = "instance infeasible";
       return sol;
     }
@@ -638,6 +646,13 @@ void register_active(core::SolverRegistry& registry) {
       const auto result = active::solve_exact(inst.slotted, options);
       if (!result.has_value()) {
         sol.message = "instance infeasible";
+        return sol;
+      }
+      if (result->cancelled) {
+        // Cancelled before the incumbent seed existed: the result carries
+        // no schedule, so report the decline instead of reading it.
+        sol.timed_out = true;
+        sol.message = "cancelled before an incumbent was seeded";
         return sol;
       }
       sol.ok = true;

@@ -202,11 +202,24 @@ std::optional<CampaignReport> run_campaign(
       }
     }
   }
-  parallel_for(report.threads, cells.size(), [&](std::size_t i) {
+  // Cancellation drains at the scheduler: remaining cells are stamped with
+  // the registry's decline row in O(cells) memory writes, so a cancelled
+  // campaign stops after only the in-flight cells finish.
+  ParallelOptions parallel_options;
+  parallel_options.cancel = options.run.cancel;
+  parallel_options.on_cancelled = [&](std::size_t i) {
     const auto [p, t, s] = cells[i];
     grid_out[p][t][s] =
-        registry.run(*plans[p][t][s], instances[p][t], base_ctx.restarted());
-  });
+        cancelled_cell_row(*plans[p][t][s], base_ctx.budget_ms());
+  };
+  parallel_for(
+      report.threads, cells.size(),
+      [&](std::size_t i) {
+        const auto [p, t, s] = cells[i];
+        grid_out[p][t][s] = registry.run(*plans[p][t][s], instances[p][t],
+                                         base_ctx.restarted());
+      },
+      parallel_options);
 
   // Assemble per-point reports: refusal rows for unknown solver names,
   // per-trial lower bounds, then the shared sweep aggregation.

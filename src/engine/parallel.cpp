@@ -1,11 +1,99 @@
 #include "engine/parallel.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
-#include "engine/scratch.hpp"
-
 namespace abt::engine {
+
+namespace {
+
+/// True on threads owned by a ThreadPool — nested parallel_for calls from
+/// inside a cell run inline instead of deadlocking on the pool.
+thread_local bool tl_pool_worker = false;
+
+constexpr std::uint64_t pack(std::size_t begin, std::size_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) |
+         static_cast<std::uint64_t>(end);
+}
+constexpr std::size_t range_begin(std::uint64_t packed) {
+  return static_cast<std::size_t>(packed >> 32);
+}
+constexpr std::size_t range_end(std::uint64_t packed) {
+  return static_cast<std::size_t>(packed & 0xffffffffULL);
+}
+constexpr std::size_t range_size(std::uint64_t packed) {
+  const std::size_t b = range_begin(packed);
+  const std::size_t e = range_end(packed);
+  return b < e ? e - b : 0;
+}
+
+/// Cap on one owner claim. Chunks shrink geometrically (a quarter of the
+/// remaining range per claim) down to single cells, so the tail stays
+/// fine-grained enough for stealing to even out irregular cells.
+constexpr std::size_t kMaxChunk = 64;
+
+std::size_t chunk_of(std::size_t remaining) {
+  return std::max<std::size_t>(
+      1, std::min(kMaxChunk, remaining / 4));
+}
+
+/// Owner side of the queue: claims an adaptive chunk off the front (the
+/// whole range in drain mode). Returns an empty pair when the range is
+/// exhausted.
+std::pair<std::size_t, std::size_t> claim_front(
+    std::atomic<std::uint64_t>& range, bool take_all) {
+  std::uint64_t cur = range.load(std::memory_order_acquire);
+  for (;;) {
+    const std::size_t b = range_begin(cur);
+    const std::size_t e = range_end(cur);
+    if (b >= e) return {0, 0};
+    const std::size_t take = take_all ? e - b : chunk_of(e - b);
+    if (range.compare_exchange_weak(cur, pack(b + take, e),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return {b, b + take};
+    }
+  }
+}
+
+/// Thief side: takes half the victim's remainder off the back (all of it
+/// in drain mode). Front and back operate on the same atomic word, so a
+/// steal can never overlap an owner claim; ranges only shrink within a
+/// batch, which rules out ABA.
+std::pair<std::size_t, std::size_t> steal_back(
+    std::atomic<std::uint64_t>& range, bool take_all) {
+  std::uint64_t cur = range.load(std::memory_order_acquire);
+  for (;;) {
+    const std::size_t b = range_begin(cur);
+    const std::size_t e = range_end(cur);
+    if (b >= e) return {0, 0};
+    const std::size_t take = take_all ? e - b : (e - b + 1) / 2;
+    if (range.compare_exchange_weak(cur, pack(b, e - take),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return {e - take, e};
+    }
+  }
+}
+
+/// The inline path: identical cell semantics (begin_cell per cell,
+/// cancellation drains the tail), no pool involved.
+void serial_run(std::size_t items, const std::function<void(std::size_t)>& fn,
+                const ParallelOptions& options) {
+  bool drain = false;
+  for (std::size_t i = 0; i < items; ++i) {
+    if (!drain && options.cancel.cancelled()) drain = true;
+    if (drain && options.on_cancelled) {
+      options.on_cancelled(i);
+    } else {
+      begin_cell();
+      fn(i);
+    }
+  }
+}
+
+}  // namespace
 
 int resolve_threads(int requested) {
   if (requested >= 1) return requested;
@@ -14,78 +102,248 @@ int resolve_threads(int requested) {
 }
 
 ThreadPool::ThreadPool(int threads) {
-  const int count = std::max(1, threads);
-  workers_.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  spawn_locked(std::max(0, threads));
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread*> to_join;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stopping_ = true;
+    for (int i = 0; i < live_workers_; ++i) {
+      to_join.push_back(&slots_[static_cast<std::size_t>(i)]->thread);
+    }
+    live_workers_ = 0;
   }
   work_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread* worker : to_join) worker->join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+ThreadPool& ThreadPool::shared() {
+  // Created empty: a process that only runs serial sweeps never spawns a
+  // worker. Function-local static so workers are joined exactly once at
+  // exit (after main, when the pool is necessarily idle).
+  static ThreadPool pool(0);
+  return pool;
+}
+
+int ThreadPool::thread_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return live_workers_;
+}
+
+void ThreadPool::spawn_locked(int target) {
+  while (static_cast<int>(slots_.size()) < target) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  for (int i = live_workers_; i < target; ++i) {
+    // The spawn-time epoch is the worker's "already seen" baseline. It is
+    // captured under the lock while no batch is open, so a batch published
+    // any time after this line has a strictly newer epoch — a fresh worker
+    // can never mistake an in-flight batch for one it already served
+    // (reading epoch_ on first lock acquisition inside the worker would).
+    slots_[static_cast<std::size_t>(i)]->thread =
+        std::thread(&ThreadPool::worker_main, this,
+                    static_cast<std::size_t>(i), epoch_);
+  }
+  live_workers_ = std::max(live_workers_, target);
+}
+
+void ThreadPool::resize(int threads) {
+  const int target = std::max(0, threads);
+  std::vector<std::thread*> to_join;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    pool_idle_.wait(lock, [this] { return !batch_open_; });
+    if (target < live_workers_) {
+      for (int i = target; i < live_workers_; ++i) {
+        to_join.push_back(&slots_[static_cast<std::size_t>(i)]->thread);
+      }
+      live_workers_ = target;  // workers with idx >= live_workers_ exit
+    } else {
+      spawn_locked(target);
+    }
   }
-  work_ready_.notify_one();
+  work_ready_.notify_all();
+  for (std::thread* worker : to_join) worker->join();
 }
 
-void ThreadPool::wait_idle() {
+void ThreadPool::ensure_workers(int threads) {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  if (threads <= live_workers_) return;
+  pool_idle_.wait(lock, [this] { return !batch_open_; });
+  spawn_locked(threads);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_main(std::size_t slot_index, std::uint64_t seen) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // slots_ may be mid-push_back on another thread; index it under the lock
+  // (the pointee itself is stable — slots are unique_ptrs and never die).
+  Slot& slot = *slots_[slot_index];
+  lock.unlock();
+
+  // Worker-slot identity: the arena and scratch record this thread uses
+  // belong to the SLOT, so they persist across pool resizes and are
+  // reused by every sweep the process runs.
+  core::set_thread_arena(&slot.arena);
+  bind_worker_scratch(&slot.scratch);
+  tl_pool_worker = true;
+
+  lock.lock();
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++busy_;
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --busy_;
-      if (queue_.empty() && busy_ == 0) all_idle_.notify_all();
-    }
+    work_ready_.wait(lock, [&] {
+      return stopping_ ||
+             static_cast<int>(slot_index) >= live_workers_ ||
+             epoch_ != seen;
+    });
+    if (stopping_ || static_cast<int>(slot_index) >= live_workers_) break;
+    seen = epoch_;
+    if (slot_index >= participants_) continue;
+    lock.unlock();
+    run_batch(slot_index, slot);
+    lock.lock();
+    if (++finished_ == participants_) batch_done_.notify_all();
   }
+  lock.unlock();
+  tl_pool_worker = false;
+  bind_worker_scratch(nullptr);
+  core::set_thread_arena(nullptr);
+}
+
+void ThreadPool::run_batch(std::size_t self, Slot& slot) {
+  // batch_fn_ / batch_options_ / participants_ are frozen for the whole
+  // batch; the publishing caller cannot return (and so cannot retire
+  // them) before this worker reports finished.
+  const std::function<void(std::size_t)>& fn = *batch_fn_;
+  const ParallelOptions& options = *batch_options_;
+  const std::size_t P = participants_;
+
+  const auto run_cells = [&](std::size_t b, std::size_t e, bool drained) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (drained && options.on_cancelled) {
+        // Cancellation-aware draining: stamp the slot, skip dispatch.
+        options.on_cancelled(i);
+      } else {
+        begin_cell();
+        fn(i);
+      }
+    }
+  };
+
+  bool drain = false;
+  for (;;) {
+    if (!drain && options.cancel.cancelled()) drain = true;
+    const auto [b, e] = claim_front(ranges_[self].packed, drain);
+    if (b < e) {
+      ++slot.chunks_claimed;
+      run_cells(b, e, drain);
+      continue;
+    }
+    // Own queue empty: steal from the victim with the most work left.
+    std::size_t victim = P;
+    std::size_t most = 0;
+    for (std::size_t off = 1; off < P; ++off) {
+      const std::size_t v = (self + off) % P;
+      const std::size_t n =
+          range_size(ranges_[v].packed.load(std::memory_order_acquire));
+      if (n > most) {
+        most = n;
+        victim = v;
+      }
+    }
+    if (victim == P) break;  // every queue drained; batch is over for us
+    const auto [sb, se] = steal_back(ranges_[victim].packed, drain);
+    if (sb >= se) continue;  // lost the race; rescan
+    ++slot.steals;
+    // Install the loot as our own queue so other idle workers can steal
+    // from it in turn, then go back to claiming chunks off the front.
+    ranges_[self].packed.store(pack(sb, se), std::memory_order_release);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t items,
+                              const std::function<void(std::size_t)>& fn,
+                              int max_workers,
+                              const ParallelOptions& options) {
+  if (items == 0) return;
+  if (tl_pool_worker) {  // nested parallelism runs inline
+    serial_run(items, fn, options);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One batch at a time; concurrent external callers queue here.
+  pool_idle_.wait(lock, [this] { return !batch_open_; });
+  const std::size_t limit =
+      max_workers <= 0 ? std::numeric_limits<std::size_t>::max()
+                       : static_cast<std::size_t>(max_workers);
+  const std::size_t P =
+      std::min({static_cast<std::size_t>(live_workers_), limit, items});
+  if (P <= 1) {
+    lock.unlock();
+    serial_run(items, fn, options);
+    return;
+  }
+  if (ranges_.size() < P) {
+    std::vector<Range> grown(P);
+    ranges_.swap(grown);
+  }
+  // Even initial partition; the ranges are published before the epoch
+  // bump, and workers acquire the mutex before reading them.
+  const std::size_t base = items / P;
+  const std::size_t rem = items % P;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < P; ++i) {
+    const std::size_t len = base + (i < rem ? 1 : 0);
+    ranges_[i].packed.store(pack(at, at + len), std::memory_order_relaxed);
+    at += len;
+  }
+  batch_fn_ = &fn;
+  batch_options_ = &options;
+  participants_ = P;
+  finished_ = 0;
+  batch_open_ = true;
+  ++epoch_;
+  work_ready_.notify_all();
+  // Epoch wait: woken once by the last participant, no polling. Waiting
+  // until every participant has detached also makes it safe for the
+  // caller to pop `fn` and `options` off its stack on return.
+  batch_done_.wait(lock, [this] { return finished_ == participants_; });
+  batch_open_ = false;
+  batch_fn_ = nullptr;
+  batch_options_ = nullptr;
+  pool_idle_.notify_one();
+}
+
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<WorkerStats> out;
+  out.reserve(slots_.size());
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    WorkerStats stats;
+    stats.cells_served = slot->scratch.cells_served;
+    stats.peak_arena_bytes = slot->scratch.peak_arena_bytes;
+    stats.arena_capacity = slot->arena.capacity();
+    stats.chunks_claimed = slot->chunks_claimed;
+    stats.steals = slot->steals;
+    out.push_back(stats);
+  }
+  return out;
 }
 
 void parallel_for(int threads, std::size_t items,
-                  const std::function<void(std::size_t)>& fn) {
-  // Every cell starts with begin_cell(): the executing thread rewinds its
-  // scratch arena so per-trial solver buffers are recycled (and
-  // periodically trimmed) instead of growing a monotonic footprint across
-  // a sweep or campaign.
-  if (threads <= 1 || items <= 1) {
-    for (std::size_t i = 0; i < items; ++i) {
-      begin_cell();
-      fn(i);
-    }
+                  const std::function<void(std::size_t)>& fn,
+                  const ParallelOptions& options) {
+  // Tiny batches (and explicit --threads 1) never pay pool dispatch: the
+  // serial path has identical begin_cell semantics and identical results.
+  if (threads <= 1 || items < kSerialBatchThreshold || tl_pool_worker) {
+    serial_run(items, fn, options);
     return;
   }
-  ThreadPool pool(static_cast<int>(
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure_workers(static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(threads), items)));
-  for (std::size_t i = 0; i < items; ++i) {
-    pool.submit([&fn, i] {
-      begin_cell();
-      fn(i);
-    });
-  }
-  pool.wait_idle();
+  pool.parallel_for(items, fn, threads, options);
 }
 
 }  // namespace abt::engine

@@ -301,6 +301,18 @@ void append_unknown_solver_rows(const core::SolverRegistry& registry,
   }
 }
 
+core::Solution cancelled_cell_row(const core::Solver& solver,
+                                  double budget_ms) {
+  core::Solution sol;
+  sol.solver = solver.name;
+  sol.family = solver.family;
+  sol.guarantee = solver.guarantee;
+  sol.budget_ms = budget_ms;
+  sol.message = "cancelled";
+  sol.timed_out = true;
+  return sol;
+}
+
 void print_report(std::ostream& os, const RunReport& report) {
   const bool busy = report.instance.family == Family::kBusy;
   if (report.instance.kind != core::InstanceKind::kStandard) {
@@ -565,14 +577,27 @@ std::optional<SweepReport> run_sweep(const core::SolverRegistry& registry,
       cells.push_back({t, s});
     }
   }
-  parallel_for(report.threads, cells.size(), [&](std::size_t i) {
+  // The scheduler drains a cancelled sweep: once the token trips, workers
+  // claim whole remaining ranges and stamp each cell's slot with the same
+  // decline row the registry would produce — no begin_cell, no dispatch.
+  ParallelOptions parallel_options;
+  parallel_options.cancel = options.run.cancel;
+  parallel_options.on_cancelled = [&](std::size_t i) {
     const auto [trial, slot] = cells[i];
-    // Each cell gets a freshly armed deadline; the cancel token and the
-    // incumbent hook are shared across the whole sweep.
-    grid[static_cast<std::size_t>(trial)][slot] = registry.run(
-        *plans[static_cast<std::size_t>(trial)][slot],
-        instances[static_cast<std::size_t>(trial)], base_ctx.restarted());
-  });
+    grid[static_cast<std::size_t>(trial)][slot] = cancelled_cell_row(
+        *plans[static_cast<std::size_t>(trial)][slot], base_ctx.budget_ms());
+  };
+  parallel_for(
+      report.threads, cells.size(),
+      [&](std::size_t i) {
+        const auto [trial, slot] = cells[i];
+        // Each cell gets a freshly armed deadline; the cancel token and the
+        // incumbent hook are shared across the whole sweep.
+        grid[static_cast<std::size_t>(trial)][slot] = registry.run(
+            *plans[static_cast<std::size_t>(trial)][slot],
+            instances[static_cast<std::size_t>(trial)], base_ctx.restarted());
+      },
+      parallel_options);
 
   // Assemble the per-trial reports (plus refusal rows for unknown solver
   // names, mirroring run_applicable) and derive each trial's lower bound.

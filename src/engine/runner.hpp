@@ -131,6 +131,13 @@ struct SolverAggregate {
 [[nodiscard]] std::vector<SolverAggregate> aggregate_cells(
     const std::vector<RunReport>& cells);
 
+/// The decline row a cancelled cell gets WITHOUT entering the registry:
+/// field-for-field what SolverRegistry::run returns for a cancelled
+/// context (message "cancelled", timed_out set), so the scheduler's
+/// drained cells are indistinguishable from ones the registry declined.
+[[nodiscard]] core::Solution cancelled_cell_row(const core::Solver& solver,
+                                                double budget_ms);
+
 /// Reference lower bound of one run: an exact certificate from
 /// `solutions` beats everything; otherwise the combinatorial bounds of
 /// the instance's family (the extension's own bound for extended kinds).

@@ -4,9 +4,17 @@
 
 namespace abt::engine {
 
+namespace {
+thread_local WorkerScratch* tl_scratch_override = nullptr;
+}  // namespace
+
 WorkerScratch& worker_scratch() {
   thread_local WorkerScratch scratch;
-  return scratch;
+  return tl_scratch_override != nullptr ? *tl_scratch_override : scratch;
+}
+
+void bind_worker_scratch(WorkerScratch* scratch) {
+  tl_scratch_override = scratch;
 }
 
 void begin_cell() {

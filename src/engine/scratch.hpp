@@ -6,25 +6,36 @@
 
 namespace abt::engine {
 
-/// Per-worker-thread scratch bookkeeping for campaign-scale runs. Each
-/// worker of a sweep keeps one thread_local WorkerScratch alive for the
-/// pool's lifetime; `begin_cell()` runs at the top of every cell (trial)
-/// and rewinds the thread's MonotonicArena so solver scratch carved out of
-/// it is reused instead of re-allocated, trial after trial.
+/// Per-worker scratch bookkeeping for campaign-scale runs. Since the
+/// persistent pool, a WorkerScratch belongs to a worker SLOT (pool-owned,
+/// alive for the whole process), not to a transient thread: the pool binds
+/// each worker thread to its slot's record at startup, so counters and the
+/// companion arena accumulate across every sweep/campaign the process runs.
+/// `begin_cell()` runs at the top of every cell (trial) and rewinds the
+/// bound arena so solver scratch carved out of it is reused instead of
+/// re-allocated, trial after trial.
 ///
 /// The arena is only rewound between cells, never inside one — solvers use
 /// core::ArenaScope for intra-cell stack discipline, so a missing scope
 /// cannot leak past the next begin_cell().
 struct WorkerScratch {
-  /// Cells this worker has executed since thread start.
+  /// Cells this worker slot has executed since pool creation (or thread
+  /// start, for unbound serial callers).
   std::size_t cells_served = 0;
 
   /// High-water mark of arena capacity observed at cell boundaries.
   std::size_t peak_arena_bytes = 0;
 };
 
-/// The calling worker's scratch record.
+/// The calling thread's scratch record: the bound worker slot's when the
+/// pool installed one, a thread_local fallback otherwise (serial path,
+/// direct callers).
 [[nodiscard]] WorkerScratch& worker_scratch();
+
+/// Binds the calling thread to a pool-owned scratch record (nullptr
+/// restores the thread_local fallback). Installed by ThreadPool workers at
+/// thread start; thread-affine, pointee must outlive the binding.
+void bind_worker_scratch(WorkerScratch* scratch);
 
 /// Marks the start of one sweep/campaign cell on the calling worker
 /// thread: rewinds the thread arena (O(1), keeps blocks) and, every

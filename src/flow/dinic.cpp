@@ -69,12 +69,32 @@ Dinic::Cap Dinic::dfs(int u, int t, Cap pushed) {
   return 0;
 }
 
-Dinic::Cap Dinic::max_flow(int s, int t) {
+Dinic::Cap Dinic::max_flow(int s, int t) { return max_flow(s, t, {}); }
+
+Dinic::Cap Dinic::max_flow(int s, int t, const Options& options,
+                           bool* cancelled) {
   ABT_ASSERT(s != t, "source equals sink");
+  if (cancelled != nullptr) *cancelled = false;
+  const auto stopped = [&options] {
+    return options.should_stop && options.should_stop();
+  };
   Cap total = 0;
-  while (bfs(s, t)) {
+  int paths_since_poll = 0;
+  for (;;) {
+    if (stopped()) {  // per-phase poll: before paying the next BFS
+      if (cancelled != nullptr) *cancelled = true;
+      return total;
+    }
+    if (!bfs(s, t)) break;
     std::fill(iter_.begin(), iter_.end(), 0);
     while (true) {
+      if (++paths_since_poll >= kStopPollPaths) {
+        paths_since_poll = 0;
+        if (stopped()) {
+          if (cancelled != nullptr) *cancelled = true;
+          return total;
+        }
+      }
       const Cap got = dfs(s, t, std::numeric_limits<Cap>::max());
       if (got == 0) break;
       total += got;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace abt::flow {
@@ -29,10 +30,33 @@ class Dinic {
   /// can be queried for the routed flow after max_flow().
   EdgeRef add_edge(int u, int v, Cap cap);
 
+  /// Cooperative-stop knobs for long flow computations. A plain callback
+  /// (same pattern as lp::SimplexSolver::Options::should_stop) keeps the
+  /// flow layer free of engine/core types.
+  struct Options {
+    /// Polled once per BFS phase and every kStopPollPaths augmenting
+    /// paths; returning true abandons the computation.
+    std::function<bool()> should_stop;
+  };
+
+  /// How many augmenting paths run between should_stop polls inside one
+  /// phase. Phases on the feasibility networks route many unit paths, so
+  /// phase-boundary polling alone could let a cancelled budget run for a
+  /// whole phase.
+  static constexpr int kStopPollPaths = 64;
+
   /// Computes the maximum s-t flow. May be called once per network; add no
   /// edges afterwards. Calling again re-runs on residual capacities (i.e.,
   /// returns 0 the second time for the same s, t).
   Cap max_flow(int s, int t);
+
+  /// Cancellable variant: polls `options.should_stop` and, when it trips,
+  /// stops early, sets `*cancelled` (when non-null) and returns the flow
+  /// routed so far — a LOWER bound on the max flow. Callers must not read
+  /// a cancelled value as "the max flow is this small" (in particular, a
+  /// cancelled feasibility check is not "infeasible").
+  Cap max_flow(int s, int t, const Options& options,
+               bool* cancelled = nullptr);
 
   /// Flow currently routed on edge `e` (meaningful after max_flow).
   [[nodiscard]] Cap flow_on(EdgeRef e) const;

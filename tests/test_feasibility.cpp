@@ -37,6 +37,32 @@ TEST(Feasibility, SubsetRestrictsToGivenJobs) {
   EXPECT_TRUE(is_feasible_with_slots(inst, {1, 2}, &only_second));
 }
 
+TEST(Feasibility, CancelledFlowIsNeverReportedInfeasible) {
+  // This feasible instance must come back kCancelled (not kInfeasible)
+  // when the stop predicate trips: an abandoned flow is only a lower
+  // bound, so its deficit proves nothing.
+  const SlottedInstance inst({{0, 2, 2}, {0, 2, 1}}, 2);
+  ASSERT_TRUE(is_feasible(inst));
+  EXPECT_EQ(feasibility_with_slots(inst, {1, 2}, [] { return true; }),
+            FeasStatus::kCancelled);
+  EXPECT_EQ(feasibility_with_slots(inst, {1, 2}, [] { return false; }),
+            FeasStatus::kFeasible);
+  EXPECT_EQ(feasibility_with_slots(inst, {1}, {}), FeasStatus::kInfeasible);
+}
+
+TEST(Feasibility, CancelledExtractionSetsFlagInsteadOfInfeasible) {
+  const SlottedInstance inst({{0, 2, 2}}, 1);
+  bool cancelled = false;
+  const auto sched =
+      extract_assignment(inst, {1, 2}, [] { return true; }, &cancelled);
+  EXPECT_FALSE(sched.has_value());
+  EXPECT_TRUE(cancelled);
+  cancelled = true;
+  const auto ok = extract_assignment(inst, {1, 2}, {}, &cancelled);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(cancelled);
+}
+
 TEST(Feasibility, ExtractAssignmentIsCheckedFeasible) {
   const SlottedInstance inst({{0, 4, 2}, {1, 3, 2}, {0, 2, 1}}, 2);
   const auto sched = extract_assignment(inst, {1, 2, 3, 4});

@@ -67,6 +67,62 @@ TEST(Dinic, ZeroCapacityEdgeCarriesNothing) {
   EXPECT_EQ(d.flow_on(e), 0);
 }
 
+TEST(Dinic, StopBeforeFirstPhaseReturnsZeroAndSetsFlag) {
+  Dinic d(3);
+  d.add_edge(0, 1, 5);
+  d.add_edge(1, 2, 5);
+  Dinic::Options options;
+  options.should_stop = [] { return true; };
+  bool cancelled = false;
+  EXPECT_EQ(d.max_flow(0, 2, options, &cancelled), 0);
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(Dinic, EmptyStopPredicateMatchesPlainMaxFlow) {
+  Dinic plain(4);
+  Dinic guarded(4);
+  for (Dinic* d : {&plain, &guarded}) {
+    d->add_edge(0, 1, 7);
+    d->add_edge(0, 2, 3);
+    d->add_edge(1, 3, 5);
+    d->add_edge(2, 3, 6);
+    d->add_edge(1, 2, 2);
+  }
+  bool cancelled = true;  // must be cleared even when never tripped
+  EXPECT_EQ(guarded.max_flow(0, 3, Dinic::Options{}, &cancelled),
+            plain.max_flow(0, 3));
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(Dinic, MidSearchStopYieldsLowerBoundOnMaxFlow) {
+  // A wide bipartite network needs several augmenting paths; stopping
+  // after the first few polls must return a value <= the true max flow
+  // and flag the run, never fabricate extra flow.
+  // Wide enough that one phase augments > kStopPollPaths times, so the
+  // amortized per-path poll (not just the per-phase poll) gets exercised.
+  constexpr int kPairs = 3 * Dinic::kStopPollPaths;
+  Dinic full(2 + 2 * kPairs);
+  Dinic stopped(2 + 2 * kPairs);
+  const int sink = 1 + 2 * kPairs;
+  for (Dinic* d : {&full, &stopped}) {
+    for (int i = 0; i < kPairs; ++i) {
+      d->add_edge(0, 1 + i, 1);
+      d->add_edge(1 + i, 1 + kPairs + i, 1);
+      d->add_edge(1 + kPairs + i, sink, 1);
+    }
+  }
+  const auto exact = full.max_flow(0, sink);
+  ASSERT_EQ(exact, kPairs);
+
+  int polls = 0;
+  Dinic::Options options;
+  options.should_stop = [&polls] { return ++polls > 2; };
+  bool cancelled = false;
+  const auto partial = stopped.max_flow(0, sink, options, &cancelled);
+  EXPECT_TRUE(cancelled);
+  EXPECT_LE(partial, exact);
+}
+
 /// Property: Dinic matches an independent Ford-Fulkerson on random graphs.
 class DinicRandom : public ::testing::TestWithParam<int> {};
 

@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "active/exact.hpp"
+#include "active/lp_rounding.hpp"
+#include "active/minimal_feasible.hpp"
 #include "active/multi_window.hpp"
 #include "core/run_context.hpp"
 #include "core/solver.hpp"
@@ -154,6 +157,37 @@ TEST(RunContext, CancelledContextDeclinesEverySolver) {
   EXPECT_FALSE(sol.ok);
   EXPECT_TRUE(sol.timed_out);
   EXPECT_EQ(sol.message, "cancelled");
+}
+
+TEST(RunContext, CancellationSurfacesThroughFlowBasedSolvers) {
+  // A cancel that fires inside a solver (past the registry's entry check)
+  // must surface as an explicit cancelled verdict, never be misread as
+  // "instance infeasible" — the flow checks are now cancellation-aware.
+  const ProblemInstance inst = scenario_instance("slotted", 12, 2, 11);
+  CancelSource source;
+  source.cancel();
+  const RunContext ctx = RunContext().set_cancel_token(source.token());
+  ASSERT_TRUE(ctx.cancelled());
+
+  bool cancelled = false;
+  active::MinimalFeasibleOptions minimal_options;
+  minimal_options.context = &ctx;
+  EXPECT_FALSE(active::solve_minimal_feasible(inst.slotted, minimal_options,
+                                              &cancelled)
+                   .has_value());
+  EXPECT_TRUE(cancelled);
+
+  active::ExactOptions exact_options;
+  exact_options.context = &ctx;
+  const auto exact = active::solve_exact(inst.slotted, exact_options);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(exact->cancelled);
+  EXPECT_TRUE(exact->timed_out);
+  EXPECT_FALSE(exact->proven_optimal);
+
+  const auto rounded = active::solve_lp_rounding(inst.slotted, &ctx);
+  ASSERT_TRUE(rounded.has_value());
+  EXPECT_TRUE(rounded->cancelled);
 }
 
 TEST(RunContext, IncumbentHookObservesImprovingCosts) {

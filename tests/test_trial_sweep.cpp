@@ -26,23 +26,92 @@ TEST(Parallel, ResolveThreads) {
   EXPECT_GE(engine::resolve_threads(-3), 1);
 }
 
-TEST(Parallel, ThreadPoolDrainsEverySubmittedTask) {
+TEST(Parallel, ThreadPoolDrainsEveryBatchAndSurvivesResize) {
   std::atomic<int> done{0};
   {
     engine::ThreadPool pool(4);
     EXPECT_EQ(pool.thread_count(), 4);
-    for (int i = 0; i < 100; ++i) {
-      pool.submit([&done] { done.fetch_add(1); });
-    }
-    pool.wait_idle();
+    pool.parallel_for(100, [&done](std::size_t) { done.fetch_add(1); });
     EXPECT_EQ(done.load(), 100);
-    // A second batch reuses the same (still running) workers.
-    for (int i = 0; i < 50; ++i) {
-      pool.submit([&done] { done.fetch_add(1); });
-    }
-    pool.wait_idle();
+    // A second batch reuses the same (still parked) workers.
+    pool.parallel_for(50, [&done](std::size_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 150);
+    // Shrinking joins surplus workers; the survivors keep serving.
+    pool.resize(2);
+    EXPECT_EQ(pool.thread_count(), 2);
+    pool.parallel_for(50, [&done](std::size_t) { done.fetch_add(1); });
+    // Regrowing rebinds the parked slots rather than minting new ones.
+    pool.resize(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    EXPECT_EQ(pool.worker_stats().size(), 4u);
+    pool.parallel_for(50, [&done](std::size_t) { done.fetch_add(1); });
   }
-  EXPECT_EQ(done.load(), 150);
+  EXPECT_EQ(done.load(), 250);
+}
+
+TEST(Parallel, TinyBatchesRunInlineWithCellSemantics) {
+  // Satellite fix: batches under the chunk threshold take the serial path
+  // WITH begin_cell() per index — identical cell semantics, no pool wakeup.
+  const std::size_t before = engine::worker_scratch().cells_served;
+  int done = 0;
+  engine::parallel_for(
+      8, engine::kSerialBatchThreshold - 1,
+      [&done](std::size_t) { ++done; });
+  EXPECT_EQ(done, static_cast<int>(engine::kSerialBatchThreshold) - 1);
+  EXPECT_EQ(engine::worker_scratch().cells_served,
+            before + engine::kSerialBatchThreshold - 1)
+      << "serial path must run begin_cell() for every index";
+}
+
+TEST(Parallel, CancelledBatchDrainsEveryRemainingIndexThroughCallback) {
+  core::CancelSource source;
+  source.cancel();  // tripped before the batch starts
+  std::vector<int> visited(96, 0);
+  std::atomic<int> drained{0};
+  engine::ParallelOptions options;
+  options.cancel = source.token();
+  options.on_cancelled = [&](std::size_t i) {
+    visited[i] += 1;
+    drained.fetch_add(1);
+  };
+  engine::parallel_for(
+      4, visited.size(),
+      [&visited](std::size_t i) { visited[i] += 100; }, options);
+  for (std::size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_EQ(visited[i], 1) << "index " << i
+                             << ": drained exactly once, never dispatched";
+  }
+  EXPECT_EQ(drained.load(), 96);
+}
+
+TEST(Parallel, WorkerSlotArenasAreReusedAcrossBatches) {
+  // The footprint contract of the persistent pool: per-cell allocations are
+  // carved from slot-owned arenas that rewind between cells, so capacity is
+  // bounded by the largest single cell — not by how many cells ever ran.
+  constexpr std::size_t kCellBytes = std::size_t{32} << 10;
+  engine::ThreadPool pool(4);
+  const auto run_batch = [&pool] {
+    pool.parallel_for(64, [](std::size_t) {
+      core::MonotonicArena& arena = core::thread_arena();
+      core::ArenaScope scope(arena);
+      const std::span<std::byte> bytes =
+          arena.alloc<std::byte>(kCellBytes);
+      bytes[0] = std::byte{1};  // touch it so the alloc cannot be elided
+    });
+  };
+  for (int i = 0; i < 20; ++i) run_batch();
+  const std::vector<engine::WorkerStats> stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::size_t cells = 0;
+  std::uint64_t chunks = 0;
+  for (const engine::WorkerStats& s : stats) {
+    cells += s.cells_served;
+    chunks += s.chunks_claimed;
+    EXPECT_LE(s.arena_capacity, std::size_t{256} << 10)
+        << "slot arena must stay near one cell's worth, not accumulate";
+  }
+  EXPECT_EQ(cells, 20u * 64u) << "every cell ran on a pool worker slot";
+  EXPECT_GT(chunks, 0u);
 }
 
 TEST(Parallel, ParallelForVisitsEachIndexExactlyOnce) {
@@ -125,6 +194,92 @@ TEST(TrialSweep, AggregatesAreDeterministicAcrossThreadCounts) {
       EXPECT_EQ(a.ratio_max, b.ratio_max);
     }
   }
+}
+
+/// PR 7 steal-order suite: an irregular workload (un-budgeted exact cells
+/// costing milliseconds next to greedy cells costing microseconds) is
+/// exactly where work stealing reshuffles execution order the most. Any
+/// thread count, any steal order, repeated runs — one fingerprint.
+TEST(TrialSweep, StealOrderCannotPerturbAggregates) {
+  const auto fingerprint = [](const engine::SweepReport& report) {
+    std::vector<double> out;
+    for (const engine::RunReport& cell : report.cells) {
+      out.push_back(cell.lower_bound.value);
+      for (const Solution& sol : cell.solutions) {
+        out.push_back(sol.cost);
+        out.push_back(sol.ok ? 1.0 : 0.0);
+        out.push_back(sol.exact ? 1.0 : 0.0);
+      }
+    }
+    for (const engine::SolverAggregate& agg : report.aggregates) {
+      out.push_back(agg.ratio_mean);
+      out.push_back(agg.ratio_max);
+    }
+    return out;
+  };
+  const auto run = [&fingerprint](int threads) {
+    engine::ScenarioSpec spec;
+    spec.name = "weighted";
+    spec.n = 11;  // inside the exact gate: no budget, so cells are exact
+    spec.g = 3;
+    spec.seed = 29;
+    spec.slack = 1.2;
+    engine::SweepOptions options;
+    options.trials = 10;
+    options.threads = threads;
+    options.run.solvers = {"busy/weighted-exact", "busy/weighted-flexible"};
+    std::string error;
+    const auto report = engine::run_sweep(engine::shared_registry(), spec,
+                                          options, &error);
+    EXPECT_TRUE(report.has_value()) << error;
+    return fingerprint(*report);
+  };
+  const std::vector<double> base = run(1);
+  ASSERT_FALSE(base.empty());
+  for (const int threads : {1, 2, 8}) {
+    // Repeats at one thread count exercise different steal interleavings
+    // on the warm pool; across thread counts the partition itself changes.
+    const int reps = threads == 8 ? 3 : 1;
+    for (int rep = 0; rep < reps; ++rep) {
+      EXPECT_EQ(run(threads), base)
+          << threads << " threads, repetition " << rep;
+    }
+  }
+}
+
+/// Back-to-back sweeps go through the shared persistent pool: no new
+/// worker slots appear, and the warm slots' arena footprint stops growing.
+TEST(TrialSweep, BackToBackSweepsReuseTheSharedPool) {
+  const auto footprint = [] {
+    std::size_t total = 0;
+    for (const engine::WorkerStats& s :
+         engine::ThreadPool::shared().worker_stats()) {
+      total += s.arena_capacity;
+    }
+    return total;
+  };
+  const auto cells_served = [] {
+    std::size_t total = 0;
+    for (const engine::WorkerStats& s :
+         engine::ThreadPool::shared().worker_stats()) {
+      total += s.cells_served;
+    }
+    return total;
+  };
+  // Two warm-up sweeps so every slot has seen this workload's cells.
+  sweep_with_threads("interval", 10, 3, 6, 4);
+  sweep_with_threads("interval", 10, 3, 6, 4);
+  const std::size_t slots = engine::ThreadPool::shared().worker_stats().size();
+  EXPECT_GE(slots, 4u);
+  const std::size_t warm_footprint = footprint();
+  const std::size_t warm_cells = cells_served();
+  EXPECT_GT(warm_cells, 0u) << "sweep cells must run on pool worker slots";
+  for (int i = 0; i < 3; ++i) sweep_with_threads("interval", 10, 3, 6, 4);
+  EXPECT_EQ(engine::ThreadPool::shared().worker_stats().size(), slots)
+      << "no new worker slots for a repeat of the same sweep";
+  EXPECT_GT(cells_served(), warm_cells);
+  EXPECT_LE(footprint(), warm_footprint + (std::size_t{64} << 10))
+      << "warm worker arenas must be reused, not regrown per sweep";
 }
 
 TEST(TrialSweep, EveryCellIsCheckerValidated) {
