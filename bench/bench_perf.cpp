@@ -32,6 +32,7 @@
 #include "core/run_context.hpp"
 #include "engine/builtin_solvers.hpp"
 #include "engine/parallel.hpp"
+#include "engine/portfolio.hpp"
 #include "engine/runner.hpp"
 #include "engine/scratch.hpp"
 #include "gen/extended_instances.hpp"
@@ -511,6 +512,132 @@ void BM_CampaignThroughput(benchmark::State& state) {
 BENCHMARK(BM_CampaignThroughput)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Portfolio racing (PR 8): race wall clock vs the contestants run ---
+// --- standalone. Two regimes, each measuring the claim where it holds. ---
+
+/// The pair-A instance: weighted n=14 (the measured exact gate), where the
+/// exact solver completes in tens of ms and the greedies answer in
+/// microseconds but cannot certify the acceptance gap — so the exact run
+/// IS the best single contestant, and the race must not cost measurably
+/// more than it.
+core::ProblemInstance race_gate_instance() {
+  engine::ScenarioSpec spec;
+  spec.name = "weighted";
+  spec.n = 14;
+  spec.g = 3;
+  spec.seed = 7;
+  return *engine::make_scenario(spec);
+}
+
+/// The pair-B instance: weighted n=24, past the gate — the exact solver
+/// burns its whole budget while narrow/wide answers in microseconds, so
+/// under checker-only acceptance the race ends as fast as its quickest
+/// contestant and the budget-bound exact run is the worst single.
+core::ProblemInstance race_budget_instance() {
+  engine::ScenarioSpec spec;
+  spec.name = "weighted";
+  spec.n = 24;
+  spec.g = 3;
+  spec.seed = 7;
+  return *engine::make_scenario(spec);
+}
+
+void BM_PortfolioRace(benchmark::State& state) {
+  // Certified-gap acceptance: only the exact contestant can win (the
+  // greedies' gaps against the combinatorial bound exceed 2%), so the
+  // race's wall clock must track the exact solver's standalone wall
+  // clock — the claim is race <= 1.15x best single contestant.
+  const core::ProblemInstance inst = race_gate_instance();
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const std::vector<engine::RaceEntry> entries = {
+      {"busy/weighted-exact", 0.0},
+      {"busy/weighted-narrow-wide", 0.0},
+      {"busy/weighted-first-fit", 0.0}};
+  engine::RaceOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.accept_gap = 0.02;
+  double winner_is_exact = 0.0;
+  for (auto _ : state) {
+    const engine::RaceReport report =
+        engine::race(registry, inst, entries, core::RunContext(), options);
+    if (report.winner < 0) state.SkipWithError("race had no winner");
+    winner_is_exact =
+        report.rows[static_cast<std::size_t>(report.winner)].exact ? 1.0
+                                                                   : 0.0;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["winner_is_exact"] = winner_is_exact;
+}
+BENCHMARK(BM_PortfolioRace)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PortfolioBestSingle(benchmark::State& state) {
+  // The denominator for BM_PortfolioRace: the winning contestant
+  // standalone (the exact solver, completed, no race around it).
+  const core::ProblemInstance inst = race_gate_instance();
+  const core::SolverRegistry& registry = engine::shared_registry();
+  for (auto _ : state) {
+    const core::Solution sol =
+        registry.run("busy/weighted-exact", inst, core::RunContext());
+    if (!sol.exact) state.SkipWithError("exact run did not complete");
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_PortfolioBestSingle)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PortfolioRaceFirstAcceptable(benchmark::State& state) {
+  // Checker-only acceptance on the past-the-gate instance: the greedy
+  // answers in microseconds, wins, and the race retires the budget-bound
+  // exact contestant at its next poll — wall clock far below the worst
+  // single contestant (BM_PortfolioWorstSingle's full budget).
+  const core::ProblemInstance inst = race_budget_instance();
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const std::vector<engine::RaceEntry> entries = {
+      {"busy/weighted-narrow-wide", 0.0}, {"busy/weighted-exact", 0.0}};
+  engine::RunOptions run_options;
+  run_options.budget_ms = 200.0;
+  engine::RaceOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const core::RunContext parent =
+        engine::make_run_context(run_options).restarted();
+    const engine::RaceReport report =
+        engine::race(registry, inst, entries, parent, options);
+    if (report.winner < 0) state.SkipWithError("race had no winner");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PortfolioRaceFirstAcceptable)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PortfolioWorstSingle(benchmark::State& state) {
+  // The contrast for BM_PortfolioRaceFirstAcceptable: the slowest
+  // contestant standalone — the exact solver running its entire 200 ms
+  // budget on the past-the-gate instance.
+  const core::ProblemInstance inst = race_budget_instance();
+  const core::SolverRegistry& registry = engine::shared_registry();
+  engine::RunOptions run_options;
+  run_options.budget_ms = 200.0;
+  for (auto _ : state) {
+    const core::RunContext ctx =
+        engine::make_run_context(run_options).restarted();
+    const core::Solution sol =
+        registry.run("busy/weighted-exact", inst, ctx);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_PortfolioWorstSingle)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -17,6 +17,14 @@
 //   --threads K       sweep worker threads (0 = hardware concurrency)
 //   --budget-ms B     per-cell time budget; lifts the exact solvers' size
 //                     gates (anytime mode: incumbent + gap on timeout)
+//   --race a,b|auto   portfolio-race solvers on the shared pool; first
+//                     acceptable finisher wins, losers are cancelled
+//   --accept-gap G    race acceptance: winner must be within (1+G) of the
+//                     tightest certified bound (default: any checker pass)
+//   --selector M      nearest-centroid model file ('-' = stdin) ranking
+//                     the contestants '--race auto' picks
+//   --train-selector C  train a selector from campaign CSV ('-' = stdin),
+//                     write the model to stdout and exit
 //   --json | --csv    machine-readable report instead of the text table
 //   --emit            print the generated instance (core/io format) and exit
 //   --gantt           append a Gantt chart of the best feasible schedule
@@ -38,7 +46,9 @@
 #include "engine/builtin_solvers.hpp"
 #include "engine/campaign.hpp"
 #include "engine/parallel.hpp"
+#include "engine/portfolio.hpp"
 #include "engine/runner.hpp"
+#include "engine/selector.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
 
@@ -54,7 +64,8 @@ constexpr const char* kUsage =
     "       abt_solve --demo-slotted | --demo-continuous\n"
     "options: --solvers a,b,c  --n K --g G --seed N --slack S --horizon H\n"
     "         --eps E  --trials N --threads K  --budget-ms B\n"
-    "         --json | --csv  --emit  --gantt\n";
+    "         --race a,b|auto  --accept-gap G  --selector <model|->\n"
+    "         --train-selector <csv|->  --json | --csv  --emit  --gantt\n";
 
 constexpr const char* kDemoSlotted =
     "model slotted\n"
@@ -78,9 +89,14 @@ struct CliOptions {
   std::string campaign;          ///< File or preset name when --campaign.
   engine::ScenarioSpec spec;
   std::vector<std::string> solvers;
+  std::string race;              ///< "auto" or a solver list; empty = off.
+  std::string selector;          ///< Selector model path ('-' = stdin).
+  std::string train_selector;    ///< Campaign CSV to train from.
+  double accept_gap = -1.0;      ///< Race acceptance gap (< 0 = checker only).
   int trials = 1;
   bool trials_given = false;     ///< Campaigns default to 4 unless set.
   int threads = 1;
+  bool threads_given = false;    ///< Races default to hardware unless set.
   double budget_ms = 0.0;        ///< Per-cell budget (0 = unlimited).
   bool list = false;
   bool list_scenarios = false;
@@ -143,6 +159,27 @@ bool parse_args(int argc, char** argv, CliOptions& options,
     } else if (arg == "--solvers") {
       if (!need_value(i, arg)) return false;
       options.solvers = split_csv(argv[++i]);
+    } else if (arg == "--race") {
+      if (!need_value(i, arg)) return false;
+      options.race = argv[++i];
+      if (options.race.empty()) {
+        error = "--race needs 'auto' or a solver list";
+        return false;
+      }
+    } else if (arg == "--selector") {
+      if (!need_value(i, arg)) return false;
+      options.selector = argv[++i];
+    } else if (arg == "--train-selector") {
+      if (!need_value(i, arg)) return false;
+      options.train_selector = argv[++i];
+    } else if (arg == "--accept-gap") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      if (!parse_full(value, options.accept_gap) ||
+          options.accept_gap < 0.0) {
+        error = "bad value for --accept-gap: '" + value + "'";
+        return false;
+      }
     } else if (arg == "--n" || arg == "--g" || arg == "--seed" ||
                arg == "--slack" || arg == "--horizon" || arg == "--eps" ||
                arg == "--trials" || arg == "--threads" ||
@@ -165,6 +202,7 @@ bool parse_args(int argc, char** argv, CliOptions& options,
         options.trials_given = parsed;
       } else if (arg == "--threads") {
         parsed = parse_full(value, options.threads) && options.threads >= 0;
+        options.threads_given = parsed;
       } else if (arg == "--budget-ms") {
         parsed = parse_full(value, options.budget_ms) &&
                  options.budget_ms > 0.0;
@@ -221,6 +259,41 @@ int emit_instance(const core::ProblemInstance& inst) {
   return 0;
 }
 
+/// Loads a selector model from a file or stdin ('-'); nullopt + message on
+/// any failure (unreadable file, line-numbered parse error).
+std::optional<engine::SelectorModel> load_selector(const std::string& path,
+                                                   std::string& error) {
+  if (path == "-") {
+    return engine::parse_model(std::cin, &error);
+  }
+  std::ifstream file(path);
+  if (!file) {
+    error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return engine::parse_model(file, &error);
+}
+
+/// Explicit `--race a,b,c` contestants; unknown names are a usage error
+/// like --solvers (the library-level race would stamp refusal rows, but
+/// the CLI treats a typo as a typo).
+std::optional<std::vector<engine::RaceEntry>> explicit_entries(
+    const core::SolverRegistry& registry, const std::string& list) {
+  std::vector<engine::RaceEntry> entries;
+  for (const std::string& name : split_csv(list)) {
+    if (registry.find(name) == nullptr) {
+      std::cerr << "unknown solver '" << name << "' (see --list)\n";
+      return std::nullopt;
+    }
+    entries.push_back({name, 0.0});
+  }
+  if (entries.empty()) {
+    std::cerr << "--race needs 'auto' or at least one solver name\n";
+    return std::nullopt;
+  }
+  return entries;
+}
+
 void append_gantt(std::ostream& os, const engine::RunReport& report) {
   const core::Solution* best = nullptr;
   for (const core::Solution& sol : report.solutions) {
@@ -261,6 +334,40 @@ int main(int argc, char** argv) {
   }
 
   const core::SolverRegistry& registry = engine::shared_registry();
+
+  // Offline training mode: campaign CSV in, versioned model text out.
+  if (!options.train_selector.empty()) {
+    std::optional<engine::SelectorModel> model;
+    if (options.train_selector == "-") {
+      model = engine::train_selector(std::cin, &error);
+    } else {
+      std::ifstream file(options.train_selector);
+      if (!file) {
+        std::cerr << "cannot open '" << options.train_selector << "'\n";
+        return 1;
+      }
+      model = engine::train_selector(file, &error);
+    }
+    if (!model.has_value()) {
+      std::cerr << "train-selector: " << error << "\n";
+      return 1;
+    }
+    engine::write_model(std::cout, *model);
+    return 0;
+  }
+
+  // A race wants real concurrency: unless the user pinned --threads, use
+  // every hardware worker so contestants actually overlap.
+  if (!options.race.empty() && !options.threads_given) options.threads = 0;
+
+  std::optional<engine::SelectorModel> selector_model;
+  if (!options.selector.empty()) {
+    selector_model = load_selector(options.selector, error);
+    if (!selector_model.has_value()) {
+      std::cerr << "selector: " << error << "\n";
+      return 1;
+    }
+  }
 
   // Size the shared persistent pool once, up front: every sweep/campaign
   // this process runs (including back-to-back invocations in one session)
@@ -322,6 +429,17 @@ int main(int argc, char** argv) {
     campaign_options.threads = options.threads;
     campaign_options.run.solvers = options.solvers;
     campaign_options.run.budget_ms = options.budget_ms;
+    if (!options.race.empty()) {
+      campaign_options.race.enabled = true;
+      campaign_options.race.accept_gap = options.accept_gap;
+      if (options.race != "auto") {
+        const auto entries = explicit_entries(registry, options.race);
+        if (!entries.has_value()) return 1;
+        campaign_options.race.entries = *entries;
+      } else if (selector_model.has_value()) {
+        campaign_options.race.model = &*selector_model;
+      }
+    }
     const auto report =
         engine::run_campaign(registry, grid, campaign_options, &error);
     if (!report.has_value()) {
@@ -350,6 +468,11 @@ int main(int argc, char** argv) {
   // Trial-sweep mode: many seeds of one generated scenario through the
   // thread-pool engine, reported as per-solver aggregates.
   if (options.trials > 1) {
+    if (!options.race.empty()) {
+      std::cerr << "--trials with --race is not supported; use --campaign "
+                   "for raced sweeps\n";
+      return 1;
+    }
     if (options.scenario.empty()) {
       std::cerr << "--trials needs --gen (sweeps regenerate the scenario "
                    "with seeds seed..seed+N-1)\n";
@@ -436,6 +559,50 @@ int main(int argc, char** argv) {
       std::cerr << "unknown solver '" << name << "' (see --list)\n";
       return 1;
     }
+  }
+
+  // Portfolio race: contestants share the instance and the pool; the
+  // first acceptable finisher wins and the rest drain.
+  if (!options.race.empty()) {
+    engine::RunOptions run_options;
+    run_options.budget_ms = options.budget_ms;
+    const core::RunContext ctx = engine::make_run_context(run_options);
+    std::vector<engine::RaceEntry> entries;
+    if (options.race == "auto") {
+      entries = engine::auto_entries(
+          registry, instance,
+          selector_model.has_value() ? &*selector_model : nullptr, 3, ctx);
+      if (entries.empty()) {
+        std::cerr << "no applicable solver for this instance\n";
+        return 1;
+      }
+    } else {
+      const auto parsed_entries = explicit_entries(registry, options.race);
+      if (!parsed_entries.has_value()) return 1;
+      entries = *parsed_entries;
+    }
+    engine::RaceOptions race_options;
+    race_options.threads = options.threads;
+    race_options.accept_gap = options.accept_gap;
+    const engine::RaceReport race_report =
+        engine::race(registry, instance, entries, ctx, race_options);
+    if (options.json) {
+      engine::write_race_json(std::cout, instance, race_report);
+    } else if (options.csv) {
+      engine::write_race_csv(std::cout, race_report);
+    } else {
+      engine::print_race(std::cout, race_report);
+    }
+    // The plain-run exit contract over the race rows: a checker FAIL
+    // anywhere is 2, a winner (or best-effort feasible row) is 0.
+    for (const core::Solution& sol : race_report.rows) {
+      if (sol.ok && !sol.feasible) return 2;
+    }
+    if (race_report.winner < 0 && race_report.best < 0) {
+      std::cerr << "no contestant produced a schedule\n";
+      return 1;
+    }
+    return 0;
   }
 
   engine::RunOptions run_options;

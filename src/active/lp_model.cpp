@@ -11,7 +11,13 @@ using core::JobId;
 using core::SlotTime;
 using core::SlottedInstance;
 
-ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst) {
+ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst,
+                           const core::RunContext* ctx) {
+  // Cancellation polls are amortized per outer-loop iteration (one job or
+  // one slot's worth of rows between checks) — cheap next to the row
+  // construction, frequent enough that a mid-build cancel returns within
+  // one window's work.
+  const auto stop = [ctx] { return ctx != nullptr && ctx->should_stop(); };
   slots_ = candidate_slots(inst);
   slot_position_.assign(static_cast<std::size_t>(inst.horizon()) + 1, -1);
   for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -27,6 +33,10 @@ ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst) {
   x_vars_.resize(static_cast<std::size_t>(inst.size()));
   window_begin_.resize(static_cast<std::size_t>(inst.size()));
   for (JobId j = 0; j < inst.size(); ++j) {
+    if (stop()) {
+      build_cancelled_ = true;
+      return;
+    }
     const core::SlottedJob& job = inst.job(j);
     window_begin_[static_cast<std::size_t>(j)] = job.release + 1;
     auto& vars = x_vars_[static_cast<std::size_t>(j)];
@@ -38,6 +48,10 @@ ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst) {
 
   // x_{t,j} <= y_t.
   for (JobId j = 0; j < inst.size(); ++j) {
+    if (stop()) {
+      build_cancelled_ = true;
+      return;
+    }
     const core::SlottedJob& job = inst.job(j);
     for (SlotTime t = job.release + 1; t <= job.deadline; ++t) {
       problem_.add_row({{x_index(j, t), 1.0}, {y_index(t), -1.0}},
@@ -46,6 +60,10 @@ ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst) {
   }
   // sum_j x_{t,j} <= g y_t.
   for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (stop()) {
+      build_cancelled_ = true;
+      return;
+    }
     const SlotTime t = slots_[i];
     std::vector<std::pair<int, double>> coeffs;
     for (JobId j = 0; j < inst.size(); ++j) {
@@ -58,6 +76,10 @@ ActiveTimeLp::ActiveTimeLp(const SlottedInstance& inst) {
   }
   // sum_t x_{t,j} >= p_j.
   for (JobId j = 0; j < inst.size(); ++j) {
+    if (stop()) {
+      build_cancelled_ = true;
+      return;
+    }
     const core::SlottedJob& job = inst.job(j);
     std::vector<std::pair<int, double>> coeffs;
     for (SlotTime t = job.release + 1; t <= job.deadline; ++t) {
@@ -99,6 +121,11 @@ std::vector<double> ActiveTimeLp::y_values(const std::vector<double>& x) const {
 
 ActiveLpSolution solve_active_lp(const ActiveTimeLp& model,
                                  const core::RunContext* ctx) {
+  if (model.build_cancelled()) {
+    ActiveLpSolution out;
+    out.status = lp::SolveStatus::kCancelled;
+    return out;
+  }
   lp::SimplexSolver::Options options;
   if (ctx != nullptr) {
     options.should_stop = [ctx] { return ctx->should_stop(); };

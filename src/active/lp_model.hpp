@@ -19,7 +19,17 @@ namespace abt::active {
 /// x_{t,j} for slots in job j's window.
 class ActiveTimeLp {
  public:
-  explicit ActiveTimeLp(const core::SlottedInstance& inst);
+  /// Builds the model. When `ctx` is given, `should_stop()` is polled
+  /// between row batches during construction (the build is O(n * horizon)
+  /// rows and used to be the last uninterruptible stretch on the LP
+  /// path); a trip abandons the build promptly — the partial model is
+  /// unusable and `build_cancelled()` reports it, which solve_active_lp
+  /// surfaces as lp::SolveStatus::kCancelled without touching the model.
+  explicit ActiveTimeLp(const core::SlottedInstance& inst,
+                        const core::RunContext* ctx = nullptr);
+
+  /// True when `ctx` cancelled the build mid-construction.
+  [[nodiscard]] bool build_cancelled() const { return build_cancelled_; }
 
   [[nodiscard]] const lp::LinearProblem& problem() const { return problem_; }
 
@@ -39,6 +49,7 @@ class ActiveTimeLp {
 
  private:
   lp::LinearProblem problem_;
+  bool build_cancelled_ = false;
   std::vector<core::SlotTime> slots_;
   std::vector<int> slot_position_;               // slot -> index in slots_
   std::vector<int> y_vars_;                      // per slot index

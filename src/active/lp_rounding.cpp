@@ -107,7 +107,7 @@ std::optional<LpRoundingResult> solve_lp_rounding(const SlottedInstance& inst,
       break;
   }
 
-  const ActiveTimeLp model(inst);
+  const ActiveTimeLp model(inst, ctx);
   const ActiveLpSolution lp = solve_active_lp(model, ctx);
   if (lp.status == lp::SolveStatus::kCancelled) {
     LpRoundingResult cancelled;

@@ -12,12 +12,40 @@ namespace abt::core {
 /// copied from it observes the same flag. A default-constructed token is
 /// never cancelled, so "no cancellation" costs one null check per poll.
 /// Thread-safe: cancel() may race with cancelled() from any worker.
+///
+/// Tokens compose: `a.chained(b)` observes a's flag OR b's (transitively),
+/// which is the derivation primitive for child scopes — a portfolio race
+/// trips its own source without touching the caller's, while the caller's
+/// cancellation still reaches every contestant through the chain.
 class CancelToken {
  public:
   CancelToken() = default;
 
   [[nodiscard]] bool cancelled() const {
-    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+    for (const CancelToken* t = this; t != nullptr; t = t->upstream_.get()) {
+      if (t->flag_ != nullptr && t->flag_->load(std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return flag_ == nullptr && upstream_ == nullptr;
+  }
+
+  /// A token that is cancelled as soon as EITHER this token or `upstream`
+  /// is. Chains stay short (races nest a couple of levels at most), so
+  /// cancelled() walks them with relaxed loads — no extra allocation on
+  /// the poll path, one node per chained() call.
+  [[nodiscard]] CancelToken chained(const CancelToken& upstream) const {
+    if (upstream.empty()) return *this;
+    if (empty()) return upstream;
+    CancelToken out;
+    out.flag_ = flag_;
+    out.upstream_ = std::make_shared<const CancelToken>(
+        upstream_ == nullptr ? upstream : upstream_->chained(upstream));
+    return out;
   }
 
  private:
@@ -26,6 +54,7 @@ class CancelToken {
       : flag_(std::move(flag)) {}
 
   std::shared_ptr<const std::atomic<bool>> flag_;
+  std::shared_ptr<const CancelToken> upstream_;
 };
 
 class CancelSource {
@@ -92,6 +121,28 @@ class RunContext {
     ctx.start_ = std::chrono::steady_clock::now();
     return ctx;
   }
+
+  /// Derives the context a raced / nested sub-run gets: budget = whatever
+  /// remains of this context's budget, optionally capped by `cap_ms`
+  /// (> 0), with a fresh clock; cancellation = this context's token
+  /// chained with `extra`, so either side stops the child but the child's
+  /// source can never stop the parent; the incumbent hook carries over.
+  /// A parent already out of budget yields an immediately-expiring child
+  /// (1 microsecond), never an accidentally unlimited one.
+  [[nodiscard]] RunContext child(CancelToken extra = {},
+                                 double cap_ms = 0.0) const {
+    RunContext ctx;
+    double budget = has_budget() ? std::max(remaining_ms(), 1e-3) : 0.0;
+    if (cap_ms > 0.0) {
+      budget = has_budget() ? std::min(budget, cap_ms) : cap_ms;
+    }
+    ctx.budget_ms_ = budget;
+    ctx.cancel_ = extra.chained(cancel_);
+    ctx.hook_ = hook_;
+    return ctx;
+  }
+
+  [[nodiscard]] const CancelToken& cancel_token() const { return cancel_; }
 
   [[nodiscard]] double budget_ms() const { return budget_ms_; }
   [[nodiscard]] bool has_budget() const { return budget_ms_ > 0.0; }

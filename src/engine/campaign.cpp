@@ -141,6 +141,125 @@ std::optional<CampaignGrid> campaign_preset(std::string_view name) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Runs every (point, trial) cell as a portfolio race over one shared
+/// pool. Races nested inside pool workers execute their contestants
+/// inline (PR 7 nesting rule), so cross-cell parallelism comes from the
+/// campaign fan-out and each race still terminates early on first
+/// acceptance.
+CampaignReport run_campaign_races(
+    const core::SolverRegistry& registry, CampaignReport report,
+    const CampaignOptions& options, const core::RunContext& base_ctx,
+    const std::vector<ScenarioSpec>& specs,
+    std::vector<std::vector<ProblemInstance>> instances) {
+  report.raced = true;
+  const std::size_t points = specs.size();
+
+  // Resolve every cell's contestant list up front — auto picks depend on
+  // the instance, explicit lists are shared verbatim.
+  std::vector<std::vector<std::vector<RaceEntry>>> entries(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    entries[p].reserve(instances[p].size());
+    for (const ProblemInstance& inst : instances[p]) {
+      entries[p].push_back(options.race.entries.empty()
+                               ? auto_entries(registry, inst,
+                                              options.race.model,
+                                              options.race.top_k, base_ctx)
+                               : options.race.entries);
+    }
+  }
+
+  struct RaceCell {
+    std::size_t point;
+    std::size_t trial;
+  };
+  std::vector<RaceCell> cells;
+  std::vector<std::vector<RaceReport>> race_out(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    race_out[p].resize(instances[p].size());
+    for (std::size_t t = 0; t < instances[p].size(); ++t) {
+      cells.push_back({p, t});
+    }
+  }
+
+  RaceOptions race_options;
+  race_options.accept_gap = options.race.accept_gap;
+  race_options.span_bound_max_jobs = options.run.span_bound_max_jobs;
+
+  ParallelOptions parallel_options;
+  parallel_options.cancel = options.run.cancel;
+  parallel_options.on_cancelled = [&](std::size_t i) {
+    const auto [p, t] = cells[i];
+    RaceReport& race_report = race_out[p][t];
+    race_report.entries = entries[p][t];
+    race_report.rows.reserve(entries[p][t].size());
+    for (const RaceEntry& entry : entries[p][t]) {
+      const core::Solver* solver = registry.find(entry.solver);
+      if (solver != nullptr) {
+        race_report.rows.push_back(
+            cancelled_cell_row(*solver, base_ctx.budget_ms()));
+      } else {
+        core::Solution refusal;
+        refusal.solver = entry.solver;
+        refusal.family = instances[p][t].family;
+        refusal.message = "unknown solver";
+        race_report.rows.push_back(std::move(refusal));
+      }
+    }
+  };
+  parallel_for(
+      report.threads, cells.size(),
+      [&](std::size_t i) {
+        const auto [p, t] = cells[i];
+        race_out[p][t] = race(registry, instances[p][t], entries[p][t],
+                              base_ctx.restarted(), race_options);
+      },
+      parallel_options);
+
+  report.points.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    CampaignPoint point;
+    point.spec = specs[p];
+    std::vector<RunReport> trial_reports;
+    trial_reports.reserve(instances[p].size());
+    for (std::size_t t = 0; t < instances[p].size(); ++t) {
+      RaceReport& race_report = race_out[p][t];
+      point.races += 1;
+      if (race_report.winner >= 0) {
+        const std::string& name =
+            race_report.rows[static_cast<std::size_t>(race_report.winner)]
+                .solver;
+        auto it = std::find_if(point.race_wins.begin(), point.race_wins.end(),
+                               [&](const auto& w) { return w.first == name; });
+        if (it == point.race_wins.end()) {
+          point.race_wins.emplace_back(name, 1);
+        } else {
+          it->second += 1;
+        }
+      } else {
+        point.races_unwon += 1;
+      }
+      RunReport cell;
+      cell.instance = std::move(instances[p][t]);
+      cell.solutions = std::move(race_report.rows);
+      cell.lower_bound =
+          derive_lower_bound(cell.instance, cell.solutions, options.run);
+      for (const core::Solution& sol : cell.solutions) {
+        point.cells += 1;
+        if (sol.ok) point.ok_cells += 1;
+        if (sol.ok && !sol.feasible) point.infeasible_cells += 1;
+      }
+      trial_reports.push_back(std::move(cell));
+    }
+    point.aggregates = aggregate_cells(trial_reports);
+    report.points.push_back(std::move(point));
+  }
+  return report;
+}
+
+}  // namespace
+
 std::optional<CampaignReport> run_campaign(
     const core::SolverRegistry& registry, const CampaignGrid& grid,
     const CampaignOptions& options, std::string* error) {
@@ -177,10 +296,21 @@ std::optional<CampaignReport> run_campaign(
         }
         return std::nullopt;
       }
-      plans[p].push_back(
-          registry.selection(*inst, options.run.solvers, base_ctx));
+      if (!options.race.enabled) {
+        plans[p].push_back(
+            registry.selection(*inst, options.run.solvers, base_ctx));
+      }
       instances[p].push_back(std::move(*inst));
     }
+  }
+
+  if (options.race.enabled) {
+    report = run_campaign_races(registry, std::move(report), options,
+                                base_ctx, specs, std::move(instances));
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return report;
   }
 
   // One flat cell list across ALL points — the whole campaign shares one
@@ -261,6 +391,7 @@ void print_campaign(std::ostream& os, const CampaignReport& report) {
   if (report.budget_ms > 0.0) {
     os << ", budget " << report::Table::num(report.budget_ms) << " ms/cell";
   }
+  if (report.raced) os << ", portfolio race per cell";
   os << "\n\n";
   report::Table table({"scenario", "n", "g", "solver", "runs", "ok",
                        "feasible", "exact", "t/o", "ratio med", "ms med"});
@@ -277,6 +408,25 @@ void print_campaign(std::ostream& os, const CampaignReport& report) {
     }
   }
   table.print(os);
+  if (!report.raced) return;
+
+  os << "\n";
+  report::Table wins({"scenario", "n", "g", "races", "winner", "wins"});
+  for (const CampaignPoint& point : report.points) {
+    for (const auto& [solver, count] : point.race_wins) {
+      wins.add_row({point.spec.name, std::to_string(point.spec.n),
+                    std::to_string(point.spec.g),
+                    std::to_string(point.races), solver,
+                    std::to_string(count)});
+    }
+    if (point.races_unwon > 0) {
+      wins.add_row({point.spec.name, std::to_string(point.spec.n),
+                    std::to_string(point.spec.g),
+                    std::to_string(point.races), "(no winner)",
+                    std::to_string(point.races_unwon)});
+    }
+  }
+  wins.print(os);
 }
 
 void write_campaign_csv(std::ostream& os, const CampaignReport& report) {
@@ -310,6 +460,7 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
   os << "{\n  \"campaign\": {\"points\": " << report.points.size()
      << ", \"trials\": " << report.trials
      << ", \"threads\": " << report.threads
+     << ", \"raced\": " << (report.raced ? "true" : "false")
      << ", \"budget_ms\": " << report.budget_ms
      << ", \"wall_ms\": " << report.wall_ms << "},\n  \"points\": [";
   for (std::size_t p = 0; p < report.points.size(); ++p) {
@@ -320,8 +471,18 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
        << ", \"seed\": " << point.spec.seed
        << ", \"cells\": " << point.cells
        << ", \"ok_cells\": " << point.ok_cells
-       << ", \"infeasible_cells\": " << point.infeasible_cells
-       << ",\n     \"aggregates\": [";
+       << ", \"infeasible_cells\": " << point.infeasible_cells;
+    if (report.raced) {
+      os << ",\n     \"race\": {\"races\": " << point.races
+         << ", \"unwon\": " << point.races_unwon << ", \"wins\": {";
+      for (std::size_t i = 0; i < point.race_wins.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        write_json_string(os, point.race_wins[i].first);
+        os << ": " << point.race_wins[i].second;
+      }
+      os << "}}";
+    }
+    os << ",\n     \"aggregates\": [";
     for (std::size_t i = 0; i < point.aggregates.size(); ++i) {
       os << (i == 0 ? "\n" : ",\n") << "      ";
       write_aggregate_json(os, point.aggregates[i]);

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/portfolio.hpp"
 #include "engine/runner.hpp"
 
 namespace abt::engine {
@@ -59,10 +60,24 @@ struct CampaignPresetInfo {
 [[nodiscard]] std::optional<CampaignGrid> campaign_preset(
     std::string_view name);
 
+/// Per-point portfolio racing: instead of running every selected solver to
+/// completion, each (point, trial) cell races `entries` (or the selector /
+/// applicability auto pick) under engine::race and keeps the full race
+/// rows — losers show up in the aggregates as interrupted/cancelled runs,
+/// and their incumbents still tighten the per-trial lower bound.
+struct CampaignRace {
+  bool enabled = false;
+  std::vector<RaceEntry> entries;        ///< Explicit contestants; empty = auto.
+  const SelectorModel* model = nullptr;  ///< Optional selector for auto picks.
+  int top_k = 3;                         ///< Auto pick width with a model.
+  double accept_gap = -1.0;              ///< RaceOptions::accept_gap per cell.
+};
+
 struct CampaignOptions {
-  int trials = 4;   ///< Per-point trials (grid `trials` directive wins).
-  int threads = 1;  ///< One pool for the whole campaign; 0 = hardware.
-  RunOptions run;   ///< Solver subset, per-cell budget, cancel token.
+  int trials = 4;     ///< Per-point trials (grid `trials` directive wins).
+  int threads = 1;    ///< One pool for the whole campaign; 0 = hardware.
+  RunOptions run;     ///< Solver subset, per-cell budget, cancel token.
+  CampaignRace race;  ///< Per-cell portfolio racing (off by default).
 };
 
 /// One grid point's outcome: the spec it ran and the same per-solver
@@ -73,11 +88,17 @@ struct CampaignPoint {
   int cells = 0;             ///< (trial, solver) cells fanned out.
   int ok_cells = 0;          ///< Cells that produced a schedule.
   int infeasible_cells = 0;  ///< Cells whose schedule FAILED its checker.
+  // Racing mode only:
+  int races = 0;        ///< Trials raced at this point.
+  int races_unwon = 0;  ///< Races where no contestant met acceptance.
+  /// Winner tallies in first-win order: (solver, races won).
+  std::vector<std::pair<std::string, int>> race_wins;
 };
 
 struct CampaignReport {
   int trials = 0;
   int threads = 1;
+  bool raced = false;      ///< Cells were portfolio races, not full sweeps.
   double budget_ms = 0.0;  ///< Per-cell budget every point ran under.
   double wall_ms = 0.0;    ///< Whole-campaign wall clock.
   std::vector<CampaignPoint> points;

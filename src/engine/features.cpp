@@ -1,0 +1,149 @@
+#include "engine/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "engine/adapters.hpp"
+
+namespace abt::engine {
+
+namespace {
+
+/// Per-job (window, length) pairs plus the axis span, uniform across the
+/// four concrete models so the statistics below are written once.
+struct JobShape {
+  std::vector<double> windows;
+  std::vector<double> lengths;
+  double horizon = 0.0;
+  double mass = 0.0;
+  double shape = 0.0;  ///< Kind-specific extra (see feature_names()).
+};
+
+JobShape shape_of(const core::ProblemInstance& inst) {
+  JobShape out;
+  if (inst.kind == core::InstanceKind::kWeighted) {
+    const busy::WeightedInstance& w = weighted_of(inst);
+    double lo = 0.0, hi = 0.0, widths = 0.0;
+    bool first = true;
+    for (const busy::WeightedJob& job : w.jobs()) {
+      out.windows.push_back(job.job.window_size());
+      out.lengths.push_back(job.job.length);
+      out.mass += job.job.length * static_cast<double>(job.width);
+      widths += static_cast<double>(job.width);
+      lo = first ? job.job.release : std::min(lo, job.job.release);
+      hi = first ? job.job.deadline : std::max(hi, job.job.deadline);
+      first = false;
+    }
+    out.horizon = hi - lo;
+    if (!out.windows.empty() && w.capacity() > 0) {
+      out.shape = widths / static_cast<double>(out.windows.size()) /
+                  static_cast<double>(w.capacity());
+    }
+    return out;
+  }
+  if (inst.kind == core::InstanceKind::kMultiWindow) {
+    const active::MultiWindowInstance& mw = multi_window_of(inst);
+    double window_count = 0.0;
+    for (const active::MultiWindowJob& job : mw.jobs()) {
+      out.windows.push_back(static_cast<double>(job.window_slots()));
+      out.lengths.push_back(static_cast<double>(job.length));
+      window_count += static_cast<double>(job.windows.size());
+    }
+    out.horizon = static_cast<double>(mw.horizon());
+    out.mass = static_cast<double>(mw.total_work());
+    if (!out.windows.empty()) {
+      out.shape = window_count / static_cast<double>(out.windows.size());
+    }
+    return out;
+  }
+  if (inst.family == core::Family::kActive) {
+    for (const core::SlottedJob& job : inst.slotted.jobs()) {
+      out.windows.push_back(static_cast<double>(job.window_size()));
+      out.lengths.push_back(static_cast<double>(job.length));
+    }
+    out.horizon = static_cast<double>(inst.slotted.horizon());
+    out.mass = static_cast<double>(inst.slotted.total_work());
+    return out;
+  }
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const core::ContinuousJob& job : inst.continuous.jobs()) {
+    out.windows.push_back(job.window_size());
+    out.lengths.push_back(job.length);
+    lo = first ? job.release : std::min(lo, job.release);
+    hi = first ? job.deadline : std::max(hi, job.deadline);
+    first = false;
+  }
+  out.horizon = hi - lo;
+  out.mass = inst.continuous.total_mass();
+  return out;
+}
+
+int instance_size(const core::ProblemInstance& inst) {
+  if (inst.extension != nullptr) return inst.extension->size();
+  return inst.family == core::Family::kBusy ? inst.continuous.size()
+                                            : inst.slotted.size();
+}
+
+int instance_capacity(const core::ProblemInstance& inst) {
+  if (inst.extension != nullptr) return inst.extension->capacity();
+  return inst.family == core::Family::kBusy ? inst.continuous.capacity()
+                                            : inst.slotted.capacity();
+}
+
+}  // namespace
+
+const std::array<std::string, kFeatureCount>& feature_names() {
+  static const std::array<std::string, kFeatureCount> kNames = {
+      "jobs",       "capacity",   "family",     "kind",
+      "horizon",    "density",    "slack_mean", "slack_max",
+      "rigid_frac", "window_mean", "window_cv", "shape"};
+  return kNames;
+}
+
+FeatureVector extract_features(const core::ProblemInstance& inst) {
+  constexpr double kEps = 1e-12;
+  const JobShape shape = shape_of(inst);
+  const double n = static_cast<double>(shape.windows.size());
+  const double g = static_cast<double>(instance_capacity(inst));
+
+  FeatureVector f;
+  f.values[0] = static_cast<double>(instance_size(inst));
+  f.values[1] = g;
+  f.values[2] = inst.family == core::Family::kActive ? 1.0 : 0.0;
+  f.values[3] = inst.kind == core::InstanceKind::kStandard     ? 0.0
+                : inst.kind == core::InstanceKind::kWeighted   ? 1.0
+                                                               : 2.0;
+  f.values[4] = shape.horizon;
+  if (shape.horizon > kEps && g > kEps) {
+    f.values[5] = shape.mass / (g * shape.horizon);
+  }
+  if (n > 0.0) {
+    double slack_sum = 0.0, slack_max = 0.0, rigid = 0.0;
+    double win_sum = 0.0, win_sq = 0.0;
+    for (std::size_t i = 0; i < shape.windows.size(); ++i) {
+      const double w = shape.windows[i];
+      const double slack =
+          w > kEps ? std::max(0.0, (w - shape.lengths[i]) / w) : 0.0;
+      slack_sum += slack;
+      slack_max = std::max(slack_max, slack);
+      if (slack <= kEps) rigid += 1.0;
+      win_sum += w;
+      win_sq += w * w;
+    }
+    f.values[6] = slack_sum / n;
+    f.values[7] = slack_max;
+    f.values[8] = rigid / n;
+    const double win_mean = win_sum / n;
+    if (shape.horizon > kEps) f.values[9] = win_mean / shape.horizon;
+    if (win_mean > kEps) {
+      const double variance = std::max(0.0, win_sq / n - win_mean * win_mean);
+      f.values[10] = std::sqrt(variance) / win_mean;
+    }
+  }
+  f.values[11] = shape.shape;
+  return f;
+}
+
+}  // namespace abt::engine

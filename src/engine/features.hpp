@@ -1,0 +1,51 @@
+#pragma once
+
+// Deterministic instance features for data-driven solver selection: a
+// fixed-width numeric descriptor of a ProblemInstance (size, capacity,
+// family/kind, density, slack distribution, window statistics) computed
+// by straight-line arithmetic in job order — the same instance always
+// yields the bit-identical vector, so a selector model trained offline
+// applies reproducibly online. The vector layout is a versioned contract
+// shared with engine/selector: parse_model rejects models whose feature
+// names do not match feature_names() exactly.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "core/solver.hpp"
+
+namespace abt::engine {
+
+inline constexpr std::size_t kFeatureCount = 12;
+
+/// Feature names, index-aligned with FeatureVector::values:
+///   jobs        number of jobs n
+///   capacity    machine/slot capacity g
+///   family      0 = busy, 1 = active
+///   kind        0 = standard, 1 = weighted, 2 = multi-window
+///   horizon     span of the time axis (max deadline - min release)
+///   density     total work mass / (g * horizon)
+///   slack_mean  mean of (window - length) / window over jobs
+///   slack_max   max of the same
+///   rigid_frac  fraction of jobs with zero slack (interval/rigid jobs)
+///   window_mean mean window size / horizon
+///   window_cv   coefficient of variation of window sizes
+///   shape       kind-specific extra: mean width / g (weighted), mean
+///               windows per job (multi-window), 0 otherwise
+[[nodiscard]] const std::array<std::string, kFeatureCount>& feature_names();
+
+struct FeatureVector {
+  std::array<double, kFeatureCount> values{};
+
+  [[nodiscard]] double operator[](std::size_t i) const { return values[i]; }
+
+  friend bool operator==(const FeatureVector&, const FeatureVector&) = default;
+};
+
+/// Extracts the descriptor for any of the four instance kinds. Pure
+/// arithmetic over the job list in storage order: deterministic and
+/// allocation-light (one pass, two small scratch vectors).
+[[nodiscard]] FeatureVector extract_features(const core::ProblemInstance& inst);
+
+}  // namespace abt::engine

@@ -336,7 +336,8 @@ void parallel_for(int threads, std::size_t items,
                   const ParallelOptions& options) {
   // Tiny batches (and explicit --threads 1) never pay pool dispatch: the
   // serial path has identical begin_cell semantics and identical results.
-  if (threads <= 1 || items < kSerialBatchThreshold || tl_pool_worker) {
+  if (threads <= 1 || tl_pool_worker ||
+      (items < kSerialBatchThreshold && !options.eager_dispatch)) {
     serial_run(items, fn, options);
     return;
   }

@@ -55,6 +55,12 @@ struct ParallelOptions {
   /// result slots with a cheap "cancelled" record. When empty, fn runs
   /// for drained indices too (it is expected to decline cheaply itself).
   std::function<void(std::size_t)> on_cancelled;
+  /// Dispatch to the pool even for batches below kSerialBatchThreshold.
+  /// The threshold exists because tiny batches of INDEPENDENT cells can't
+  /// amortize a pool wakeup — but portfolio races need their (often 2-3)
+  /// contestants genuinely concurrent: a race serialized behind its first
+  /// entry is not a race. threads <= 1 and nested calls still run inline.
+  bool eager_dispatch = false;
 };
 
 /// Introspection snapshot of one worker slot (take while the pool is

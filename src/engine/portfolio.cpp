@@ -1,0 +1,283 @@
+#include "engine/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <ostream>
+
+#include "engine/parallel.hpp"
+#include "report/table.hpp"
+
+namespace abt::engine {
+
+namespace {
+
+core::Solution unknown_entry_row(const std::string& name,
+                                 const core::ProblemInstance& inst) {
+  core::Solution sol;
+  sol.solver = name;
+  sol.family = inst.family;
+  sol.message = "unknown solver";
+  return sol;
+}
+
+/// The budget a drained (never-started) contestant would have run under,
+/// for its stamped row's bookkeeping.
+double entry_budget_ms(const RaceEntry& entry, const core::RunContext& parent) {
+  if (entry.budget_cap_ms > 0.0) {
+    return parent.has_budget()
+               ? std::min(entry.budget_cap_ms, parent.budget_ms())
+               : entry.budget_cap_ms;
+  }
+  return parent.budget_ms();
+}
+
+}  // namespace
+
+RaceReport race(const core::SolverRegistry& registry,
+                const core::ProblemInstance& inst,
+                const std::vector<RaceEntry>& entries,
+                const core::RunContext& parent, const RaceOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RaceReport report;
+  report.entries = entries;
+  report.accept_gap = options.accept_gap;
+  RunOptions bound_options;
+  bound_options.span_bound_max_jobs = options.span_bound_max_jobs;
+  report.reference = derive_lower_bound(inst, {}, bound_options);
+  report.rows.resize(entries.size());
+  if (entries.empty()) return report;
+
+  // The race's own source: tripped exactly once, by the winning cell.
+  // Contestants observe it chained BEHIND the caller's token (via
+  // RunContext::child), so the caller aborting the whole race and the
+  // race retiring its losers drain through the same protocol.
+  core::CancelSource stop;
+  std::atomic<int> winner{-1};
+
+  const double reference = report.reference.value;
+  const double accept_gap = options.accept_gap;
+  const auto acceptable = [reference, accept_gap](const core::Solution& sol) {
+    if (!sol.ok || !sol.feasible) return false;
+    if (accept_gap < 0.0 || sol.exact) return sol.ok && sol.feasible;
+    const double bound = std::max(sol.best_bound, reference);
+    if (bound <= 0.0) return false;
+    return sol.cost <= (1.0 + accept_gap) * bound + 1e-9;
+  };
+
+  ParallelOptions parallel_options;
+  parallel_options.eager_dispatch = true;  // 2 contestants must still race
+  parallel_options.cancel = stop.token().chained(parent.cancel_token());
+  parallel_options.on_cancelled = [&](std::size_t i) {
+    const core::Solver* solver = registry.find(entries[i].solver);
+    report.rows[i] = solver != nullptr
+                         ? cancelled_cell_row(*solver,
+                                              entry_budget_ms(entries[i],
+                                                              parent))
+                         : unknown_entry_row(entries[i].solver, inst);
+  };
+
+  parallel_for(
+      options.threads, entries.size(),
+      [&](std::size_t i) {
+        const core::Solver* solver = registry.find(entries[i].solver);
+        if (solver == nullptr) {
+          report.rows[i] = unknown_entry_row(entries[i].solver, inst);
+          return;
+        }
+        const core::RunContext ctx =
+            parent.child(stop.token(), entries[i].budget_cap_ms);
+        report.rows[i] = registry.run(*solver, inst, ctx);
+        if (acceptable(report.rows[i])) {
+          // First acceptable completion wins; exactly one CAS succeeds,
+          // and only the winner cancels — losers that still finish
+          // acceptably after the trip simply fail the exchange.
+          int expected = -1;
+          if (winner.compare_exchange_strong(expected, static_cast<int>(i),
+                                             std::memory_order_relaxed)) {
+            stop.cancel();
+          }
+        }
+      },
+      parallel_options);
+
+  report.winner = winner.load(std::memory_order_relaxed);
+  report.best_bound = reference;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const core::Solution& sol = report.rows[i];
+    report.best_bound = std::max(report.best_bound, sol.best_bound);
+    if (sol.timed_out && static_cast<int>(i) != report.winner) {
+      report.cancelled += 1;
+    }
+    if (sol.ok && sol.feasible && sol.cost < best_cost) {
+      best_cost = sol.cost;
+      report.best = static_cast<int>(i);
+    }
+  }
+  if (report.winner >= 0 && accept_gap < 0.0) {
+    // Under checker-only acceptance the winner IS the answer; `best` may
+    // differ only when a cancelled loser's incumbent happened to be
+    // cheaper, which reporting keeps visible but does not promote.
+    report.best = report.winner;
+  }
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+std::vector<RaceEntry> auto_entries(const core::SolverRegistry& registry,
+                                    const core::ProblemInstance& inst,
+                                    const SelectorModel* model, int top_k,
+                                    const core::RunContext& ctx) {
+  std::vector<RaceEntry> entries;
+  if (model != nullptr) {
+    const std::vector<std::string> picked =
+        select_solvers(*model, extract_features(inst), top_k);
+    for (const std::string& name : picked) {
+      const core::Solver* solver = registry.find(name);
+      if (solver == nullptr) continue;
+      std::string why;
+      if (solver->family != inst.family || solver->kind != inst.kind ||
+          (solver->applicable && !solver->applicable(inst, ctx, &why))) {
+        continue;
+      }
+      entries.push_back({name, 0.0});
+    }
+    if (!entries.empty()) return entries;
+    // A model trained on other kinds may pick nothing applicable; racing
+    // everything is the honest fallback rather than failing the solve.
+  }
+  for (const core::Solver* solver : registry.applicable_to(inst, ctx)) {
+    entries.push_back({solver->name, 0.0});
+  }
+  return entries;
+}
+
+namespace {
+
+std::string race_verdict(const RaceReport& report, std::size_t i) {
+  const core::Solution& sol = report.rows[i];
+  if (static_cast<int>(i) == report.winner) return "WINNER";
+  if (!sol.ok) {
+    return sol.message == "cancelled" ? "cancelled" : "declined";
+  }
+  if (!sol.feasible) return "INFEASIBLE";
+  return sol.timed_out ? "interrupted" : "lost";
+}
+
+}  // namespace
+
+void print_race(std::ostream& os, const RaceReport& report) {
+  os << "race: " << report.entries.size() << " contestants, "
+     << report::Table::num(report.wall_ms) << " ms";
+  if (report.accept_gap >= 0.0) {
+    os << ", accept gap <= " << report::Table::num(report.accept_gap);
+  }
+  os << "\n";
+  if (report.winner >= 0) {
+    os << "winner: " << report.rows[static_cast<std::size_t>(report.winner)]
+                            .solver
+       << "\n";
+  } else if (report.best >= 0) {
+    os << "no contestant met acceptance; best effort: "
+       << report.rows[static_cast<std::size_t>(report.best)].solver << "\n";
+  } else {
+    os << "no contestant produced a feasible schedule\n";
+  }
+  os << "tightest bound: " << report::Table::num(report.best_bound) << " ("
+     << (report.best_bound > report.reference.value ? "contestant"
+                                                    : report.reference.kind)
+     << ")\n\n";
+  report::Table table({"solver", "verdict", "cost", "wall_ms", "best_bound",
+                       "gap", "guarantee"});
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const core::Solution& sol = report.rows[i];
+    table.add_row(
+        {sol.solver, race_verdict(report, i),
+         sol.ok ? report::Table::num(sol.cost) : "-",
+         report::Table::num(sol.wall_ms),
+         sol.best_bound > 0.0 ? report::Table::num(sol.best_bound) : "-",
+         sol.ok && sol.best_bound > 0.0 ? report::Table::num(sol.gap()) : "-",
+         sol.ok ? sol.guarantee : sol.message});
+  }
+  table.print(os);
+}
+
+void write_race_csv(std::ostream& os, const RaceReport& report) {
+  report::Table table({"solver", "verdict", "cost", "wall_ms", "feasible",
+                       "exact", "timed_out", "best_bound", "winner",
+                       "message"});
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const core::Solution& sol = report.rows[i];
+    table.add_row({sol.solver, race_verdict(report, i),
+                   sol.ok ? report::Table::num(sol.cost, 6) : "",
+                   report::Table::num(sol.wall_ms, 6),
+                   sol.feasible ? "1" : "0", sol.exact ? "1" : "0",
+                   sol.timed_out ? "1" : "0",
+                   sol.best_bound > 0.0 ? report::Table::num(sol.best_bound, 6)
+                                        : "",
+                   static_cast<int>(i) == report.winner ? "1" : "0",
+                   sol.message});
+  }
+  table.write_csv(os);
+}
+
+void write_race_json(std::ostream& os, const core::ProblemInstance& inst,
+                     const RaceReport& report) {
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"family\": \"" << core::family_name(inst.family)
+     << "\",\n  \"kind\": \"" << core::instance_kind_name(inst.kind)
+     << "\",\n  \"race\": {\"contestants\": " << report.entries.size()
+     << ", \"winner\": " << report.winner << ", \"winner_solver\": ";
+  if (report.winner >= 0) {
+    write_json_string(
+        os, report.rows[static_cast<std::size_t>(report.winner)].solver);
+  } else {
+    os << "null";
+  }
+  os << ", \"best\": " << report.best << ", \"accept_gap\": ";
+  if (report.accept_gap >= 0.0) {
+    os << report.accept_gap;
+  } else {
+    os << "null";
+  }
+  os << ", \"best_bound\": " << report.best_bound
+     << ", \"reference\": {\"value\": " << report.reference.value
+     << ", \"kind\": ";
+  write_json_string(os, report.reference.kind);
+  os << "}, \"cancelled\": " << report.cancelled
+     << ", \"wall_ms\": " << report.wall_ms << "},\n  \"rows\": [";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const core::Solution& sol = report.rows[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"solver\": ";
+    write_json_string(os, sol.solver);
+    os << ", \"verdict\": ";
+    write_json_string(os, race_verdict(report, i));
+    os << ", \"ok\": " << (sol.ok ? "true" : "false")
+       << ", \"feasible\": " << (sol.feasible ? "true" : "false");
+    if (sol.ok) {
+      os << ", \"cost\": " << sol.cost
+         << ", \"exact\": " << (sol.exact ? "true" : "false");
+      if (sol.best_bound > 0.0) {
+        os << ", \"best_bound\": " << sol.best_bound
+           << ", \"gap\": " << sol.gap();
+      }
+    }
+    if (sol.timed_out) os << ", \"timed_out\": true";
+    if (sol.budget_ms > 0.0) os << ", \"budget_ms\": " << sol.budget_ms;
+    os << ", \"wall_ms\": " << sol.wall_ms;
+    if (!sol.message.empty()) {
+      os << ", \"message\": ";
+      write_json_string(os, sol.message);
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  os.precision(old_precision);
+}
+
+}  // namespace abt::engine

@@ -1,0 +1,74 @@
+#pragma once
+
+// Data-driven solver selection: a nearest-centroid model over normalized
+// instance features (engine/features), trained offline from campaign CSV
+// output and serialized as a versioned text format whose round trip is
+// lossless (write_model ∘ parse_model == identity, doubles emitted at
+// max_digits10). One centroid per scenario label carries a solver ranking
+// (best first, by feasibility rate, then median cost ratio, then median
+// wall time across the scenario's grid points); selection normalizes the
+// query instance's features with the model's mu/sigma and returns the
+// nearest centroid's ranking, truncated to the requested top-k. The
+// portfolio layer races that subset (engine/portfolio).
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/features.hpp"
+
+namespace abt::engine {
+
+struct SelectorCentroid {
+  std::string label;  ///< Scenario name the centroid was trained from.
+  std::array<double, kFeatureCount> center{};  ///< In normalized space.
+  std::vector<std::string> ranking;            ///< Solver names, best first.
+
+  friend bool operator==(const SelectorCentroid&,
+                         const SelectorCentroid&) = default;
+};
+
+struct SelectorModel {
+  int version = 1;
+  std::array<double, kFeatureCount> mu{};
+  std::array<double, kFeatureCount> sigma{};  ///< Strictly positive.
+  std::vector<SelectorCentroid> centroids;
+
+  friend bool operator==(const SelectorModel&, const SelectorModel&) = default;
+};
+
+/// Ranked solver subset for `features`: the ranking of the centroid
+/// nearest in normalized squared-L2 distance (first wins ties), truncated
+/// to `top_k` names (<= 0 = the full ranking). Empty model => empty.
+[[nodiscard]] std::vector<std::string> select_solvers(
+    const SelectorModel& model, const FeatureVector& features, int top_k = 0);
+
+/// Versioned text serialization ("selector-model v1" header, feature-name
+/// manifest, mu/sigma, centroid blocks). Doubles are written at
+/// max_digits10 so parse_model(write_model(m)) == m exactly.
+void write_model(std::ostream& os, const SelectorModel& model);
+
+/// Parses the text format. Nullopt with a line-numbered `error` on any
+/// malformed input: wrong header/version, feature manifest not matching
+/// this build's extractor, wrong arities, non-positive sigma, centroid
+/// blocks missing their center/rank lines, duplicate labels or solver
+/// names, unknown directives, or no centroid at all.
+[[nodiscard]] std::optional<SelectorModel> parse_model(
+    std::istream& in, std::string* error = nullptr);
+
+/// Offline training from campaign CSV (write_campaign_csv schema). Rows
+/// are grouped into (scenario, n, g, seed) points; each point's solvers
+/// are ranked by feasibility rate, then median cost ratio, then median
+/// wall time (name as the final tie-break), the point's instance is
+/// regenerated through make_scenario for its features, and every scenario
+/// label becomes one centroid (mean normalized features, mean-rank Borda
+/// merge of its points' rankings). Nullopt with `error` on a missing
+/// header column, an unparseable row, or a scenario the generator does
+/// not know. Non-grid knobs (slack/horizon/eps) are not recorded in the
+/// CSV and default to the generator defaults.
+[[nodiscard]] std::optional<SelectorModel> train_selector(
+    std::istream& csv, std::string* error = nullptr);
+
+}  // namespace abt::engine

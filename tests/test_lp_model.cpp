@@ -103,5 +103,50 @@ TEST(RightShift, MassFitsSegmentCapacity) {
   }
 }
 
+// Regression (PR 8): model CONSTRUCTION used to be uninterruptible — on a
+// large instance a cancelled context still paid the full O(n * horizon)
+// row build before the simplex's own polls could notice. The build now
+// polls should_stop between row batches and abandons promptly.
+TEST(LpModel, BuildPollsCancellationAndAbandonsPromptly) {
+  core::Rng rng(11);
+  gen::SlottedParams params;
+  params.num_jobs = 40;
+  params.horizon = 120;
+  params.capacity = 3;
+  const SlottedInstance inst = gen::random_feasible_slotted(rng, params);
+
+  // A pre-cancelled context never builds a single constraint row.
+  core::CancelSource source;
+  source.cancel();
+  const core::RunContext cancelled =
+      core::RunContext().set_cancel_token(source.token());
+  const ActiveTimeLp aborted(inst, &cancelled);
+  EXPECT_TRUE(aborted.build_cancelled());
+  EXPECT_TRUE(aborted.problem().rows.empty());
+  // solve_active_lp surfaces the abandoned build as kCancelled without
+  // ever touching the partial model.
+  EXPECT_EQ(solve_active_lp(aborted, &cancelled).status,
+            lp::SolveStatus::kCancelled);
+  EXPECT_EQ(solve_active_lp(aborted).status, lp::SolveStatus::kCancelled);
+
+  // A budget that expires DURING construction (armed, then spun down to
+  // zero) trips a mid-build poll: the model reports cancelled without the
+  // caller ever reaching the simplex.
+  const core::RunContext expiring = core::RunContext::with_budget_ms(1e-6);
+  while (!expiring.out_of_budget()) {
+  }
+  const ActiveTimeLp mid_build(inst, &expiring);
+  EXPECT_TRUE(mid_build.build_cancelled());
+
+  // Control: the same instance with a live generous context builds fully
+  // and solves — the polls are observation only.
+  const core::RunContext generous = core::RunContext::with_budget_ms(60'000);
+  const ActiveTimeLp complete(inst, &generous);
+  EXPECT_FALSE(complete.build_cancelled());
+  EXPECT_FALSE(complete.problem().rows.empty());
+  EXPECT_EQ(solve_active_lp(complete, &generous).status,
+            lp::SolveStatus::kOptimal);
+}
+
 }  // namespace
 }  // namespace abt::active

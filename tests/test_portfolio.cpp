@@ -1,0 +1,395 @@
+// Portfolio racing: the determinism contract (which contestant wins is
+// timing-dependent, everything reported about the winner is not), the
+// cancellation-storm stability of the shared pool underneath back-to-back
+// races, and the campaign integration. The race-equivalence property —
+// winner cost == a standalone run of that solver, all-exact races report a
+// bit-identical fingerprint for every thread count and repetition — is
+// what makes racing safe to put in front of users: faster, never
+// different.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/run_context.hpp"
+#include "core/solver.hpp"
+#include "engine/builtin_solvers.hpp"
+#include "engine/campaign.hpp"
+#include "engine/parallel.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/runner.hpp"
+
+namespace abt {
+namespace {
+
+using core::ProblemInstance;
+using core::RunContext;
+using core::Solution;
+using engine::RaceEntry;
+using engine::RaceOptions;
+using engine::RaceReport;
+
+ProblemInstance scenario_instance(const std::string& name, int n, int g,
+                                  std::uint64_t seed = 7) {
+  engine::ScenarioSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.g = g;
+  spec.seed = seed;
+  std::string error;
+  const auto inst = engine::make_scenario(spec, &error);
+  EXPECT_TRUE(inst.has_value()) << name << ": " << error;
+  return *inst;
+}
+
+/// One representative (scenario, size, exact solver) per instance kind —
+/// small enough that every exact solver is inside its ungated size range.
+struct KindCase {
+  const char* scenario;
+  int n;
+  int g;
+  const char* exact_solver;
+};
+
+const std::vector<KindCase>& kind_cases() {
+  static const std::vector<KindCase> kCases = {
+      {"interval", 10, 3, "busy/exact"},
+      {"slotted", 8, 2, "active/exact"},
+      {"weighted", 10, 3, "busy/weighted-exact"},
+      {"multi-window", 6, 2, "active/multi-window-exact"},
+  };
+  return kCases;
+}
+
+TEST(Portfolio, WinnerIsCheckerVerifiedAndMatchesStandaloneRun) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  for (const KindCase& kind : kind_cases()) {
+    const ProblemInstance inst =
+        scenario_instance(kind.scenario, kind.n, kind.g);
+    const std::vector<RaceEntry> entries =
+        engine::auto_entries(registry, inst);
+    ASSERT_FALSE(entries.empty()) << kind.scenario;
+    for (const int threads : {1, 2, 8}) {
+      RaceOptions options;
+      options.threads = threads;
+      const RaceReport report =
+          engine::race(registry, inst, entries, RunContext(), options);
+      ASSERT_EQ(report.rows.size(), entries.size());
+      ASSERT_GE(report.winner, 0)
+          << kind.scenario << " at " << threads << " threads";
+      const Solution& winner =
+          report.rows[static_cast<std::size_t>(report.winner)];
+      EXPECT_TRUE(winner.ok);
+      EXPECT_TRUE(winner.feasible) << winner.solver << ": " << winner.message;
+      EXPECT_FALSE(winner.timed_out);
+      // Race equivalence: the winner's cost is exactly what a standalone
+      // run of that solver reports — racing changes the wall clock, never
+      // the answer attributed to a solver.
+      engine::RunOptions standalone;
+      standalone.solvers = {winner.solver};
+      const engine::RunReport ref =
+          engine::run_instance(registry, inst, standalone);
+      ASSERT_EQ(ref.solutions.size(), 1u);
+      EXPECT_TRUE(ref.solutions[0].feasible);
+      EXPECT_EQ(winner.cost, ref.solutions[0].cost)
+          << winner.solver << " raced vs standalone, " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(Portfolio, AllExactRaceFingerprintIsThreadAndRepetitionInvariant) {
+  // Duplicate entries of the kind's exact solver: WHICH copy wins depends
+  // on timing, but every copy that completes proves the same optimum, so
+  // the reported (cost, exact, best_bound, feasible) fingerprint must be
+  // bit-identical across thread counts and repetitions.
+  const core::SolverRegistry& registry = engine::shared_registry();
+  for (const KindCase& kind : kind_cases()) {
+    const ProblemInstance inst =
+        scenario_instance(kind.scenario, kind.n, kind.g);
+    const std::vector<RaceEntry> entries(3, RaceEntry{kind.exact_solver, 0.0});
+    std::set<std::tuple<double, bool, bool, double>> fingerprints;
+    for (const int threads : {1, 2, 8}) {
+      const int reps = threads == 8 ? 3 : 1;
+      for (int rep = 0; rep < reps; ++rep) {
+        RaceOptions options;
+        options.threads = threads;
+        const RaceReport report =
+            engine::race(registry, inst, entries, RunContext(), options);
+        ASSERT_GE(report.winner, 0) << kind.scenario;
+        const Solution& winner =
+            report.rows[static_cast<std::size_t>(report.winner)];
+        EXPECT_TRUE(winner.exact) << kind.scenario;
+        fingerprints.insert({winner.cost, winner.feasible, winner.exact,
+                             report.best_bound});
+      }
+    }
+    EXPECT_EQ(fingerprints.size(), 1u)
+        << kind.scenario << ": all-exact races must agree bit-for-bit";
+  }
+}
+
+TEST(Portfolio, SingleThreadRaceIsFirstAcceptableInEntryOrder) {
+  // At one thread the race runs inline and sequentially: the first entry
+  // that passes acceptance wins, deterministically, and later entries are
+  // drained as cancelled without running.
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 10, 3);
+  const std::vector<RaceEntry> entries = {{"busy/weighted-narrow-wide", 0.0},
+                                          {"busy/weighted-first-fit", 0.0}};
+  RaceOptions options;
+  options.threads = 1;
+  for (int rep = 0; rep < 3; ++rep) {
+    const RaceReport report =
+        engine::race(registry, inst, entries, RunContext(), options);
+    EXPECT_EQ(report.winner, 0);
+    EXPECT_EQ(report.rows[1].message, "cancelled");
+    EXPECT_TRUE(report.rows[1].timed_out);
+    EXPECT_EQ(report.cancelled, 1);
+  }
+}
+
+TEST(Portfolio, ReportsTightestCertifiedBound) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 10, 3);
+  // Reference bound alone (greedy-only race, no certificates beyond the
+  // combinatorial reference):
+  const RaceReport greedy = engine::race(
+      registry, inst, {{"busy/weighted-first-fit", 0.0}}, RunContext(), {});
+  EXPECT_GT(greedy.reference.value, 0.0);
+  EXPECT_GE(greedy.best_bound, greedy.reference.value);
+  // An exact completion certifies OPT: the race's bound must tighten to
+  // exactly the winner's cost.
+  RaceOptions serial;
+  serial.threads = 1;
+  const RaceReport exact =
+      engine::race(registry, inst, {{"busy/weighted-exact", 0.0}},
+                   RunContext(), serial);
+  ASSERT_GE(exact.winner, 0);
+  const Solution& winner =
+      exact.rows[static_cast<std::size_t>(exact.winner)];
+  ASSERT_TRUE(winner.exact);
+  EXPECT_EQ(exact.best_bound, winner.cost);
+  EXPECT_GE(exact.best_bound, greedy.best_bound);
+}
+
+TEST(Portfolio, NoAcceptableWinnerFallsBackToBestEffort) {
+  // An acceptance gap no greedy can certify: nobody wins, nobody is
+  // cancelled (the race runs out of contestants, not patience), and
+  // `best` still points at the cheapest checker-verified row.
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 16, 3);
+  const std::vector<RaceEntry> entries = {{"busy/weighted-first-fit", 0.0},
+                                          {"busy/weighted-narrow-wide", 0.0}};
+  RaceOptions options;
+  options.accept_gap = 1e-9;
+  const RaceReport report =
+      engine::race(registry, inst, entries, RunContext(), options);
+  EXPECT_EQ(report.winner, -1);
+  EXPECT_EQ(report.cancelled, 0);
+  ASSERT_GE(report.best, 0);
+  const Solution& best = report.rows[static_cast<std::size_t>(report.best)];
+  EXPECT_TRUE(best.feasible);
+  for (const Solution& sol : report.rows) {
+    EXPECT_TRUE(sol.ok) << sol.solver;
+    if (sol.feasible) EXPECT_GE(sol.cost, best.cost);
+  }
+}
+
+TEST(Portfolio, UnknownEntriesGetRefusalRowsWithoutKillingTheRace) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("interval", 8, 2);
+  const RaceReport report = engine::race(
+      registry, inst, {{"no/such-solver", 0.0}, {"busy/first-fit", 0.0}},
+      RunContext(), {});
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_FALSE(report.rows[0].ok);
+  EXPECT_EQ(report.rows[0].message, "unknown solver");
+  EXPECT_EQ(report.winner, 1);
+  // All-unknown: no winner, no best, but still one stamped row per entry.
+  const RaceReport none = engine::race(
+      registry, inst, {{"no/such-solver", 0.0}}, RunContext(), {});
+  EXPECT_EQ(none.winner, -1);
+  EXPECT_EQ(none.best, -1);
+}
+
+TEST(Portfolio, PreCancelledParentDrainsEveryContestant) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("interval", 10, 3);
+  core::CancelSource source;
+  source.cancel();
+  const RunContext parent = RunContext().set_cancel_token(source.token());
+  const std::vector<RaceEntry> entries = {{"busy/first-fit", 0.0},
+                                          {"busy/greedy-tracking", 0.0},
+                                          {"busy/exact", 0.0}};
+  const RaceReport report =
+      engine::race(registry, inst, entries, parent, {});
+  EXPECT_EQ(report.winner, -1);
+  for (const Solution& sol : report.rows) {
+    EXPECT_FALSE(sol.ok) << sol.solver;
+    EXPECT_EQ(sol.message, "cancelled") << sol.solver;
+  }
+}
+
+TEST(Portfolio, AutoEntriesCoverApplicableSolversPerKind) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  for (const KindCase& kind : kind_cases()) {
+    const ProblemInstance inst =
+        scenario_instance(kind.scenario, kind.n, kind.g);
+    const std::vector<RaceEntry> entries =
+        engine::auto_entries(registry, inst);
+    ASSERT_FALSE(entries.empty()) << kind.scenario;
+    std::set<std::string> seen;
+    for (const RaceEntry& entry : entries) {
+      const core::Solver* solver = registry.find(entry.solver);
+      ASSERT_NE(solver, nullptr) << entry.solver;
+      EXPECT_EQ(solver->family, inst.family) << entry.solver;
+      EXPECT_EQ(solver->kind, inst.kind) << entry.solver;
+      EXPECT_TRUE(seen.insert(entry.solver).second)
+          << entry.solver << " listed twice";
+    }
+  }
+}
+
+TEST(Portfolio, AutoEntriesFollowTheSelectorRanking) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 10, 3);
+  engine::SelectorModel model;
+  model.mu.fill(0.0);
+  model.sigma.fill(1.0);
+  engine::SelectorCentroid centroid;
+  centroid.label = "weighted";
+  centroid.center = engine::extract_features(inst).values;
+  centroid.ranking = {"busy/weighted-narrow-wide", "not/registered",
+                      "busy/weighted-exact"};
+  model.centroids.push_back(centroid);
+  const std::vector<RaceEntry> entries =
+      engine::auto_entries(registry, inst, &model, 3);
+  ASSERT_EQ(entries.size(), 2u);  // the unregistered pick is dropped
+  EXPECT_EQ(entries[0].solver, "busy/weighted-narrow-wide");
+  EXPECT_EQ(entries[1].solver, "busy/weighted-exact");
+  // A model whose picks apply nowhere falls back to every applicable
+  // solver instead of racing nothing.
+  model.centroids[0].ranking = {"not/registered"};
+  const std::vector<RaceEntry> fallback =
+      engine::auto_entries(registry, inst, &model, 3);
+  EXPECT_GT(fallback.size(), 2u);
+}
+
+/// 200 back-to-back race/cancel cycles on the shared pool: every cycle
+/// trips the race-local CancelSource (the winner finishes in microseconds
+/// while the exact contestant is still working), so this hammers the
+/// wakeup/drain path. Extends the PR 7 pool assertions: no lost wakeups
+/// (every cycle terminates with all rows stamped exactly once), no new
+/// worker slots, and the warm slots' arena footprint stops growing.
+TEST(Portfolio, CancellationStormKeepsThePoolStable) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 12, 3);
+  const std::vector<RaceEntry> entries = {{"busy/weighted-narrow-wide", 0.0},
+                                          {"busy/weighted-first-fit", 0.0},
+                                          {"busy/weighted-exact", 0.0}};
+  RaceOptions options;
+  options.threads = 4;
+  const auto run_once = [&] {
+    const RaceReport report =
+        engine::race(registry, inst, entries, RunContext(), options);
+    ASSERT_EQ(report.rows.size(), entries.size());
+    ASSERT_GE(report.winner, 0);
+    int stamped = 0;
+    for (const Solution& sol : report.rows) {
+      // Exactly-once slot writes: every row names its solver (run,
+      // drained, or refused) — an unstamped default row would be empty.
+      EXPECT_FALSE(sol.solver.empty());
+      ++stamped;
+    }
+    EXPECT_EQ(stamped, static_cast<int>(entries.size()));
+  };
+  const auto footprint = [] {
+    std::size_t total = 0;
+    for (const engine::WorkerStats& s :
+         engine::ThreadPool::shared().worker_stats()) {
+      total += s.arena_capacity;
+    }
+    return total;
+  };
+  // Warm the pool so the arena high-water marks reflect this workload.
+  for (int i = 0; i < 8; ++i) run_once();
+  const std::size_t slots = engine::ThreadPool::shared().worker_stats().size();
+  const std::size_t warm_footprint = footprint();
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    run_once();
+    if (HasFatalFailure()) {
+      FAIL() << "storm aborted at cycle " << cycle;
+    }
+  }
+  EXPECT_EQ(engine::ThreadPool::shared().worker_stats().size(), slots)
+      << "no new worker slots under a cancellation storm";
+  EXPECT_LE(footprint(), warm_footprint + (std::size_t{64} << 10))
+      << "warm worker arenas must be reused, not regrown per race";
+}
+
+TEST(Portfolio, CampaignRacesEveryCellAndTalliesWinners) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  engine::CampaignGrid grid;
+  grid.scenarios = {"interval", "weighted"};
+  grid.ns = {8, 10};
+  grid.gs = {3};
+  engine::CampaignOptions options;
+  options.trials = 3;
+  options.threads = 2;
+  options.race.enabled = true;
+  std::string error;
+  const auto report = engine::run_campaign(registry, grid, options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_TRUE(report->raced);
+  ASSERT_EQ(report->points.size(), 4u);
+  for (const engine::CampaignPoint& point : report->points) {
+    EXPECT_EQ(point.races, 3);
+    int wins = 0;
+    for (const auto& [solver, count] : point.race_wins) {
+      EXPECT_NE(registry.find(solver), nullptr) << solver;
+      wins += count;
+    }
+    EXPECT_EQ(wins + point.races_unwon, point.races);
+    EXPECT_GT(point.ok_cells, 0) << point.spec.name;
+    EXPECT_EQ(point.infeasible_cells, 0) << point.spec.name;
+    EXPECT_FALSE(point.aggregates.empty());
+  }
+}
+
+TEST(Portfolio, CampaignRaceHonoursExplicitEntriesAndCancellation) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  engine::CampaignGrid grid;
+  grid.scenarios = {"weighted"};
+  grid.ns = {10};
+  grid.gs = {3};
+  engine::CampaignOptions options;
+  options.trials = 2;
+  options.threads = 1;
+  options.race.enabled = true;
+  options.race.entries = {{"busy/weighted-narrow-wide", 0.0},
+                          {"busy/weighted-exact", 0.0}};
+  std::string error;
+  const auto report = engine::run_campaign(registry, grid, options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  ASSERT_EQ(report->points.size(), 1u);
+  // Serial races: the first entry wins each trial.
+  ASSERT_EQ(report->points[0].race_wins.size(), 1u);
+  EXPECT_EQ(report->points[0].race_wins[0].first,
+            "busy/weighted-narrow-wide");
+  EXPECT_EQ(report->points[0].race_wins[0].second, 2);
+
+  // A campaign cancelled before it starts drains every race cell.
+  core::CancelSource source;
+  source.cancel();
+  options.run.cancel = source.token();
+  const auto drained = engine::run_campaign(registry, grid, options, &error);
+  ASSERT_TRUE(drained.has_value()) << error;
+  EXPECT_EQ(drained->points[0].races_unwon, 2);
+  EXPECT_EQ(drained->points[0].ok_cells, 0);
+}
+
+}  // namespace
+}  // namespace abt

@@ -257,5 +257,85 @@ TEST(RunContext, RunInstanceCarriesBudgetIntoEveryCell) {
   EXPECT_TRUE(saw_exact) << "budget must lift the n=20 gate";
 }
 
+// ---------------------------------------------------------------------------
+// Child contexts and chained tokens (the portfolio race's substrate).
+
+TEST(RunContext, ChainedTokenTripsWhenEitherSourceDoes) {
+  CancelSource a;
+  CancelSource b;
+  const core::CancelToken both = a.token().chained(b.token());
+  EXPECT_FALSE(both.cancelled());
+  b.cancel();
+  EXPECT_TRUE(both.cancelled()) << "upstream trip must surface";
+  CancelSource c;
+  const core::CancelToken other = c.token().chained(a.token());
+  EXPECT_FALSE(other.cancelled());
+  c.cancel();
+  EXPECT_TRUE(other.cancelled()) << "own trip must surface";
+  // Chaining with an empty token is the identity in both directions.
+  CancelSource d;
+  EXPECT_FALSE(d.token().chained(core::CancelToken()).cancelled());
+  EXPECT_FALSE(core::CancelToken().chained(d.token()).cancelled());
+  d.cancel();
+  EXPECT_TRUE(d.token().chained(core::CancelToken()).cancelled());
+  EXPECT_TRUE(core::CancelToken().chained(d.token()).cancelled());
+  EXPECT_TRUE(core::CancelToken().empty());
+  EXPECT_FALSE(d.token().empty());
+}
+
+TEST(RunContext, ChildInheritsBudgetCancellationAndCap) {
+  // Budget: a child of a budgeted parent never outlives the parent's
+  // remaining allowance, and a per-child cap tightens but never extends.
+  const RunContext parent = RunContext::with_budget_ms(60'000);
+  const RunContext child = parent.child();
+  EXPECT_TRUE(child.has_budget());
+  EXPECT_LE(child.budget_ms(), 60'000.0);
+  const RunContext capped = parent.child({}, 5.0);
+  EXPECT_EQ(capped.budget_ms(), 5.0);
+  // An unlimited parent with a cap yields exactly the cap; without one,
+  // the child is unlimited too.
+  EXPECT_EQ(RunContext().child({}, 7.0).budget_ms(), 7.0);
+  EXPECT_FALSE(RunContext().child().has_budget());
+  // An exhausted parent yields an immediately-expiring child, never a
+  // fresh unlimited one.
+  const RunContext expired = RunContext::with_budget_ms(1e-6);
+  while (!expired.out_of_budget()) {
+  }
+  const RunContext drained = expired.child();
+  EXPECT_TRUE(drained.has_budget());
+  while (!drained.out_of_budget()) {
+  }
+  EXPECT_TRUE(drained.should_stop());
+
+  // Cancellation: the child observes BOTH the parent's token and the
+  // extra one, and the parent never observes the child's extra source.
+  CancelSource parent_stop;
+  CancelSource child_stop;
+  const RunContext root = RunContext().set_cancel_token(parent_stop.token());
+  const RunContext derived = root.child(child_stop.token());
+  EXPECT_FALSE(derived.cancelled());
+  child_stop.cancel();
+  EXPECT_TRUE(derived.cancelled());
+  EXPECT_FALSE(root.cancelled()) << "cancellation must not flow upward";
+  CancelSource other_stop;
+  const RunContext sibling = root.child(other_stop.token());
+  EXPECT_FALSE(sibling.cancelled()) << "siblings are independent";
+  parent_stop.cancel();
+  EXPECT_TRUE(sibling.cancelled()) << "parent trip reaches every child";
+  EXPECT_TRUE(root.cancelled());
+}
+
+TEST(RunContext, GrandchildSeesEveryAncestorToken) {
+  CancelSource top;
+  CancelSource mid;
+  CancelSource leaf;
+  const RunContext root = RunContext().set_cancel_token(top.token());
+  const RunContext middle = root.child(mid.token());
+  const RunContext bottom = middle.child(leaf.token());
+  EXPECT_FALSE(bottom.cancelled());
+  top.cancel();
+  EXPECT_TRUE(bottom.cancelled()) << "a root trip drains the whole tree";
+}
+
 }  // namespace
 }  // namespace abt

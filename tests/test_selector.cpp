@@ -1,0 +1,347 @@
+// The learned-selection layer: deterministic feature extraction, the
+// versioned selector-model text format (write_model ∘ parse_model must be
+// the identity on any model, and every malformed input must fail with a
+// line-numbered diagnostic), offline training from real campaign CSV, and
+// nearest-centroid selection itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/builtin_solvers.hpp"
+#include "engine/campaign.hpp"
+#include "engine/features.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/runner.hpp"
+#include "engine/selector.hpp"
+
+namespace abt {
+namespace {
+
+using core::ProblemInstance;
+using engine::FeatureVector;
+using engine::SelectorCentroid;
+using engine::SelectorModel;
+
+ProblemInstance scenario_instance(const std::string& name, int n, int g,
+                                  std::uint64_t seed = 7) {
+  engine::ScenarioSpec spec;
+  spec.name = name;
+  spec.n = n;
+  spec.g = g;
+  spec.seed = seed;
+  std::string error;
+  const auto inst = engine::make_scenario(spec, &error);
+  EXPECT_TRUE(inst.has_value()) << name << ": " << error;
+  return *inst;
+}
+
+// ---------------------------------------------------------------------------
+// Feature extraction.
+
+TEST(Features, ExtractionIsDeterministicAcrossKinds) {
+  // Bit-identical vectors: twice on the same object, and on two
+  // independently regenerated copies of the same scenario.
+  for (const char* scenario :
+       {"interval", "flexible", "slotted", "weighted", "multi-window"}) {
+    const ProblemInstance a = scenario_instance(scenario, 12, 3);
+    const ProblemInstance b = scenario_instance(scenario, 12, 3);
+    const FeatureVector va = engine::extract_features(a);
+    EXPECT_EQ(va, engine::extract_features(a)) << scenario;
+    EXPECT_EQ(va, engine::extract_features(b)) << scenario;
+    for (const double v : va.values) {
+      EXPECT_TRUE(std::isfinite(v)) << scenario;
+    }
+  }
+}
+
+TEST(Features, DiscriminatesFamilyKindAndSize) {
+  const FeatureVector busy =
+      engine::extract_features(scenario_instance("interval", 12, 3));
+  const FeatureVector active =
+      engine::extract_features(scenario_instance("slotted", 12, 3));
+  const FeatureVector weighted =
+      engine::extract_features(scenario_instance("weighted", 12, 3));
+  EXPECT_NE(busy.values, active.values);
+  EXPECT_NE(busy.values, weighted.values);
+  // Named accessors stay aligned with the manifest the model format pins.
+  const auto& names = engine::feature_names();
+  ASSERT_EQ(names.size(), engine::kFeatureCount);
+  EXPECT_EQ(names[0], "jobs");
+  EXPECT_EQ(busy.values[0], 12.0);
+  EXPECT_EQ(names[1], "capacity");
+  EXPECT_EQ(busy.values[1], 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Model round trip.
+
+SelectorModel random_model(std::mt19937& rng) {
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  std::uniform_real_distribution<double> positive(1e-9, 1e3);
+  std::uniform_int_distribution<int> centroid_count(1, 5);
+  std::uniform_int_distribution<int> rank_len(1, 6);
+  SelectorModel model;
+  for (std::size_t i = 0; i < engine::kFeatureCount; ++i) {
+    model.mu[i] = value(rng);
+    model.sigma[i] = positive(rng);
+  }
+  const int centroids = centroid_count(rng);
+  for (int c = 0; c < centroids; ++c) {
+    SelectorCentroid centroid;
+    centroid.label = "scenario-" + std::to_string(c);
+    for (std::size_t i = 0; i < engine::kFeatureCount; ++i) {
+      centroid.center[i] = value(rng);
+    }
+    const int ranks = rank_len(rng);
+    for (int r = 0; r < ranks; ++r) {
+      centroid.ranking.push_back("family/solver-" + std::to_string(c) + "-" +
+                                 std::to_string(r));
+    }
+    model.centroids.push_back(std::move(centroid));
+  }
+  return model;
+}
+
+TEST(Selector, WriteParseRoundTripIsIdentityOnRandomModels) {
+  std::mt19937 rng(20260808);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    const SelectorModel model = random_model(rng);
+    std::stringstream text;
+    engine::write_model(text, model);
+    std::string error;
+    const auto parsed = engine::parse_model(text, &error);
+    ASSERT_TRUE(parsed.has_value())
+        << "iteration " << iteration << ": " << error;
+    EXPECT_EQ(*parsed, model) << "iteration " << iteration
+                              << " round trip is lossy:\n"
+                              << text.str();
+  }
+}
+
+TEST(Selector, RoundTripSurvivesExtremeDoubles) {
+  std::mt19937 rng(7);
+  SelectorModel model = random_model(rng);
+  model.mu[0] = 1e-308;                     // subnormal-adjacent
+  model.mu[1] = -1.7976931348623157e308;    // -DBL_MAX
+  model.mu[2] = 0.1;                        // classic non-representable
+  model.sigma[0] = 2.2250738585072014e-308; // DBL_MIN
+  std::stringstream text;
+  engine::write_model(text, model);
+  const auto parsed = engine::parse_model(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, model);
+}
+
+TEST(Selector, MalformedInputsFailWithLineNumberedErrors) {
+  const std::string names =
+      [] {
+        std::string out;
+        for (const auto& name : engine::feature_names()) {
+          out += " ";
+          out += name;
+        }
+        return out;
+      }();
+  const std::string twelve_ones = [] {
+    std::string out;
+    for (std::size_t i = 0; i < engine::kFeatureCount; ++i) out += " 1";
+    return out;
+  }();
+  const std::string head = "selector-model v1\nfeatures 12" + names +
+                           "\nmu" + twelve_ones + "\nsigma" + twelve_ones +
+                           "\n";
+  struct Case {
+    const char* what;
+    std::string text;
+    const char* line;      ///< Expected "line N" prefix.
+    const char* fragment;  ///< Expected substring of the message.
+  };
+  const std::vector<Case> cases = {
+      {"wrong magic", "not-a-model v1\n", "line 1", "expected header"},
+      {"unsupported version", "selector-model v9\n", "line 1",
+       "unsupported model version"},
+      {"empty input", "", "line 1", "expected selector-model header"},
+      {"duplicate features", head + "features 12" + names + "\n", "line 5",
+       "duplicate features line"},
+      {"bad feature count token",
+       "selector-model v1\nfeatures twelve" + names + "\n", "line 2",
+       "bad feature count"},
+      {"feature name mismatch",
+       "selector-model v1\nfeatures 12 bogus" +
+           names.substr(0, names.rfind(' ')) + "\n",
+       "line 2", "feature name mismatch"},
+      {"mu arity",
+       "selector-model v1\nfeatures 12" + names + "\nsigma" + twelve_ones +
+           "\nmu 1 2 3\n",
+       "line 4", "needs exactly 12 values"},
+      {"bad number", "selector-model v1\nfeatures 12" + names + "\nmu 1 2 x" +
+                         twelve_ones.substr(0, 18) + "\n",
+       "line 3", "bad number"},
+      {"non-positive sigma",
+       "selector-model v1\nfeatures 12" + names + "\nmu" + twelve_ones +
+           "\nsigma 0" + twelve_ones.substr(2) + "\n",
+       "line 4", "sigma values must be > 0"},
+      {"centroid label arity", head + "centroid two words\n", "line 5",
+       "centroid needs exactly one label"},
+      {"center outside block", head + "center" + twelve_ones + "\n", "line 5",
+       "center outside a centroid block"},
+      {"rank outside block", head + "rank a\n", "line 5",
+       "rank outside a centroid block"},
+      {"duplicate centroid label",
+       head + "centroid a\ncenter" + twelve_ones +
+           "\nrank x\ncentroid a\ncenter" + twelve_ones + "\nrank y\n",
+       "line 8", "duplicate centroid label"},
+      {"duplicate solver in rank",
+       head + "centroid a\ncenter" + twelve_ones + "\nrank x x\n", "line 7",
+       "duplicate solver"},
+      {"unknown directive", head + "frobnicate 1\n", "line 5",
+       "unknown directive"},
+      {"missing mu",
+       "selector-model v1\nfeatures 12" + names + "\nsigma" + twelve_ones +
+           "\ncentroid a\ncenter" + twelve_ones + "\nrank x\n",
+       "line 7", "missing mu line"},
+      {"no centroid", head, "line 5", "model has no centroid"},
+      {"incomplete last block",
+       head + "centroid a\ncenter" + twelve_ones + "\n", "line 7",
+       "missing its rank line"},
+  };
+  for (const Case& test_case : cases) {
+    std::istringstream in(test_case.text);
+    std::string error;
+    const auto parsed = engine::parse_model(in, &error);
+    EXPECT_FALSE(parsed.has_value()) << test_case.what;
+    EXPECT_NE(error.find(test_case.line), std::string::npos)
+        << test_case.what << ": got '" << error << "'";
+    EXPECT_NE(error.find(test_case.fragment), std::string::npos)
+        << test_case.what << ": got '" << error << "'";
+  }
+}
+
+TEST(Selector, CommentsAndBlankLinesAreIgnored) {
+  SelectorModel model;
+  model.mu.fill(0.0);
+  model.sigma.fill(1.0);
+  SelectorCentroid centroid;
+  centroid.label = "a";
+  centroid.center.fill(0.5);
+  centroid.ranking = {"x/y"};
+  model.centroids.push_back(centroid);
+  std::stringstream text;
+  engine::write_model(text, model);
+  std::string decorated = "# leading comment\n\n";
+  decorated += text.str();
+  decorated += "\n# trailing comment\n";
+  std::istringstream in(decorated);
+  const auto parsed = engine::parse_model(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, model);
+}
+
+// ---------------------------------------------------------------------------
+// Selection.
+
+TEST(Selector, PicksTheNearestCentroidAndTruncatesTopK) {
+  SelectorModel model;
+  model.mu.fill(0.0);
+  model.sigma.fill(1.0);
+  SelectorCentroid near;
+  near.label = "near";
+  near.center.fill(1.0);
+  near.ranking = {"a", "b", "c"};
+  SelectorCentroid far;
+  far.label = "far";
+  far.center.fill(100.0);
+  far.ranking = {"z"};
+  model.centroids.push_back(near);
+  model.centroids.push_back(far);
+  FeatureVector query;
+  query.values.fill(2.0);
+  EXPECT_EQ(engine::select_solvers(model, query),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(engine::select_solvers(model, query, 2),
+            (std::vector<std::string>{"a", "b"}));
+  query.values.fill(90.0);
+  EXPECT_EQ(engine::select_solvers(model, query),
+            (std::vector<std::string>{"z"}));
+  EXPECT_TRUE(engine::select_solvers(SelectorModel{}, query).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Offline training from a real campaign.
+
+TEST(Selector, TrainsFromCampaignCsvAndSelectsRegisteredSolvers) {
+  const core::SolverRegistry& registry = engine::shared_registry();
+  engine::CampaignGrid grid;
+  grid.scenarios = {"interval", "weighted"};
+  grid.ns = {8, 10};
+  grid.gs = {3};
+  engine::CampaignOptions options;
+  options.trials = 2;
+  options.threads = 2;
+  std::string error;
+  const auto report = engine::run_campaign(registry, grid, options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  std::stringstream csv;
+  engine::write_campaign_csv(csv, *report);
+
+  const auto model = engine::train_selector(csv, &error);
+  ASSERT_TRUE(model.has_value()) << error;
+  ASSERT_EQ(model->centroids.size(), 2u);
+  EXPECT_EQ(model->centroids[0].label, "interval");
+  EXPECT_EQ(model->centroids[1].label, "weighted");
+  for (const SelectorCentroid& centroid : model->centroids) {
+    ASSERT_FALSE(centroid.ranking.empty()) << centroid.label;
+    for (const std::string& name : centroid.ranking) {
+      EXPECT_NE(registry.find(name), nullptr)
+          << centroid.label << " ranked unregistered '" << name << "'";
+    }
+  }
+  for (std::size_t i = 0; i < engine::kFeatureCount; ++i) {
+    EXPECT_TRUE(std::isfinite(model->mu[i]));
+    EXPECT_GT(model->sigma[i], 0.0);
+  }
+  // The trained model survives its own serialization...
+  std::stringstream text;
+  engine::write_model(text, *model);
+  const auto reparsed = engine::parse_model(text, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, *model);
+  // ...and routes a weighted query to weighted-kind solvers.
+  const ProblemInstance inst = scenario_instance("weighted", 10, 3);
+  const std::vector<std::string> picked =
+      engine::select_solvers(*model, engine::extract_features(inst), 3);
+  ASSERT_FALSE(picked.empty());
+  for (const std::string& name : picked) {
+    const core::Solver* solver = registry.find(name);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->kind, inst.kind) << name;
+  }
+}
+
+TEST(Selector, TrainingRejectsGarbageCsv) {
+  std::string error;
+  std::istringstream missing_column("scenario,n,g\ninterval,8,3\n");
+  EXPECT_FALSE(engine::train_selector(missing_column, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::istringstream bad_row(
+      "scenario,n,g,seed,solver,runs,ok,feasible,exact,declined,timed_out,"
+      "ratio_mean,ratio_median,ratio_p95,ratio_max,wall_median_ms,"
+      "wall_total_ms\n"
+      "interval,eight,3,1,busy/first-fit,2,2,2,0,0,0,1,1,1,1,0.1,0.2\n");
+  EXPECT_FALSE(engine::train_selector(bad_row, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::istringstream unknown_scenario(
+      "scenario,n,g,seed,solver,runs,ok,feasible,exact,declined,timed_out,"
+      "ratio_mean,ratio_median,ratio_p95,ratio_max,wall_median_ms,"
+      "wall_total_ms\n"
+      "no-such-scenario,8,3,1,busy/first-fit,2,2,2,0,0,0,1,1,1,1,0.1,0.2\n");
+  EXPECT_FALSE(engine::train_selector(unknown_scenario, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace abt
