@@ -184,6 +184,11 @@ CampaignReport run_campaign_races(
   }
 
   RaceOptions race_options;
+  // The campaign already fans its race CELLS out over the pool; each
+  // cell's race runs inline in its worker (nested parallel_for is serial
+  // anyway), so pin threads = 1 rather than letting 0 resolve to the
+  // whole pool when the campaign itself runs serially.
+  race_options.threads = 1;
   race_options.accept_gap = options.race.accept_gap;
   race_options.span_bound_max_jobs = options.run.span_bound_max_jobs;
 

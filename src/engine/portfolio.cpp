@@ -66,6 +66,11 @@ RaceReport race(const core::SolverRegistry& registry,
     return sol.cost <= (1.0 + accept_gap) * bound + 1e-9;
   };
 
+  // Written by exactly one cell each (like rows), read after the join:
+  // whether entry i's interruption was a cancellation (the race's trip or
+  // the caller's token) rather than its own budget running dry.
+  std::vector<unsigned char> cancel_interrupted(entries.size(), 0);
+
   ParallelOptions parallel_options;
   parallel_options.eager_dispatch = true;  // 2 contestants must still race
   parallel_options.cancel = stop.token().chained(parent.cancel_token());
@@ -76,10 +81,11 @@ RaceReport race(const core::SolverRegistry& registry,
                                               entry_budget_ms(entries[i],
                                                               parent))
                          : unknown_entry_row(entries[i].solver, inst);
+    cancel_interrupted[i] = 1;
   };
 
   parallel_for(
-      options.threads, entries.size(),
+      resolve_threads(options.threads), entries.size(),
       [&](std::size_t i) {
         const core::Solver* solver = registry.find(entries[i].solver);
         if (solver == nullptr) {
@@ -89,7 +95,14 @@ RaceReport race(const core::SolverRegistry& registry,
         const core::RunContext ctx =
             parent.child(stop.token(), entries[i].budget_cap_ms);
         report.rows[i] = registry.run(*solver, inst, ctx);
-        if (acceptable(report.rows[i])) {
+        if (report.rows[i].timed_out && ctx.cancelled()) {
+          cancel_interrupted[i] = 1;
+        }
+        // An externally aborted race never crowns a winner: a contestant
+        // the caller interrupted may still return a feasible incumbent,
+        // which stays visible as `best` but must not read as "the race
+        // finished".
+        if (acceptable(report.rows[i]) && !parent.cancel_token().cancelled()) {
           // First acceptable completion wins; exactly one CAS succeeds,
           // and only the winner cancels — losers that still finish
           // acceptably after the trip simply fail the exchange.
@@ -108,7 +121,7 @@ RaceReport race(const core::SolverRegistry& registry,
   for (std::size_t i = 0; i < report.rows.size(); ++i) {
     const core::Solution& sol = report.rows[i];
     report.best_bound = std::max(report.best_bound, sol.best_bound);
-    if (sol.timed_out && static_cast<int>(i) != report.winner) {
+    if (cancel_interrupted[i] && static_cast<int>(i) != report.winner) {
       report.cancelled += 1;
     }
     if (sol.ok && sol.feasible && sol.cost < best_cost) {

@@ -41,8 +41,9 @@ struct RaceEntry {
 };
 
 struct RaceOptions {
-  /// Pool workers racing (0 = every worker of the shared pool). At 1 the
-  /// race runs inline and sequentially in entry order.
+  /// Pool workers racing (0 = resolved to hardware concurrency, i.e.
+  /// every worker of the shared pool). At 1 the race runs inline and
+  /// sequentially in entry order.
   int threads = 0;
   /// Acceptance: a finisher wins iff its schedule passed the checker AND
   /// (accept_gap < 0, or it is exact, or its cost is within (1 +
@@ -60,7 +61,11 @@ struct RaceOptions {
 struct RaceReport {
   std::vector<RaceEntry> entries;
   std::vector<core::Solution> rows;
-  int winner = -1;  ///< Row index of the acceptance-passing winner; -1 = none.
+  /// Row index of the acceptance-passing winner; -1 = none. A race whose
+  /// CALLER cancelled never declares a winner, even when an interrupted
+  /// contestant returned an acceptable incumbent (it stays visible as
+  /// `best`).
+  int winner = -1;
   /// Lowest-cost checker-verified row (== winner when someone won under
   /// accept_gap < 0; the best-effort answer when nobody met acceptance).
   int best = -1;
@@ -68,7 +73,10 @@ struct RaceReport {
   double best_bound = 0.0;  ///< Tightest certified bound: reference + rows.
   double accept_gap = -1.0;
   double wall_ms = 0.0;
-  int cancelled = 0;  ///< Contestants the race (or its caller) interrupted.
+  /// Contestants the race (or its caller) interrupted — drained unstarted
+  /// or observed cancelled at return. A contestant that merely exhausted
+  /// its own per-entry budget cap is timed out, not cancelled.
+  int cancelled = 0;
 };
 
 /// Races `entries` on `inst`. Each contestant gets parent.child(token,

@@ -10,6 +10,7 @@
 
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -71,7 +72,9 @@ TEST(Portfolio, WinnerIsCheckerVerifiedAndMatchesStandaloneRun) {
     const std::vector<RaceEntry> entries =
         engine::auto_entries(registry, inst);
     ASSERT_FALSE(entries.empty()) << kind.scenario;
-    for (const int threads : {1, 2, 8}) {
+    // 0 is the CLI's default (resolved to hardware concurrency), not a
+    // synonym for the serial path.
+    for (const int threads : {0, 1, 2, 8}) {
       RaceOptions options;
       options.threads = threads;
       const RaceReport report =
@@ -111,7 +114,7 @@ TEST(Portfolio, AllExactRaceFingerprintIsThreadAndRepetitionInvariant) {
         scenario_instance(kind.scenario, kind.n, kind.g);
     const std::vector<RaceEntry> entries(3, RaceEntry{kind.exact_solver, 0.0});
     std::set<std::tuple<double, bool, bool, double>> fingerprints;
-    for (const int threads : {1, 2, 8}) {
+    for (const int threads : {0, 1, 2, 8}) {
       const int reps = threads == 8 ? 3 : 1;
       for (int rep = 0; rep < reps; ++rep) {
         RaceOptions options;
@@ -149,6 +152,84 @@ TEST(Portfolio, SingleThreadRaceIsFirstAcceptableInEntryOrder) {
     EXPECT_TRUE(report.rows[1].timed_out);
     EXPECT_EQ(report.cancelled, 1);
   }
+}
+
+TEST(Portfolio, DefaultThreadsRaceRunsContestantsConcurrently) {
+  // Regression: threads = 0 (the CLI default for --race without
+  // --threads) must fan out over the pool, not fall into parallel_for's
+  // serial path. With the slow exact solver listed FIRST and no budget, a
+  // sequential race deterministically runs it to completion, crowns it,
+  // and drains the greedy without ever running it; a concurrent race lets
+  // the microsecond greedy finish (and almost always win) while the exact
+  // search is still working.
+  if (std::thread::hardware_concurrency() < 2) {
+    GTEST_SKIP() << "needs >= 2 pool workers to observe concurrency";
+  }
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 12, 3);
+  const std::vector<RaceEntry> entries = {{"busy/weighted-exact", 0.0},
+                                          {"busy/weighted-first-fit", 0.0}};
+  bool greedy_ran = false;
+  for (int rep = 0; rep < 5 && !greedy_ran; ++rep) {
+    const RaceReport report =
+        engine::race(registry, inst, entries, RunContext(), {});
+    ASSERT_GE(report.winner, 0);
+    const Solution& winner =
+        report.rows[static_cast<std::size_t>(report.winner)];
+    EXPECT_TRUE(winner.feasible) << winner.solver << ": " << winner.message;
+    // Serial would leave the greedy drained (ok = false, "cancelled") in
+    // every rep; concurrency means it actually ran in at least one.
+    greedy_ran = report.winner == 1 || report.rows[1].ok;
+  }
+  EXPECT_TRUE(greedy_ran)
+      << "threads = 0 raced sequentially: the greedy entry never ran";
+}
+
+TEST(Portfolio, OwnBudgetExpiryIsNotCountedAsCancelled) {
+  // Contestants that exhaust their own per-entry budget cap were not
+  // interrupted by the race: with an unattainable acceptance gap nobody
+  // wins, the race source never trips, and `cancelled` must stay 0 even
+  // though every row is timed out.
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 22, 3);
+  const std::vector<RaceEntry> entries = {{"busy/weighted-exact", 10.0},
+                                          {"busy/weighted-exact", 10.0}};
+  RaceOptions options;
+  options.accept_gap = 1e-9;
+  const RaceReport report =
+      engine::race(registry, inst, entries, RunContext(), options);
+  EXPECT_EQ(report.winner, -1);
+  for (const Solution& sol : report.rows) {
+    ASSERT_TRUE(sol.ok) << sol.solver << ": " << sol.message;
+    EXPECT_TRUE(sol.timed_out) << sol.solver;
+  }
+  EXPECT_EQ(report.cancelled, 0)
+      << "per-entry budget expiry misreported as race cancellation";
+}
+
+TEST(Portfolio, CallerAbortedRaceDeclaresNoWinner) {
+  // The caller cancels mid-run (here: from the incumbent hook, which the
+  // child context inherits, so the abort lands while the contestant is
+  // working). The interrupted contestant still returns a checker-verified
+  // incumbent — which must surface as best effort, never as WINNER: an
+  // externally aborted race did not finish.
+  const core::SolverRegistry& registry = engine::shared_registry();
+  const ProblemInstance inst = scenario_instance("weighted", 12, 3);
+  core::CancelSource source;
+  RunContext parent;
+  parent.set_cancel_token(source.token());
+  parent.set_incumbent_hook(
+      [&source](const core::Incumbent&) { source.cancel(); });
+  RaceOptions options;
+  options.threads = 1;
+  const RaceReport report = engine::race(
+      registry, inst, {{"busy/weighted-exact", 0.0}}, parent, options);
+  EXPECT_EQ(report.winner, -1)
+      << "a race the caller aborted must not report a winner";
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_TRUE(report.rows[0].ok);
+  EXPECT_TRUE(report.rows[0].feasible) << report.rows[0].message;
+  EXPECT_EQ(report.best, 0);  // the incumbent stays visible as best effort
 }
 
 TEST(Portfolio, ReportsTightestCertifiedBound) {
