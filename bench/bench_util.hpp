@@ -6,11 +6,11 @@
 // (engine/builtin_solvers): one shared path for applicability, timing and
 // checker validation, so a bench can never chart an infeasible cost.
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/assert.hpp"
 #include "core/solver.hpp"
 #include "engine/builtin_solvers.hpp"
 #include "engine/runner.hpp"
@@ -37,7 +37,7 @@ inline core::Solution checked_run(const std::string& solver,
   if (!sol.ok || !sol.feasible) {
     std::cerr << "bench: solver '" << solver << "' failed: " << sol.message
               << "\n";
-    std::abort();
+    ABT_ASSERT(false, "bench solver run failed its checker");
   }
   return sol;
 }
@@ -86,7 +86,7 @@ inline engine::SweepReport checked_sweep(const engine::ScenarioSpec& spec,
   if (!report.has_value()) {
     std::cerr << "bench: scenario '" << spec.name << "' failed: " << error
               << "\n";
-    std::abort();
+    ABT_ASSERT(false, "bench scenario failed to instantiate");
   }
   for (const engine::RunReport& cell : report->cells) {
     for (const core::Solution& sol : cell.solutions) {
@@ -94,7 +94,7 @@ inline engine::SweepReport checked_sweep(const engine::ScenarioSpec& spec,
         std::cerr << "bench: solver '" << sol.solver
                   << "' produced an infeasible schedule: " << sol.message
                   << "\n";
-        std::abort();
+        ABT_ASSERT(false, "bench sweep produced an infeasible schedule");
       }
     }
   }
@@ -108,7 +108,7 @@ inline const engine::SolverAggregate& aggregate_of(
     if (agg.solver == solver) return agg;
   }
   std::cerr << "bench: no aggregate for solver '" << solver << "'\n";
-  std::abort();
+  ABT_ASSERT(false, "bench aggregate lookup failed");
 }
 
 /// Asserts the solver produced a checker-validated result in every trial.
@@ -122,7 +122,7 @@ inline const engine::SolverAggregate& require_every_trial(
   if (agg.feasible != report.trials) {
     std::cerr << "bench: solver '" << solver << "' validated only "
               << agg.feasible << "/" << report.trials << " trials\n";
-    std::abort();
+    ABT_ASSERT(false, "bench ratio table requires every trial validated");
   }
   return agg;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Guards the perf-trajectory contract (ROADMAP: every PR commits a
+# BENCH_PR<N>.json and keeps the naive denominator families alive):
+#
+#   1. bench/CMakeLists.txt's ABT_BENCH_JSON default points at the NEWEST
+#      committed BENCH_PR*.json — a stale default silently overwrites an
+#      old trajectory point on the next `make bench_json`.
+#   2. That file still contains all six BM_*Naive denominator families the
+#      speedup tables divide by; dropping one orphans every historical
+#      ratio.
+#
+# Usage: scripts/check_bench_json.sh [REPO_ROOT]
+set -euo pipefail
+
+repo_root="$(cd "${1:-$(dirname "${BASH_SOURCE[0]}")/..}" && pwd)"
+cmake_file="${repo_root}/bench/CMakeLists.txt"
+
+fail() {
+  echo "check_bench_json: $*" >&2
+  exit 1
+}
+
+[[ -f "${cmake_file}" ]] || fail "missing ${cmake_file}"
+
+newest=""
+newest_n=-1
+for f in "${repo_root}"/BENCH_PR*.json; do
+  [[ -e "$f" ]] || fail "no BENCH_PR*.json committed at the repo root"
+  base="$(basename "$f")"
+  n="${base#BENCH_PR}"
+  n="${n%.json}"
+  [[ "$n" =~ ^[0-9]+$ ]] || fail "unparseable trajectory file name: ${base}"
+  if (( n > newest_n )); then
+    newest_n="$n"
+    newest="$base"
+  fi
+done
+
+configured="$(sed -n \
+  's/.*set(ABT_BENCH_JSON *\${CMAKE_SOURCE_DIR}\/\(BENCH_PR[0-9]*\.json\).*/\1/p' \
+  "${cmake_file}" | head -n 1)"
+[[ -n "${configured}" ]] ||
+  fail "could not find the ABT_BENCH_JSON default in bench/CMakeLists.txt"
+
+if [[ "${configured}" != "${newest}" ]]; then
+  fail "ABT_BENCH_JSON defaults to ${configured} but the newest committed" \
+       "trajectory file is ${newest}; bump the default (a stale default" \
+       "overwrites history on the next bench_json run)"
+fi
+
+python3 - "${repo_root}/${newest}" <<'EOF'
+import json
+import sys
+
+required = [
+    "BM_FirstFitNaive",
+    "BM_DemandProfileNaive",
+    "BM_LevelPeelNaive",
+    "BM_OnlineFirstFitNaive",
+    "BM_OnlineBestFitNaive",
+    "BM_PreemptiveBoundedNaive",
+]
+path = sys.argv[1]
+with open(path, encoding="utf-8") as f:
+    data = json.load(f)
+families = {b["name"].split("/")[0] for b in data.get("benchmarks", [])}
+missing = [r for r in required if r not in families]
+if missing:
+    print(
+        f"check_bench_json: {path} lost naive denominator families: "
+        + ", ".join(missing),
+        file=sys.stderr,
+    )
+    sys.exit(1)
+EOF
+
+echo "check_bench_json: ${configured} is current and keeps all six naive families"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in the compile database, failing on any finding
+# (WarningsAsErrors: '*' in the config).
+#
+# Usage: scripts/run_clang_tidy.sh [BUILD_DIR]
+#   BUILD_DIR defaults to build/ and must contain compile_commands.json
+#   (exported unconditionally by the top-level CMakeLists).
+#
+# Exits 0 with a notice when no clang-tidy binary is on PATH: the local
+# container images ship only the GCC toolchain, so the authoritative run is
+# the CI static-analysis job. Local sessions still get the -Werror build
+# and scripts/abt_lint.py, which cover the highest-value rules.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy: no clang-tidy on PATH; skipping (CI runs it)" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_clang_tidy: ${db} not found; configure first:" >&2
+  echo "  cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+# Every first-party TU in the database (drop third-party / generated TUs if
+# any ever land there).
+mapfile -t sources < <(python3 - "$db" <<'EOF'
+import json, sys
+db = json.load(open(sys.argv[1]))
+seen = []
+for entry in db:
+    f = entry["file"]
+    if any(f"/{d}/" in f for d in ("src", "bench", "tests", "examples")):
+        if f not in seen:
+            seen.append(f)
+print("\n".join(seen))
+EOF
+)
+
+if [[ "${#sources[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy: no first-party sources in ${db}" >&2
+  exit 2
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+echo "run_clang_tidy: ${tidy_bin} over ${#sources[@]} TUs (${jobs} jobs)"
+
+# run-clang-tidy (the LLVM parallel driver) when present, else xargs.
+driver="${tidy_bin/clang-tidy/run-clang-tidy}"
+if command -v "${driver}" >/dev/null 2>&1; then
+  "${driver}" -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" \
+    -quiet -j "${jobs}" "${sources[@]}"
+else
+  printf '%s\0' "${sources[@]}" |
+    xargs -0 -n 1 -P "${jobs}" "${tidy_bin}" -p "${build_dir}" --quiet
+fi
+echo "run_clang_tidy: clean"

@@ -14,3 +14,31 @@
       std::abort();                                                        \
     }                                                                      \
   } while (0)
+
+/// ABT_DBG_ASSERT(cond, msg): structural invariant check that exists only
+/// in audit builds (cmake -DABT_AUDIT=ON). The flat sweep structures, the
+/// scratch arena and the thread pool call these from audit_invariants()
+/// at their state-mutation seams; a release build pays nothing — the
+/// condition is not even evaluated (sizeof keeps the operands ODR-used so
+/// audit-only locals never trip -Wunused under the default build).
+#if defined(ABT_AUDIT) && ABT_AUDIT
+#define ABT_DBG_ASSERT(cond, msg) ABT_ASSERT(cond, msg)
+#else
+#define ABT_DBG_ASSERT(cond, msg)                                          \
+  do {                                                                     \
+    (void)sizeof((cond) ? 1 : 0);                                          \
+    (void)sizeof(msg);                                                     \
+  } while (0)
+#endif
+
+namespace abt::core {
+
+/// True in audit builds; tests use this to gate audit-only expectations
+/// without littering #ifdefs.
+#if defined(ABT_AUDIT) && ABT_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+}  // namespace abt::core

@@ -24,6 +24,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/assert.hpp"
+
 namespace abt::core {
 
 /// Dense vector with O(1) logical clear: every slot carries the epoch that
@@ -48,6 +50,21 @@ class FastResetVector {
     if (++epoch_ == 0) {  // epoch wrapped: stale stamps could collide
       std::fill(stamp_.begin(), stamp_.end(), std::uint32_t{0});
       epoch_ = 1;
+    }
+    if constexpr (kAuditEnabled) audit_invariants();
+  }
+
+  /// Epoch sanity: the live epoch is never 0 (0 marks "never written"),
+  /// stamps parallel the data storage, and no stamp is from the future.
+  /// No-op unless ABT_AUDIT is on.
+  void audit_invariants() const {
+    if constexpr (!kAuditEnabled) return;
+    ABT_DBG_ASSERT(epoch_ >= 1, "live epoch must be positive");
+    ABT_DBG_ASSERT(stamp_.size() == data_.size(),
+                   "stamp array out of sync with data array");
+    ABT_DBG_ASSERT(size_ <= data_.size(), "logical size exceeds storage");
+    for (const std::uint32_t s : stamp_) {
+      ABT_DBG_ASSERT(s <= epoch_, "slot stamped with a future epoch");
     }
   }
 
@@ -88,6 +105,7 @@ class MonotonicArena {
   void reset() {
     current_ = 0;
     offset_ = 0;
+    if constexpr (kAuditEnabled) audit_invariants();
   }
 
   [[nodiscard]] std::size_t capacity() const {
@@ -101,6 +119,31 @@ class MonotonicArena {
   void trim(std::size_t max_bytes) {
     if (current_ != 0 || offset_ != 0) return;
     while (!blocks_.empty() && capacity() > max_bytes) blocks_.pop_back();
+    if constexpr (kAuditEnabled) audit_invariants();
+  }
+
+  /// Block-chain sanity: the bump cursor points into the chain, the bump
+  /// offset fits its block, every block is real memory, and block sizes
+  /// never shrink along the chain (growth is geometric, trim only drops
+  /// the tail). No-op unless ABT_AUDIT is on.
+  void audit_invariants() const {
+    if constexpr (!kAuditEnabled) return;
+    if (blocks_.empty()) {
+      ABT_DBG_ASSERT(current_ == 0 && offset_ == 0,
+                     "bump cursor into an empty block chain");
+      return;
+    }
+    ABT_DBG_ASSERT(current_ < blocks_.size(),
+                   "bump cursor past the block chain");
+    ABT_DBG_ASSERT(offset_ <= blocks_[current_].size,
+                   "bump offset past its block");
+    std::size_t prev_size = 0;
+    for (const Block& b : blocks_) {
+      ABT_DBG_ASSERT(b.data != nullptr && b.size > 0, "hollow arena block");
+      ABT_DBG_ASSERT(b.size >= prev_size,
+                     "block sizes must be non-decreasing along the chain");
+      prev_size = b.size;
+    }
   }
 
  private:

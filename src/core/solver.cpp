@@ -144,31 +144,17 @@ Solution SolverRegistry::run(const Solver& solver, const ProblemInstance& inst,
   }
 
   // Shared checker validation: the verdict is part of the contract, so no
-  // caller ever trusts a solver's own bookkeeping.
+  // caller ever trusts a solver's own bookkeeping. Extended kinds (and any
+  // solver with its own validation contract) supply the checker at
+  // registration; the registry still owns the verdict and the machine
+  // count either way.
   std::string why;
-  if (solver.check) {
-    // Extended kinds (and any solver with its own validation contract)
-    // supply the checker at registration; the registry still owns the
-    // verdict and the machine count.
-    produced.feasible = solver.check(inst, produced, &why);
-    if (produced.busy.has_value()) {
-      produced.machines = produced.busy->machine_count();
-    }
-    if (!produced.feasible) produced.message = why;
-    return produced;
-  }
-  if (inst.kind != InstanceKind::kStandard) {
-    produced.feasible = false;
-    produced.message = "extended instance kind without a registered checker";
-    return produced;
-  }
-  if (produced.family == Family::kActive) {
-    ABT_ASSERT(produced.active.has_value(), "active solver without schedule");
-    produced.feasible = check_active_schedule(inst.slotted, *produced.active,
-                                              &why);
+  produced.feasible = solver.check
+                          ? solver.check(inst, produced, &why)
+                          : check_standard_solution(inst, produced, &why);
+  if (produced.busy.has_value()) {
+    produced.machines = produced.busy->machine_count();
   } else if (produced.preemptive.has_value()) {
-    produced.feasible =
-        check_preemptive_schedule(inst.continuous, *produced.preemptive, &why);
     int machines = 0;
     for (const auto& pieces : produced.preemptive->pieces) {
       for (const auto& piece : pieces) {
@@ -176,14 +162,28 @@ Solution SolverRegistry::run(const Solver& solver, const ProblemInstance& inst,
       }
     }
     produced.machines = machines;
-  } else {
-    ABT_ASSERT(produced.busy.has_value(), "busy solver without schedule");
-    produced.feasible =
-        check_busy_schedule(inst.continuous, *produced.busy, &why);
-    produced.machines = produced.busy->machine_count();
   }
   if (!produced.feasible) produced.message = why;
   return produced;
+}
+
+bool check_standard_solution(const ProblemInstance& inst, const Solution& sol,
+                             std::string* why) {
+  if (inst.kind != InstanceKind::kStandard) {
+    if (why != nullptr) {
+      *why = "extended instance kind without a registered checker";
+    }
+    return false;
+  }
+  if (sol.family == Family::kActive) {
+    ABT_ASSERT(sol.active.has_value(), "active solver without schedule");
+    return check_active_schedule(inst.slotted, *sol.active, why);
+  }
+  if (sol.preemptive.has_value()) {
+    return check_preemptive_schedule(inst.continuous, *sol.preemptive, why);
+  }
+  ABT_ASSERT(sol.busy.has_value(), "busy solver without schedule");
+  return check_busy_schedule(inst.continuous, *sol.busy, why);
 }
 
 Solution SolverRegistry::run(std::string_view name, const ProblemInstance& inst,

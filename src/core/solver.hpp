@@ -168,6 +168,17 @@ struct Solver {
       check;
 };
 
+/// The registry's built-in validation for standard-kind solutions: the
+/// family-appropriate schedule checker applied to whatever schedule the
+/// Solution carries. Exposed so registrations can name it explicitly as
+/// their `check` — the project lint requires every registered solver to
+/// supply a checker, and "the standard one, on purpose" beats an empty
+/// field that might mean "forgot". Fails (with a message) on extended
+/// instance kinds: those must bring their own checker.
+[[nodiscard]] bool check_standard_solution(const ProblemInstance& inst,
+                                           const Solution& sol,
+                                           std::string* why);
+
 /// Name-keyed collection of solvers with a uniform timed + checked run
 /// entry point. Registration order is preserved (it is the display order).
 class SolverRegistry {

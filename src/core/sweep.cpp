@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/assert.hpp"
 #include "core/scratch.hpp"
 
 namespace abt::core {
@@ -408,6 +409,58 @@ void FlatOccupancyIndex::insert(const Interval& iv) {
   if (blocks_.size() != blocks_before) lo = locate_lower(iv.lo);
   increment_range(lo, hi);
   ++count_;
+  if constexpr (kAuditEnabled) audit_invariants();
+}
+
+void FlatOccupancyIndex::audit_invariants() const {
+  if constexpr (!kAuditEnabled) return;
+  ABT_DBG_ASSERT(blocks_.size() == firsts_.size(),
+                 "block directory out of sync with block storage");
+  ABT_DBG_ASSERT(count_ >= 0, "negative insert count");
+  RealTime prev = -std::numeric_limits<RealTime>::infinity();
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const Block& blk = blocks_[b];
+    ABT_DBG_ASSERT(blk.n >= 1 && blk.n <= kBlockCap,
+                   "block occupancy outside [1, kBlockCap]");
+    ABT_DBG_ASSERT(firsts_[b] == blk.coords[0],
+                   "firsts_ does not mirror its block's first coordinate");
+    int max_seen = 0;
+    for (std::size_t x = 0; x < blk.n; ++x) {
+      ABT_DBG_ASSERT(blk.coords[x] > prev,
+                     "breakpoint coordinates not strictly ascending");
+      prev = blk.coords[x];
+      ABT_DBG_ASSERT(blk.levels[x] >= 0, "negative coverage level");
+      max_seen = std::max(max_seen, blk.levels[x]);
+    }
+    ABT_DBG_ASSERT(blk.max_level == max_seen,
+                   "block maximum inconsistent with its entries");
+  }
+  // Implicit max-tree: every live leaf mirrors its block's maximum, and
+  // every internal node whose subtree is entirely live aggregates its
+  // children (stale leaves past blocks_.size() are never read by queries,
+  // so they carry no invariant).
+  if (!blocks_.empty()) {
+    ABT_DBG_ASSERT(cap_ >= blocks_.size() && tree_.size() == 2 * cap_,
+                   "max-tree smaller than the live block range");
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      ABT_DBG_ASSERT(tree_[cap_ + b] == blocks_[b].max_level,
+                     "max-tree leaf does not mirror its block maximum");
+    }
+    for (std::size_t i = 1; i < cap_; ++i) {
+      // Subtree of node i covers leaves [lo, hi): fully live <=> hi <= nb.
+      std::size_t span = 1;
+      std::size_t node = i;
+      while (node < cap_) {
+        node *= 2;
+        span *= 2;
+      }
+      const std::size_t leaf_lo = node - cap_;
+      if (leaf_lo + span <= blocks_.size()) {
+        ABT_DBG_ASSERT(tree_[i] == std::max(tree_[2 * i], tree_[2 * i + 1]),
+                       "max-tree internal node out of date");
+      }
+    }
+  }
 }
 
 double FlatIntervalSet::measure_in(const Interval& window) const {
@@ -485,6 +538,19 @@ void FlatIntervalSet::insert(Interval iv) {
                set_.begin() + static_cast<std::ptrdiff_t>(erase_end));
   } else {
     set_.insert(set_.begin() + static_cast<std::ptrdiff_t>(erase_begin), iv);
+  }
+  if constexpr (kAuditEnabled) audit_invariants();
+}
+
+void FlatIntervalSet::audit_invariants() const {
+  if constexpr (!kAuditEnabled) return;
+  for (std::size_t i = 0; i < set_.size(); ++i) {
+    ABT_DBG_ASSERT(set_[i].hi > set_[i].lo, "empty stored interval");
+    if (i > 0) {
+      ABT_DBG_ASSERT(set_[i].lo > set_[i - 1].hi + kMergeEps,
+                     "adjacent intervals within merge tolerance (should "
+                     "have coalesced on insert)");
+    }
   }
 }
 

@@ -136,6 +136,23 @@ class FlatOccupancyIndex {
     count_ = 0;
   }
 
+  /// Full structural self-check: block occupancy bounds, strictly
+  /// ascending coordinates (within and across blocks), firsts_ mirror,
+  /// per-block maxima consistent with their entries, implicit max-tree
+  /// valid over every live leaf, non-negative levels. Trips ABT_DBG_ASSERT
+  /// on violation; compiled to a no-op unless ABT_AUDIT is on, so the
+  /// state-mutation seams call it unconditionally.
+  void audit_invariants() const;
+
+#if defined(ABT_AUDIT) && ABT_AUDIT
+  /// Test-only corruption hook (audit builds): deliberately breaks one
+  /// block maximum so the audit suite can prove audit_invariants()
+  /// actually trips instead of passing vacuously.
+  void corrupt_block_max_for_test(std::size_t block, int value) {
+    blocks_[block].max_level = value;
+  }
+#endif
+
   /// The (coordinate, level) steps, ascending. Equivalence-suite hook.
   [[nodiscard]] std::vector<std::pair<RealTime, int>> steps() const {
     std::vector<std::pair<RealTime, int>> out;
@@ -252,6 +269,11 @@ class FlatIntervalSet {
   }
 
   void clear() { set_.clear(); }
+
+  /// Structural self-check: intervals non-empty, strictly ascending, and
+  /// pairwise separated by more than kMergeEps (anything closer must have
+  /// coalesced on insert). No-op unless ABT_AUDIT is on.
+  void audit_invariants() const;
 
  private:
   /// Index of the first stored interval intersecting `w` (or of the first

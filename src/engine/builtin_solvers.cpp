@@ -32,6 +32,15 @@ using core::Solver;
 
 namespace {
 
+/// The explicit "no gate" predicate. The project lint (scripts/abt_lint.py)
+/// requires every registration to set `applicable`; solvers that genuinely
+/// accept every instance of their family/kind say so by name instead of
+/// leaving the field empty (an empty field crashed auto_entries() in PR 8).
+bool always_applicable(const ProblemInstance& /*inst*/,
+                       const RunContext& /*ctx*/, std::string* /*why*/) {
+  return true;
+}
+
 bool interval_jobs(const ProblemInstance& inst, const RunContext& /*ctx*/,
                    std::string* why) {
   if (inst.continuous.all_interval_jobs(1e-6)) return true;
@@ -66,6 +75,7 @@ Solver interval_solver(std::string name, std::string guarantee, double factor,
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = factor;
   s.applicable = interval_jobs;
+  s.check = core::check_standard_solution;
   s.run = [fn](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     return busy_solution(fn(inst.continuous), inst);
   };
@@ -83,6 +93,7 @@ Solver pipeline_solver(std::string name, std::string guarantee, double factor,
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = factor;
   s.applicable = flexible_jobs;
+  s.check = core::check_standard_solution;
   s.run = [algorithm](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     const busy::FlexiblePipelineResult result =
         busy::schedule_flexible(inst.continuous, algorithm);
@@ -101,6 +112,7 @@ Solver online_solver(std::string name, busy::OnlinePolicy policy) {
   s.guarantee = "online baseline (Omega(g) adversarial)";
   s.guarantee_factor = 0.0;
   s.applicable = interval_jobs;
+  s.check = core::check_standard_solution;
   s.run = [policy](const ProblemInstance& inst, const RunContext& /*ctx*/) {
     return busy_solution(busy::schedule_online(inst.continuous, policy), inst);
   };
@@ -115,6 +127,8 @@ Solver minimal_solver(std::string name, std::string guarantee,
   s.family = Family::kActive;
   s.guarantee = std::move(guarantee);
   s.guarantee_factor = 3.0;
+  s.applicable = always_applicable;
+  s.check = core::check_standard_solution;
   s.run = [order](const ProblemInstance& inst, const RunContext& ctx) {
     Solution sol;
     active::MinimalFeasibleOptions options;
@@ -173,6 +187,7 @@ void register_busy(core::SolverRegistry& registry) {
     s.guarantee = "optimal (partition search; anytime under a budget)";
     s.guarantee_factor = 1.0;
     s.exact = true;
+    s.check = core::check_standard_solution;
     s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
                       std::string* why) {
       if (!interval_jobs(inst, ctx, why)) return false;
@@ -220,6 +235,7 @@ void register_busy(core::SolverRegistry& registry) {
     s.guarantee = "optimal (Mertzios et al. DP)";
     s.guarantee_factor = 1.0;
     s.exact = true;
+    s.check = core::check_standard_solution;
     s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
                       std::string* why) {
       if (!interval_jobs(inst, ctx, why)) return false;
@@ -267,6 +283,8 @@ void register_busy(core::SolverRegistry& registry) {
     s.family = Family::kBusy;
     s.guarantee = "<= 2 max(OPT_inf, mass/g) (Thm 7, preemptive)";
     s.guarantee_factor = 2.0;
+    s.applicable = always_applicable;
+    s.check = core::check_standard_solution;
     s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       const busy::PreemptiveBoundedSolution result =
           busy::solve_preemptive_bounded(inst.continuous);
@@ -291,6 +309,8 @@ void register_busy(core::SolverRegistry& registry) {
     s.family = Family::kBusy;
     s.guarantee = "optimal when the g=inf freeze fits g (Thm 4 DP)";
     s.guarantee_factor = 0.0;
+    s.applicable = always_applicable;
+    s.check = core::check_standard_solution;
     s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
       busy::UnboundedOptions options;
       options.context = &ctx;
@@ -468,6 +488,15 @@ void register_weighted(core::SolverRegistry& registry) {
   }
 }
 
+/// Probed directly as well as through the registry's kind gate, so it
+/// refuses wrong-kind instances instead of asserting (like is_weighted).
+bool applicable_multi_window(const ProblemInstance& inst,
+                             const RunContext& /*ctx*/, std::string* why) {
+  if (inst.kind == InstanceKind::kMultiWindow) return true;
+  if (why != nullptr) *why = "needs a multi-window instance";
+  return false;
+}
+
 bool check_multi_window(const ProblemInstance& inst, const Solution& sol,
                         std::string* why) {
   if (!sol.active.has_value()) {
@@ -486,6 +515,7 @@ void register_multi_window(core::SolverRegistry& registry) {
     s.guarantee = "minimal feasible heuristic (no factor carries over)";
     s.guarantee_factor = 0.0;
     s.check = check_multi_window;
+    s.applicable = applicable_multi_window;
     s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       Solution sol;
       const auto sched =
@@ -572,6 +602,8 @@ void register_active(core::SolverRegistry& registry) {
     s.family = Family::kActive;
     s.guarantee = "<= 2 OPT (Thm 2)";
     s.guarantee_factor = 2.0;
+    s.applicable = always_applicable;
+    s.check = core::check_standard_solution;
     s.run = [](const ProblemInstance& inst, const RunContext& ctx) {
       Solution sol;
       const auto result = active::solve_lp_rounding(inst.slotted, &ctx);
@@ -600,6 +632,8 @@ void register_active(core::SolverRegistry& registry) {
     s.family = Family::kActive;
     s.guarantee = "<= 3 OPT (minimal feasible); optimal for unit jobs";
     s.guarantee_factor = 3.0;
+    s.applicable = always_applicable;
+    s.check = core::check_standard_solution;
     s.run = [](const ProblemInstance& inst, const RunContext& /*ctx*/) {
       Solution sol;
       const auto schedule = active::solve_unit_greedy(inst.slotted);
@@ -622,6 +656,7 @@ void register_active(core::SolverRegistry& registry) {
     s.guarantee = "optimal (branch & bound; anytime under a budget)";
     s.guarantee_factor = 1.0;
     s.exact = true;
+    s.check = core::check_standard_solution;
     s.applicable = [](const ProblemInstance& inst, const RunContext& ctx,
                       std::string* why) {
       // Measured gate (docs/ALGORITHMS.md): the search is horizon-driven,

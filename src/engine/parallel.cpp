@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "core/assert.hpp"
+
 namespace abt::engine {
 
 namespace {
@@ -52,6 +54,8 @@ std::pair<std::size_t, std::size_t> claim_front(
     if (range.compare_exchange_weak(cur, pack(b + take, e),
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
+      ABT_DBG_ASSERT(take >= 1 && b + take <= e,
+                     "owner claim must shrink its range from the front");
       return {b, b + take};
     }
   }
@@ -72,6 +76,8 @@ std::pair<std::size_t, std::size_t> steal_back(
     if (range.compare_exchange_weak(cur, pack(b, e - take),
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
+      ABT_DBG_ASSERT(take >= 1 && take <= e - b,
+                     "steal must shrink the victim's range from the back");
       return {e - take, e};
     }
   }
@@ -203,6 +209,7 @@ void ThreadPool::worker_main(std::size_t slot_index, std::uint64_t seen) {
     lock.unlock();
     run_batch(slot_index, slot);
     lock.lock();
+    if constexpr (core::kAuditEnabled) audit_invariants_locked();
     if (++finished_ == participants_) batch_done_.notify_all();
   }
   lock.unlock();
@@ -300,19 +307,53 @@ void ThreadPool::parallel_for(std::size_t items,
   }
   batch_fn_ = &fn;
   batch_options_ = &options;
+  batch_items_ = items;
   participants_ = P;
   finished_ = 0;
   batch_open_ = true;
   ++epoch_;
+  if constexpr (core::kAuditEnabled) audit_invariants_locked();
   work_ready_.notify_all();
   // Epoch wait: woken once by the last participant, no polling. Waiting
   // until every participant has detached also makes it safe for the
   // caller to pop `fn` and `options` off its stack on return.
   batch_done_.wait(lock, [this] { return finished_ == participants_; });
+  if constexpr (core::kAuditEnabled) audit_invariants_locked();
   batch_open_ = false;
   batch_fn_ = nullptr;
   batch_options_ = nullptr;
   pool_idle_.notify_one();
+}
+
+void ThreadPool::audit_invariants_locked() const {
+  if constexpr (!core::kAuditEnabled) return;
+  ABT_DBG_ASSERT(finished_ <= participants_,
+                 "more workers finished than ever participated");
+  ABT_DBG_ASSERT(participants_ <= ranges_.size(),
+                 "participants without a published range");
+  ABT_DBG_ASSERT(live_workers_ >= 0 &&
+                     static_cast<std::size_t>(live_workers_) <= slots_.size(),
+                 "worker ledger inconsistent with the slot table");
+  for (std::size_t i = 0; i < participants_; ++i) {
+    const std::uint64_t packed =
+        ranges_[i].packed.load(std::memory_order_acquire);
+    const std::size_t b = range_begin(packed);
+    const std::size_t e = range_end(packed);
+    ABT_DBG_ASSERT(b <= e, "range begin ran past its end");
+    if (b < e) {
+      ABT_DBG_ASSERT(e <= batch_items_,
+                     "published range reaches past the batch's item space");
+    }
+  }
+  // At the completion seam every queue must have drained: a leftover
+  // claimable range with all participants finished is lost work.
+  if (finished_ == participants_ && participants_ > 0) {
+    for (std::size_t i = 0; i < participants_; ++i) {
+      ABT_DBG_ASSERT(
+          range_size(ranges_[i].packed.load(std::memory_order_acquire)) == 0,
+          "batch completed with unclaimed cells left in a queue");
+    }
+  }
 }
 
 std::vector<WorkerStats> ThreadPool::worker_stats() const {

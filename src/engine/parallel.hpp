@@ -119,6 +119,14 @@ class ThreadPool {
   [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
 
  private:
+  /// Batch-state sanity under mutex_: participant counts balance
+  /// (finished_ never exceeds participants_, participants_ never exceed
+  /// the published ranges), every range is a [b, e) subrange of the
+  /// batch's item space (ranges only ever shrink within a batch), and the
+  /// worker ledger is consistent with the slot table. No-op unless
+  /// ABT_AUDIT is on; called at the publication and completion seams.
+  void audit_invariants_locked() const;
+
   /// Persistent per-worker state. Slots are identity: a worker thread is
   /// "slot i alive", and everything that must survive across sweeps (the
   /// scratch arena above all) lives here rather than in thread_locals of
@@ -159,6 +167,7 @@ class ThreadPool {
   // which workers race on by design.
   std::uint64_t epoch_ = 0;
   std::vector<Range> ranges_;
+  std::size_t batch_items_ = 0;  ///< Item count of the in-flight batch.
   const std::function<void(std::size_t)>* batch_fn_ = nullptr;
   const ParallelOptions* batch_options_ = nullptr;
   std::size_t participants_ = 0;

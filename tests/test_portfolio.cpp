@@ -275,7 +275,9 @@ TEST(Portfolio, NoAcceptableWinnerFallsBackToBestEffort) {
   EXPECT_TRUE(best.feasible);
   for (const Solution& sol : report.rows) {
     EXPECT_TRUE(sol.ok) << sol.solver;
-    if (sol.feasible) EXPECT_GE(sol.cost, best.cost);
+    if (sol.feasible) {
+      EXPECT_GE(sol.cost, best.cost);
+    }
   }
 }
 
