@@ -11,6 +11,7 @@
 #include <deque>
 #include <mutex>
 #include <numeric>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "engine/scratch.hpp"
 #include "gen/extended_instances.hpp"
 #include "gen/random_instances.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -640,6 +643,138 @@ void BM_PortfolioWorstSingle(benchmark::State& state) {
 BENCHMARK(BM_PortfolioWorstSingle)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- abtd service (PR 10): loopback daemon roundtrips against the same ---
+// --- solve run directly in-process, and the cache replay hit path.     ---
+
+/// One weighted instance per seed, shared by the daemon and the direct
+/// denominator so both sides solve identical work.
+core::ProblemInstance service_instance(int seed) {
+  engine::ScenarioSpec spec;
+  spec.name = "weighted";
+  spec.n = 24;
+  spec.g = 3;
+  spec.seed = seed;
+  return *engine::make_scenario(spec);
+}
+
+/// A ready-to-send solve frame for service_instance(seed): one cheap
+/// greedy solver, JSON response, generous budget so admission control
+/// never shrinks it mid-benchmark.
+service::Frame service_frame(int seed) {
+  service::SolveRequest request;
+  request.solvers = {"busy/weighted-first-fit"};
+  request.budget_ms = 1000.0;
+  request.instance = service_instance(seed);
+  std::ostringstream payload;
+  std::string error;
+  if (!service::write_solve_payload(payload, request, &error)) {
+    return {};
+  }
+  service::Frame frame;
+  frame.type = service::FrameType::kSolve;
+  frame.payload = payload.str();
+  return frame;
+}
+
+constexpr int kServiceFrames = 64;
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  // Full daemon roundtrip per request: connect, frame, admission, queue,
+  // dispatcher solve through the engine, JSON render, response frame.
+  // The cache is sized to one entry while kServiceFrames distinct
+  // requests cycle, so every iteration takes the compute path — the
+  // cache replay path is BM_CacheHitLatency.
+  service::ServiceConfig config;
+  config.tcp_port = 0;
+  config.threads = 1;
+  config.queue_soft = 64;
+  config.queue_cap = 128;
+  config.cache_entries = 1;
+  service::Server server(engine::shared_registry(), config);
+  std::string error;
+  if (!server.start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  std::vector<service::Frame> frames;
+  frames.reserve(kServiceFrames);
+  for (int seed = 0; seed < kServiceFrames; ++seed) {
+    frames.push_back(service_frame(seed));
+  }
+  const service::Address address = server.address();
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto exchange =
+        service::client_roundtrip(address, frames[next], &error);
+    next = (next + 1) % kServiceFrames;
+    if (!exchange.has_value() ||
+        exchange->final.type != service::FrameType::kOk) {
+      state.SkipWithError("daemon roundtrip failed");
+      break;
+    }
+    benchmark::DoNotOptimize(exchange->final.payload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  server.stop();
+}
+BENCHMARK(BM_ServiceThroughput)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ServiceDirectSolve(benchmark::State& state) {
+  // The in-process denominator for BM_ServiceThroughput: the identical
+  // solver on the identical instance cycle, no socket, no framing, no
+  // response rendering. The ratio is the daemon's per-request overhead.
+  const core::SolverRegistry& registry = engine::shared_registry();
+  std::vector<core::ProblemInstance> instances;
+  instances.reserve(kServiceFrames);
+  for (int seed = 0; seed < kServiceFrames; ++seed) {
+    instances.push_back(service_instance(seed));
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const core::Solution sol = registry.run(
+        "busy/weighted-first-fit", instances[next], core::RunContext());
+    next = (next + 1) % kServiceFrames;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceDirectSolve)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_CacheHitLatency(benchmark::State& state) {
+  // The replay path: one request primed once, then served bit-identically
+  // from the SolutionCache on every iteration — connect, frame, key
+  // lookup, cached payload write-back. No solver runs after the prime.
+  service::ServiceConfig config;
+  config.tcp_port = 0;
+  config.threads = 1;
+  service::Server server(engine::shared_registry(), config);
+  std::string error;
+  if (!server.start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  const service::Frame frame = service_frame(7);
+  const service::Address address = server.address();
+  const auto primed = service::client_roundtrip(address, frame, &error);
+  if (!primed.has_value() ||
+      primed->final.type != service::FrameType::kOk) {
+    state.SkipWithError("cache prime failed");
+    server.stop();
+    return;
+  }
+  for (auto _ : state) {
+    const auto exchange = service::client_roundtrip(address, frame, &error);
+    if (!exchange.has_value() || !exchange->final.has_flag("cached")) {
+      state.SkipWithError("expected a cache replay");
+      break;
+    }
+    benchmark::DoNotOptimize(exchange->final.payload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  server.stop();
+}
+BENCHMARK(BM_CacheHitLatency)->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 }  // namespace
 

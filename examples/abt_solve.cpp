@@ -51,6 +51,7 @@
 #include "engine/selector.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
+#include "service/protocol.hpp"
 
 namespace {
 
@@ -65,7 +66,9 @@ constexpr const char* kUsage =
     "options: --solvers a,b,c  --n K --g G --seed N --slack S --horizon H\n"
     "         --eps E  --trials N --threads K  --budget-ms B\n"
     "         --race a,b|auto  --accept-gap G  --selector <model|->\n"
-    "         --train-selector <csv|->  --json | --csv  --emit  --gantt\n";
+    "         --train-selector <csv|->  --json | --csv  --emit  --gantt\n"
+    "         --connect <socket|host:port>  --progress K  --id NAME   "
+    "(abtd client)\n";
 
 constexpr const char* kDemoSlotted =
     "model slotted\n"
@@ -90,6 +93,9 @@ struct CliOptions {
   engine::ScenarioSpec spec;
   std::vector<std::string> solvers;
   std::string race;              ///< "auto" or a solver list; empty = off.
+  std::string connect;           ///< abtd address; empty = solve locally.
+  std::string request_id;        ///< Daemon request id (cancel target).
+  int progress = 0;              ///< Daemon progress events wanted.
   std::string selector;          ///< Selector model path ('-' = stdin).
   std::string train_selector;    ///< Campaign CSV to train from.
   double accept_gap = -1.0;      ///< Race acceptance gap (< 0 = checker only).
@@ -164,6 +170,19 @@ bool parse_args(int argc, char** argv, CliOptions& options,
       options.race = argv[++i];
       if (options.race.empty()) {
         error = "--race needs 'auto' or a solver list";
+        return false;
+      }
+    } else if (arg == "--connect") {
+      if (!need_value(i, arg)) return false;
+      options.connect = argv[++i];
+    } else if (arg == "--id") {
+      if (!need_value(i, arg)) return false;
+      options.request_id = argv[++i];
+    } else if (arg == "--progress") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      if (!parse_full(value, options.progress) || options.progress < 0) {
+        error = "bad value for --progress: '" + value + "'";
         return false;
       }
     } else if (arg == "--selector") {
@@ -356,6 +375,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Client mode is a single-instance solve/race shipped to a daemon; the
+  // batch modes and local-only rendering stay local on purpose.
+  if (!options.connect.empty() &&
+      (!options.campaign.empty() || options.trials > 1 ||
+       !options.selector.empty() || options.gantt)) {
+    std::cerr << "--connect supports single-instance solve/race only "
+                 "(--campaign, --trials, --selector and --gantt are "
+                 "local-mode flags)\n";
+    return 1;
+  }
+
   // A race wants real concurrency: unless the user pinned --threads, use
   // every hardware worker so contestants actually overlap.
   if (!options.race.empty() && !options.threads_given) options.threads = 0;
@@ -372,7 +402,7 @@ int main(int argc, char** argv) {
   // Size the shared persistent pool once, up front: every sweep/campaign
   // this process runs (including back-to-back invocations in one session)
   // reuses these workers and their warm scratch arenas.
-  if (options.threads != 1) {
+  if (options.threads != 1 && options.connect.empty()) {
     engine::ThreadPool::shared().resize(
         engine::resolve_threads(options.threads));
   }
@@ -559,6 +589,72 @@ int main(int argc, char** argv) {
       std::cerr << "unknown solver '" << name << "' (see --list)\n";
       return 1;
     }
+  }
+
+  // Client mode: same flags, same payload schema, same exit contract —
+  // the instance is serialized in the v2 format and solved by the daemon
+  // (docs/SERVICE.md). Progress frames and service notes go to stderr so
+  // stdout stays exactly the report the local mode would print.
+  if (!options.connect.empty()) {
+    const auto address = service::parse_address(options.connect, &error);
+    if (!address.has_value()) {
+      std::cerr << "--connect: " << error << "\n";
+      return 1;
+    }
+    service::SolveRequest request;
+    request.race = !options.race.empty();
+    request.id = options.request_id;
+    if (request.race && options.race != "auto") {
+      request.solvers = split_csv(options.race);
+      for (const std::string& name : request.solvers) {
+        if (registry.find(name) == nullptr) {
+          std::cerr << "unknown solver '" << name << "' (see --list)\n";
+          return 1;
+        }
+      }
+    } else if (!request.race) {
+      request.solvers = options.solvers;
+    }
+    request.budget_ms = options.budget_ms;
+    request.accept_gap = options.accept_gap;
+    request.progress = options.progress;
+    request.format = options.json ? "json" : options.csv ? "csv" : "table";
+    request.instance = instance;
+    service::Frame frame;
+    frame.type = request.race ? service::FrameType::kRace
+                              : service::FrameType::kSolve;
+    std::ostringstream payload;
+    if (!service::write_solve_payload(payload, request, &error)) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    frame.payload = payload.str();
+    const auto exchange = service::client_roundtrip(*address, frame, &error);
+    if (!exchange.has_value()) {
+      std::cerr << "connect " << address->describe() << ": " << error << "\n";
+      return 1;
+    }
+    for (const service::Frame& event : exchange->progress) {
+      std::cerr << "progress: " << event.payload;
+    }
+    const service::Frame& final = exchange->final;
+    if (final.type == service::FrameType::kOverloaded) {
+      std::cerr << "server overloaded, request shed: " << final.payload;
+      return 3;
+    }
+    if (final.type != service::FrameType::kOk) {
+      std::cerr << "server error: " << final.payload;
+      return 1;
+    }
+    if (final.has_flag("cached")) std::cerr << "served from cache\n";
+    if (final.has_flag("budget-ms")) {
+      std::cerr << "budget shrunk to " << final.flag("budget-ms")
+                << " ms by admission control\n";
+    }
+    std::cout << final.payload;
+    int exit_code = 0;
+    if (!parse_full(final.flag("exit", "0"), exit_code)) exit_code = 0;
+    return exit_code;
   }
 
   // Portfolio race: contestants share the instance and the pool; the

@@ -4,7 +4,8 @@
 Enforces the written-but-previously-unchecked conventions:
 
   atomic-memory-order   Every std::atomic load/store/RMW in the concurrency
-                        layer (src/engine/, src/core/run_context.hpp) names
+                        layers (src/engine/, src/service/,
+                        src/core/run_context.hpp) name
                         an explicit std::memory_order. Defaulted seq_cst is
                         almost always an accident there, and an accidental
                         relaxed-to-seq_cst change hides real races.
@@ -137,7 +138,7 @@ ATOMIC_CALL_RE = re.compile(
 
 def check_atomic_memory_order(root: Path) -> List[Finding]:
     findings: List[Finding] = []
-    targets = cxx_sources(root, ["src/engine"])
+    targets = cxx_sources(root, ["src/engine", "src/service"])
     rc = root / "src" / "core" / "run_context.hpp"
     if rc.is_file():
         targets.append(rc)

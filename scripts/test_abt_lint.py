@@ -74,6 +74,29 @@ class AtomicMemoryOrderTest(unittest.TestCase):
         })
         self.assertEqual(abt_lint.check_atomic_memory_order(root), [])
 
+    def test_unordered_fetch_add_in_service_is_flagged(self):
+        root = make_tree({
+            "src/service/server.cpp": (
+                "#include <atomic>\n"
+                "std::atomic<unsigned> served;\n"
+                "void f() { served.fetch_add(1); }\n"
+            ),
+        })
+        findings = abt_lint.check_atomic_memory_order(root)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].rule, "atomic-memory-order")
+        self.assertEqual(findings[0].path, "src/service/server.cpp")
+
+    def test_ordered_service_counters_pass(self):
+        root = make_tree({
+            "src/service/server.cpp": (
+                "#include <atomic>\n"
+                "std::atomic<unsigned> served;\n"
+                "void f() { served.fetch_add(1, std::memory_order_relaxed); }\n"
+            ),
+        })
+        self.assertEqual(abt_lint.check_atomic_memory_order(root), [])
+
     def test_unordered_cas_in_run_context_is_flagged(self):
         root = make_tree({
             "src/core/run_context.hpp": (

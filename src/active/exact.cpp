@@ -127,7 +127,9 @@ class BranchAndBound {
     best_cost_ = static_cast<int>(incumbent->active_slots.size());
     best_slots_ = incumbent->active_slots;
     if (options_.context != nullptr) {
-      options_.context->report_incumbent(static_cast<double>(best_cost_));
+      options_.context->report_incumbent(
+          static_cast<double>(best_cost_),
+          [&] { return core::render_slots(best_slots_); });
     }
 
     state_.assign(slots_.size(), WindowWork::SlotState::kUndecided);
@@ -194,7 +196,8 @@ class BranchAndBound {
           best_slots_ = std::move(open);
           if (options_.context != nullptr) {
             options_.context->report_incumbent(
-                static_cast<double>(best_cost_));
+                static_cast<double>(best_cost_),
+                [&] { return core::render_slots(best_slots_); });
           }
           break;
         case FeasStatus::kCancelled:

@@ -241,7 +241,8 @@ std::optional<SubsetSearchResult> mw_best_slot_subset(
     if (!minimal.has_value()) return std::nullopt;
     best = static_cast<long>(minimal->active_slots.size());
     result.open = std::move(minimal->active_slots);
-    context->report_incumbent(static_cast<double>(best));
+    context->report_incumbent(static_cast<double>(best),
+                              [&] { return core::render_slots(result.open); });
   }
   // Per-flow stop predicate: only armed once a feasible incumbent exists,
   // so an interrupted flow never leaves the search with nothing to return.
@@ -272,7 +273,9 @@ std::optional<SubsetSearchResult> mw_best_slot_subset(
       best = bits;
       result.open = std::move(open);
       if (context != nullptr) {
-        context->report_incumbent(static_cast<double>(best));
+        context->report_incumbent(
+            static_cast<double>(best),
+            [&] { return core::render_slots(result.open); });
       }
     }
   }

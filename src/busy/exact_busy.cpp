@@ -98,7 +98,13 @@ class PartitionSearch {
     if (index == order_.size()) {
       best_cost_ = cost_so_far;
       best_assignment_ = assignment_;
-      if (context_ != nullptr) context_->report_incumbent(best_cost_);
+      if (context_ != nullptr) {
+        // The render is lazy — only a context with a schedule ring
+        // attached pays for the partition string.
+        context_->report_incumbent(best_cost_, [&] {
+          return core::render_partition("bundle", best_assignment_);
+        });
+      }
       return;
     }
     const JobId j = order_[index];

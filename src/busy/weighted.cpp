@@ -255,7 +255,13 @@ std::optional<WeightedExactResult> solve_exact_weighted_anytime(
     if (index == order.size()) {
       best_cost = cost;
       best_assignment = assignment;
-      if (context != nullptr) context->report_incumbent(best_cost);
+      if (context != nullptr) {
+        // Snapshot render is lazy: the partition string is only built when
+        // a schedule ring is attached (service `progress` events).
+        context->report_incumbent(best_cost, [&] {
+          return core::render_partition("machine", best_assignment);
+        });
+      }
       return;
     }
     const JobId j = order[index];

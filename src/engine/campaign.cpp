@@ -20,20 +20,39 @@ std::vector<ScenarioSpec> expand_grid(const CampaignGrid& grid) {
   const std::vector<int> gs = grid.gs.empty()
                                   ? std::vector<int>{grid.base.g}
                                   : grid.gs;
+  const std::vector<double> slacks = grid.slacks.empty()
+                                         ? std::vector<double>{grid.base.slack}
+                                         : grid.slacks;
+  const std::vector<double> horizons =
+      grid.horizons.empty() ? std::vector<double>{grid.base.horizon}
+                            : grid.horizons;
   std::vector<ScenarioSpec> points;
-  points.reserve(grid.scenarios.size() * ns.size() * gs.size());
+  points.reserve(grid.scenarios.size() * ns.size() * gs.size() *
+                 slacks.size() * horizons.size());
   for (const std::string& scenario : grid.scenarios) {
     for (const int n : ns) {
       for (const int g : gs) {
-        ScenarioSpec spec = grid.base;
-        spec.name = scenario;
-        spec.n = n;
-        spec.g = g;
-        points.push_back(std::move(spec));
+        for (const double slack : slacks) {
+          for (const double horizon : horizons) {
+            ScenarioSpec spec = grid.base;
+            spec.name = scenario;
+            spec.n = n;
+            spec.g = g;
+            spec.slack = slack;
+            spec.horizon = horizon;
+            points.push_back(std::move(spec));
+          }
+        }
       }
     }
   }
   return points;
+}
+
+const std::vector<std::string>& grid_solvers(const CampaignGrid& grid,
+                                             const std::string& scenario) {
+  const auto it = grid.scenario_solvers.find(scenario);
+  return it != grid.scenario_solvers.end() ? it->second : grid.solvers;
 }
 
 std::optional<CampaignGrid> parse_campaign(std::istream& in,
@@ -77,6 +96,40 @@ std::optional<CampaignGrid> parse_campaign(std::istream& in,
       if (axis.empty()) return fail(line_no, directive + " needs values");
       continue;
     }
+    // A one-value slack/horizon line is the historic scalar knob: a
+    // single-point axis expands to exactly what the old base override did.
+    if (directive == "slack" || directive == "horizon") {
+      auto& axis = directive == "slack" ? grid.slacks : grid.horizons;
+      double value = 0.0;
+      while (tokens >> value) {
+        if (value < 0.0) return fail(line_no, directive + " must be >= 0");
+        axis.push_back(value);
+      }
+      if (!tokens.eof()) return fail(line_no, "bad value for " + directive);
+      if (axis.empty()) return fail(line_no, directive + " needs values");
+      continue;
+    }
+    if (directive == "solvers" || directive.rfind("solvers:", 0) == 0) {
+      std::vector<std::string>* subset = nullptr;
+      if (directive == "solvers") {
+        subset = &grid.solvers;
+      } else {
+        const std::string scenario = directive.substr(8);
+        if (scenario.empty()) {
+          return fail(line_no, "solvers: needs a scenario name");
+        }
+        subset = &grid.scenario_solvers[scenario];
+      }
+      if (!subset->empty()) {
+        return fail(line_no, "duplicate directive '" + directive + "'");
+      }
+      std::string name;
+      while (tokens >> name) subset->push_back(name);
+      if (subset->empty()) {
+        return fail(line_no, directive + " needs at least one solver name");
+      }
+      continue;
+    }
     // Scalar knobs shared by every grid point.
     const auto scalar = [&](auto& out) -> bool {
       return static_cast<bool>(tokens >> out) && (tokens >> std::ws).eof();
@@ -86,10 +139,6 @@ std::optional<CampaignGrid> parse_campaign(std::istream& in,
       parsed = scalar(grid.trials) && grid.trials >= 1;
     } else if (directive == "seed") {
       parsed = scalar(grid.base.seed);
-    } else if (directive == "slack") {
-      parsed = scalar(grid.base.slack);
-    } else if (directive == "horizon") {
-      parsed = scalar(grid.base.horizon);
     } else if (directive == "eps") {
       parsed = scalar(grid.base.eps);
     } else {
@@ -101,6 +150,16 @@ std::optional<CampaignGrid> parse_campaign(std::istream& in,
     if (error != nullptr) *error = "campaign names no scenario";
     return std::nullopt;
   }
+  for (const auto& [scenario, subset] : grid.scenario_solvers) {
+    (void)subset;
+    if (std::find(grid.scenarios.begin(), grid.scenarios.end(), scenario) ==
+        grid.scenarios.end()) {
+      if (error != nullptr) {
+        *error = "solvers:" + scenario + " names no scenario in the grid";
+      }
+      return std::nullopt;
+    }
+  }
   return grid;
 }
 
@@ -111,9 +170,10 @@ const std::vector<CampaignPresetInfo>& campaign_presets() {
        "interval+flexible+bursty+weighted x n {12,24}, g {3} — one point "
        "per random family at two sizes"},
       {"exact-frontier",
-       "weighted x n {12,16,20,24}, g 3 — pair with --budget-ms and "
-       "--solvers busy/weighted-exact to chart incumbent quality past the "
-       "measured gate"},
+       "weighted+weighted-flexible x n {12,16,20,24}, g 3, horizon {12,18} "
+       "— per-scenario solver subsets pit busy/weighted-exact against the "
+       "approximation baselines; pair with --budget-ms to chart incumbent "
+       "quality past the measured gate"},
   };
   return kPresets;
 }
@@ -133,9 +193,18 @@ std::optional<CampaignGrid> campaign_preset(std::string_view name) {
     return grid;
   }
   if (name == "exact-frontier") {
-    grid.scenarios = {"weighted"};
+    grid.scenarios = {"weighted", "weighted-flexible"};
     grid.ns = {12, 16, 20, 24};
     grid.gs = {3};
+    // Two horizons: the derived-density default neighbourhood, tight and
+    // loose, so the exact oracle's frontier shows up at both regimes.
+    grid.horizons = {12.0, 18.0};
+    // The frontier race: the exact oracle against its approximation
+    // baselines on interval jobs; the flexible points can only run the
+    // freeze pipeline (the interval algorithms decline windowed jobs).
+    grid.solvers = {"busy/weighted-exact", "busy/weighted-narrow-wide",
+                    "busy/weighted-first-fit"};
+    grid.scenario_solvers["weighted-flexible"] = {"busy/weighted-flexible"};
     return grid;
   }
   return std::nullopt;
@@ -143,30 +212,51 @@ std::optional<CampaignGrid> campaign_preset(std::string_view name) {
 
 namespace {
 
+/// The solver names a point actually runs: the grid's (per-scenario or
+/// grid-wide) subset when one was declared, else the campaign-wide
+/// RunOptions::solvers (empty = every applicable solver).
+const std::vector<std::string>& point_solver_names(
+    const CampaignGrid& grid, const CampaignOptions& options,
+    const std::string& scenario) {
+  const std::vector<std::string>& subset = grid_solvers(grid, scenario);
+  return subset.empty() ? options.run.solvers : subset;
+}
+
 /// Runs every (point, trial) cell as a portfolio race over one shared
 /// pool. Races nested inside pool workers execute their contestants
 /// inline (PR 7 nesting rule), so cross-cell parallelism comes from the
 /// campaign fan-out and each race still terminates early on first
 /// acceptance.
 CampaignReport run_campaign_races(
-    const core::SolverRegistry& registry, CampaignReport report,
-    const CampaignOptions& options, const core::RunContext& base_ctx,
-    const std::vector<ScenarioSpec>& specs,
+    const core::SolverRegistry& registry, const CampaignGrid& grid,
+    CampaignReport report, const CampaignOptions& options,
+    const core::RunContext& base_ctx, const std::vector<ScenarioSpec>& specs,
     std::vector<std::vector<ProblemInstance>> instances) {
   report.raced = true;
   const std::size_t points = specs.size();
 
   // Resolve every cell's contestant list up front — auto picks depend on
-  // the instance, explicit lists are shared verbatim.
+  // the instance, explicit lists are shared verbatim. Explicit race
+  // entries win over a grid solver subset, which wins over the auto pick.
   std::vector<std::vector<std::vector<RaceEntry>>> entries(points);
   for (std::size_t p = 0; p < points; ++p) {
+    std::vector<RaceEntry> subset_entries;
+    if (options.race.entries.empty()) {
+      for (const std::string& name :
+           point_solver_names(grid, options, specs[p].name)) {
+        subset_entries.push_back({name, 0.0});
+      }
+    }
     entries[p].reserve(instances[p].size());
     for (const ProblemInstance& inst : instances[p]) {
-      entries[p].push_back(options.race.entries.empty()
-                               ? auto_entries(registry, inst,
-                                              options.race.model,
-                                              options.race.top_k, base_ctx)
-                               : options.race.entries);
+      if (!options.race.entries.empty()) {
+        entries[p].push_back(options.race.entries);
+      } else if (!subset_entries.empty()) {
+        entries[p].push_back(subset_entries);
+      } else {
+        entries[p].push_back(auto_entries(registry, inst, options.race.model,
+                                          options.race.top_k, base_ctx));
+      }
     }
   }
 
@@ -226,6 +316,7 @@ CampaignReport run_campaign_races(
   for (std::size_t p = 0; p < points; ++p) {
     CampaignPoint point;
     point.spec = specs[p];
+    point.solvers = point_solver_names(grid, options, specs[p].name);
     std::vector<RunReport> trial_reports;
     trial_reports.reserve(instances[p].size());
     for (std::size_t t = 0; t < instances[p].size(); ++t) {
@@ -302,15 +393,16 @@ std::optional<CampaignReport> run_campaign(
         return std::nullopt;
       }
       if (!options.race.enabled) {
-        plans[p].push_back(
-            registry.selection(*inst, options.run.solvers, base_ctx));
+        plans[p].push_back(registry.selection(
+            *inst, point_solver_names(grid, options, specs[p].name),
+            base_ctx));
       }
       instances[p].push_back(std::move(*inst));
     }
   }
 
   if (options.race.enabled) {
-    report = run_campaign_races(registry, std::move(report), options,
+    report = run_campaign_races(registry, grid, std::move(report), options,
                                 base_ctx, specs, std::move(instances));
     report.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
@@ -362,13 +454,14 @@ std::optional<CampaignReport> run_campaign(
   for (std::size_t p = 0; p < points; ++p) {
     CampaignPoint point;
     point.spec = specs[p];
+    point.solvers = point_solver_names(grid, options, specs[p].name);
     std::vector<RunReport> trial_reports;
     trial_reports.reserve(static_cast<std::size_t>(report.trials));
     for (std::size_t t = 0; t < instances[p].size(); ++t) {
       RunReport cell;
       cell.instance = std::move(instances[p][t]);
       cell.solutions = std::move(grid_out[p][t]);
-      append_unknown_solver_rows(registry, options.run.solvers, cell);
+      append_unknown_solver_rows(registry, point.solvers, cell);
       cell.lower_bound =
           derive_lower_bound(cell.instance, cell.solutions, options.run);
       for (const core::Solution& sol : cell.solutions) {
@@ -435,16 +528,19 @@ void print_campaign(std::ostream& os, const CampaignReport& report) {
 }
 
 void write_campaign_csv(std::ostream& os, const CampaignReport& report) {
-  report::Table table({"scenario", "n", "g", "seed", "solver", "runs", "ok",
-                       "feasible", "exact", "declined", "timed_out",
-                       "ratio_mean", "ratio_median", "ratio_p95", "ratio_max",
-                       "wall_median_ms", "wall_total_ms"});
+  report::Table table({"scenario", "n", "g", "seed", "slack", "horizon",
+                       "solver", "runs", "ok", "feasible", "exact",
+                       "declined", "timed_out", "ratio_mean", "ratio_median",
+                       "ratio_p95", "ratio_max", "wall_median_ms",
+                       "wall_total_ms"});
   for (const CampaignPoint& point : report.points) {
     for (const SolverAggregate& agg : point.aggregates) {
       const bool has_ratio = agg.ratio_count > 0;
       table.add_row(
           {point.spec.name, std::to_string(point.spec.n),
            std::to_string(point.spec.g), std::to_string(point.spec.seed),
+           report::Table::num(point.spec.slack, 6),
+           report::Table::num(point.spec.horizon, 6),
            agg.solver, std::to_string(agg.runs), std::to_string(agg.ok),
            std::to_string(agg.feasible), std::to_string(agg.exact_runs),
            std::to_string(agg.declined), std::to_string(agg.timed_out),
@@ -474,9 +570,19 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
     write_json_string(os, point.spec.name);
     os << ", \"n\": " << point.spec.n << ", \"g\": " << point.spec.g
        << ", \"seed\": " << point.spec.seed
+       << ", \"slack\": " << point.spec.slack
+       << ", \"horizon\": " << point.spec.horizon
        << ", \"cells\": " << point.cells
        << ", \"ok_cells\": " << point.ok_cells
        << ", \"infeasible_cells\": " << point.infeasible_cells;
+    if (!point.solvers.empty()) {
+      os << ",\n     \"solvers\": [";
+      for (std::size_t i = 0; i < point.solvers.size(); ++i) {
+        os << (i == 0 ? "" : ", ");
+        write_json_string(os, point.solvers[i]);
+      }
+      os << "]";
+    }
     if (report.raced) {
       os << ",\n     \"race\": {\"races\": " << point.races
          << ", \"unwon\": " << point.races_unwon << ", \"wins\": {";

@@ -9,6 +9,7 @@
 // standalone sweep of the same spec report identical numbers.
 
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -19,34 +20,56 @@
 
 namespace abt::engine {
 
-/// A campaign grid: the cross product scenarios × ns × gs, every point
-/// sharing the remaining knobs (seed, slack, horizon, eps) of `base`.
-/// Empty axes borrow the base value, so a file may fix any subset.
+/// A campaign grid: the cross product scenarios × ns × gs × slacks ×
+/// horizons, every point sharing the remaining knobs (seed, eps) of
+/// `base`. Empty axes borrow the base value, so a file may fix any
+/// subset. A grid may also restrict which solvers run: `solvers` applies
+/// to every point, `scenario_solvers` overrides it for one scenario's
+/// points (empty = no restriction, i.e. the campaign-wide solver list).
 struct CampaignGrid {
   std::vector<std::string> scenarios;
   std::vector<int> ns;
   std::vector<int> gs;
+  std::vector<double> slacks;    ///< Window-slack axis (empty = base.slack).
+  std::vector<double> horizons;  ///< Horizon axis (empty = base.horizon).
+  std::vector<std::string> solvers;  ///< Grid-wide subset ({} = no limit).
+  /// Per-scenario solver subsets; a named scenario's points use this
+  /// instead of `solvers`.
+  std::map<std::string, std::vector<std::string>> scenario_solvers;
   ScenarioSpec base;
   int trials = 0;  ///< 0 = take CampaignOptions::trials.
 };
 
-/// The grid's points in scenario-major, then n, then g order.
+/// The grid's points in scenario-major, then n, g, slack, horizon order.
 [[nodiscard]] std::vector<ScenarioSpec> expand_grid(const CampaignGrid& grid);
+
+/// The solver subset a point of `scenario` runs: the per-scenario
+/// override when one exists, else the grid-wide `solvers` list. An empty
+/// result means "no grid restriction" (run_campaign then falls back to
+/// CampaignOptions::run.solvers).
+[[nodiscard]] const std::vector<std::string>& grid_solvers(
+    const CampaignGrid& grid, const std::string& scenario);
 
 /// Parses the campaign file format (one directive per line, `#` comments):
 ///
 ///   scenario interval flexible   # grid axis: scenario names
 ///   n 8 16 24                    # grid axis: job counts
 ///   g 3                          # grid axis: capacities
+///   slack 0.5 1.5                # grid axis: window slacks
+///   horizon 12 18                # grid axis: horizons (0 = derived)
+///   solvers busy/first-fit busy/greedy-tracking   # grid-wide subset
+///   solvers:flexible busy/greedy-tracking         # per-scenario subset
 ///   trials 4                     # optional: per-point trials
-///   seed 7                       # optional shared knobs: seed, slack,
-///   slack 1.5                    #   horizon, eps
+///   seed 7                       # optional shared knobs: seed, eps
 ///
-/// Nullopt (with a line-numbered `error`) on unknown directives or
-/// malformed values; a campaign must name at least one scenario. `base`
-/// seeds the grid's shared knobs (and the n/g axes when the file fixes
-/// none) — the CLI passes its scenario flags here, so `--seed 99` applies
-/// to a campaign file unless the file's own `seed` directive overrides it.
+/// A one-value `slack`/`horizon` line behaves exactly like the historic
+/// scalar knob (a single-point axis). Nullopt (with a line-numbered
+/// `error`) on unknown directives or malformed values; a campaign must
+/// name at least one scenario, and every `solvers:<scenario>` override
+/// must name a scenario the grid declares. `base` seeds the grid's shared
+/// knobs (and any axis the file fixes none of) — the CLI passes its
+/// scenario flags here, so `--seed 99` applies to a campaign file unless
+/// the file's own `seed` directive overrides it.
 [[nodiscard]] std::optional<CampaignGrid> parse_campaign(
     std::istream& in, std::string* error, const ScenarioSpec& base = {});
 
@@ -84,6 +107,10 @@ struct CampaignOptions {
 /// aggregates a standalone sweep of that spec would report.
 struct CampaignPoint {
   ScenarioSpec spec;
+  /// The solver subset this point ran under (grid subset when one was
+  /// declared, else the campaign-wide RunOptions::solvers; empty = every
+  /// applicable solver).
+  std::vector<std::string> solvers;
   std::vector<SolverAggregate> aggregates;
   int cells = 0;             ///< (trial, solver) cells fanned out.
   int ok_cells = 0;          ///< Cells that produced a schedule.
@@ -114,8 +141,8 @@ struct CampaignReport {
 /// Aligned text table: one row per (point, solver) aggregate.
 void print_campaign(std::ostream& os, const CampaignReport& report);
 
-/// CSV rows: scenario,n,g,seed,solver,runs,ok,feasible,exact,declined,
-/// timed_out,ratio_*,wall_median_ms,wall_total_ms.
+/// CSV rows: scenario,n,g,seed,slack,horizon,solver,runs,ok,feasible,
+/// exact,declined,timed_out,ratio_*,wall_median_ms,wall_total_ms.
 void write_campaign_csv(std::ostream& os, const CampaignReport& report);
 
 /// Machine-readable JSON: campaign parameters plus one object per grid

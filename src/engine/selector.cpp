@@ -346,6 +346,10 @@ std::optional<SelectorModel> train_selector(std::istream& csv,
             col_ok = column("ok"), col_feasible = column("feasible"),
             col_ratio = column("ratio_median"),
             col_wall = column("wall_median_ms");
+  // Optional axes (campaign CSVs grew them in PR 10): when present they
+  // separate points and feed the regenerated feature vectors; absent
+  // columns fall back to the spec defaults, so older CSVs keep training.
+  const int col_slack = column("slack"), col_horizon = column("horizon");
   for (const auto& [col, name] :
        {std::pair{col_scenario, "scenario"}, {col_n, "n"}, {col_g, "g"},
         {col_seed, "seed"}, {col_solver, "solver"}, {col_runs, "runs"},
@@ -387,8 +391,17 @@ std::optional<SelectorModel> train_selector(std::istream& csv,
     spec.g = static_cast<int>(g);
     spec.seed = static_cast<std::uint64_t>(seed);
 
-    const std::string key = spec.name + "|" + field(col_n) + "|" +
-                            field(col_g) + "|" + field(col_seed);
+    std::string key = spec.name + "|" + field(col_n) + "|" + field(col_g) +
+                      "|" + field(col_seed);
+    double axis = 0.0;
+    if (col_slack >= 0 && parse_double_token(field(col_slack), axis)) {
+      spec.slack = axis;
+      key += "|" + field(col_slack);
+    }
+    if (col_horizon >= 0 && parse_double_token(field(col_horizon), axis)) {
+      spec.horizon = axis;
+      key += "|" + field(col_horizon);
+    }
     auto [it, inserted] = point_index.emplace(key, points.size());
     if (inserted) {
       TrainPoint point;

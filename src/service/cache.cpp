@@ -1,0 +1,112 @@
+#include "service/cache.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "core/assert.hpp"
+
+namespace abt::service {
+
+SolutionCache::SolutionCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_per_shard_((max_entries + kShards - 1) / kShards),
+      max_bytes_per_shard_((max_bytes + kShards - 1) / kShards) {
+  if (max_entries_per_shard_ == 0) max_entries_per_shard_ = 1;
+  if (max_bytes_per_shard_ == 0) max_bytes_per_shard_ = 1;
+}
+
+SolutionCache::Shard& SolutionCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<SolutionCache::Entry> SolutionCache::lookup(
+    const std::string& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->entry;
+}
+
+void SolutionCache::evict_over_caps(Shard& shard) {
+  while (!shard.lru.empty() && (shard.lru.size() > max_entries_per_shard_ ||
+                                shard.bytes > max_bytes_per_shard_)) {
+    const Node& victim = shard.lru.back();
+    shard.bytes -= entry_bytes(victim);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void SolutionCache::insert(const std::string& key, Entry entry) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place: same canonical request, (re)computed response.
+    shard.bytes -= entry_bytes(*it->second);
+    it->second->entry = std::move(entry);
+    shard.bytes += entry_bytes(*it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    if (key.size() + entry.payload.size() > max_bytes_per_shard_) {
+      return;  // Could never fit; inserting would just evict everything.
+    }
+    shard.lru.push_front({key, std::move(entry)});
+    shard.bytes += entry_bytes(shard.lru.front());
+    shard.index.emplace(key, shard.lru.begin());
+    ++shard.insertions;
+  }
+  evict_over_caps(shard);
+  audit_shard(shard);
+}
+
+CacheStats SolutionCache::stats() const {
+  CacheStats out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+  }
+  return out;
+}
+
+void SolutionCache::audit_shard(const Shard& shard) const {
+  // Caller holds the shard lock.
+  if constexpr (!core::kAuditEnabled) return;
+  ABT_DBG_ASSERT(shard.index.size() == shard.lru.size(),
+                 "cache index must mirror the LRU list one-to-one");
+  ABT_DBG_ASSERT(shard.lru.size() <= max_entries_per_shard_,
+                 "cache shard over its entry cap after eviction");
+  std::size_t bytes = 0;
+  for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+    bytes += entry_bytes(*it);
+    const auto mirror = shard.index.find(it->key);
+    ABT_DBG_ASSERT(mirror != shard.index.end(),
+                   "every LRU node must be indexed");
+    ABT_DBG_ASSERT(mirror->second == it,
+                   "index iterator must point at its own LRU node");
+  }
+  ABT_DBG_ASSERT(bytes == shard.bytes,
+                 "cache byte accounting must match the live entries");
+  ABT_DBG_ASSERT(shard.bytes <= max_bytes_per_shard_ || shard.lru.size() <= 1,
+                 "cache shard over its byte cap with evictable entries");
+}
+
+void SolutionCache::audit_invariants() const {
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    audit_shard(shard);
+  }
+}
+
+}  // namespace abt::service

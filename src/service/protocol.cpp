@@ -1,0 +1,574 @@
+#include "service/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "core/assert.hpp"
+#include "core/io.hpp"
+
+namespace abt::service {
+
+namespace {
+
+constexpr std::string_view kTypeNames[] = {
+    "solve", "race", "cancel", "stats", "ok", "error", "overloaded",
+    "progress"};
+
+bool fail(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+  return false;
+}
+
+bool fail_line(std::string* error, int line, const std::string& what) {
+  return fail(error, "line " + std::to_string(line) + ": " + what);
+}
+
+/// Strict full-token numeric parses, mirroring the CLI's: the whole token
+/// must be consumed, so "12x" and "" are rejected.
+bool parse_full_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_full_size(const std::string& text, std::size_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_full_int(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (value < INT_MIN || value > INT_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+/// Flags ride the header line, so their syntax is deliberately tiny.
+bool valid_flag_token(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (c == ' ' || c == '=' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+/// %.17g-style shortest-roundtrip double for directives and cache keys.
+std::string render_double(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view frame_type_name(FrameType type) {
+  return kTypeNames[static_cast<int>(type)];
+}
+
+std::optional<FrameType> frame_type_from(std::string_view name) {
+  for (int i = 0; i < static_cast<int>(std::size(kTypeNames)); ++i) {
+    if (kTypeNames[i] == name) return static_cast<FrameType>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Frame::flag(std::string_view key, std::string fallback) const {
+  for (const auto& [k, v] : flags) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool Frame::has_flag(std::string_view key) const {
+  for (const auto& [k, v] : flags) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool parse_frame_header(const std::string& line, FrameType* type,
+                        std::size_t* bytes,
+                        std::vector<std::pair<std::string, std::string>>* flags,
+                        std::string* error) {
+  std::istringstream ls(line);
+  std::string magic;
+  std::string name;
+  std::string length;
+  if (!(ls >> magic) || magic != kMagic) {
+    return fail(error, "bad magic (expected 'abt1')");
+  }
+  if (!(ls >> name)) return fail(error, "missing frame type");
+  const auto parsed = frame_type_from(name);
+  if (!parsed.has_value()) {
+    return fail(error, "unknown frame type '" + name + "'");
+  }
+  *type = *parsed;
+  if (!(ls >> length) || !parse_full_size(length, bytes)) {
+    return fail(error, "bad payload length");
+  }
+  if (*bytes > kMaxFrameBytes) return fail(error, "payload length over limit");
+  flags->clear();
+  std::string token;
+  while (ls >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      return fail(error, "bad flag '" + token + "' (want key=value)");
+    }
+    flags->emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return true;
+}
+
+std::string frame_header(const Frame& frame) {
+  std::string out(kMagic);
+  out += ' ';
+  out += frame_type_name(frame.type);
+  out += ' ';
+  out += std::to_string(frame.payload.size());
+  for (const auto& [key, value] : frame.flags) {
+    ABT_ASSERT(valid_flag_token(key) && valid_flag_token(value),
+               "frame flags must be space/=/newline-free tokens");
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+bool read_frame(std::istream& in, Frame* out, std::string* error) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    if (error != nullptr) error->clear();  // clean EOF at a frame boundary
+    return false;
+  }
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  std::size_t bytes = 0;
+  if (!parse_frame_header(header, &out->type, &bytes, &out->flags, error)) {
+    return false;
+  }
+  out->payload.resize(bytes);
+  if (bytes > 0) {
+    in.read(out->payload.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(in.gcount()) != bytes) {
+      return fail(error, "truncated payload");
+    }
+  }
+  return true;
+}
+
+void write_frame(std::ostream& out, const Frame& frame) {
+  out << frame_header(frame) << '\n' << frame.payload;
+}
+
+// ---------------------------------------------------------------------------
+// Solve/race payload codec.
+
+bool parse_solve_payload(const std::string& payload, SolveRequest* out,
+                         std::string* error) {
+  *out = SolveRequest{};
+  std::size_t pos = 0;
+  int line_no = 0;
+  bool saw_instance = false;
+  std::size_t instance_offset = 0;
+  int instance_line_base = 0;
+  bool seen[6] = {};  // id, solvers, budget, gap, progress, format
+  auto once = [&](int which, const char* name) {
+    if (seen[which]) {
+      return fail_line(error, line_no,
+                       std::string("duplicate ") + name + " directive");
+    }
+    seen[which] = true;
+    return true;
+  };
+
+  while (pos < payload.size()) {
+    const auto nl = payload.find('\n', pos);
+    std::string line =
+        payload.substr(pos, (nl == std::string::npos ? payload.size() : nl) -
+                                pos);
+    pos = nl == std::string::npos ? payload.size() : nl + 1;
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+
+    std::string extra;
+    if (keyword == "instance") {
+      if (ls >> extra) {
+        return fail_line(error, line_no,
+                         "instance directive takes no arguments");
+      }
+      saw_instance = true;
+      instance_offset = pos;
+      instance_line_base = line_no;
+      break;
+    }
+    if (keyword == "id") {
+      if (!once(0, "id")) return false;
+      if (!(ls >> out->id)) return fail_line(error, line_no, "id needs a token");
+    } else if (keyword == "solvers") {
+      if (!once(1, "solvers")) return false;
+      std::string name;
+      while (ls >> name) out->solvers.push_back(name);
+      if (out->solvers.empty()) {
+        return fail_line(error, line_no, "solvers needs at least one name");
+      }
+    } else if (keyword == "budget-ms") {
+      if (!once(2, "budget-ms")) return false;
+      std::string value;
+      if (!(ls >> value) || !parse_full_double(value, &out->budget_ms) ||
+          out->budget_ms < 0.0) {
+        return fail_line(error, line_no,
+                         "budget-ms needs a non-negative number");
+      }
+    } else if (keyword == "accept-gap") {
+      if (!once(3, "accept-gap")) return false;
+      std::string value;
+      if (!(ls >> value) || !parse_full_double(value, &out->accept_gap)) {
+        return fail_line(error, line_no, "accept-gap needs a number");
+      }
+    } else if (keyword == "progress") {
+      if (!once(4, "progress")) return false;
+      std::string value;
+      if (!(ls >> value) || !parse_full_int(value, &out->progress) ||
+          out->progress < 0) {
+        return fail_line(error, line_no,
+                         "progress needs a non-negative integer");
+      }
+    } else if (keyword == "format") {
+      if (!once(5, "format")) return false;
+      if (!(ls >> out->format) ||
+          (out->format != "json" && out->format != "csv" &&
+           out->format != "table")) {
+        return fail_line(error, line_no,
+                         "format must be json, csv or table");
+      }
+    } else {
+      return fail_line(error, line_no,
+                       "unknown request directive '" + keyword + "'");
+    }
+    if (keyword != "solvers" && (ls >> extra)) {
+      return fail_line(error, line_no,
+                       "trailing tokens after " + keyword + " directive");
+    }
+  }
+
+  if (!saw_instance) {
+    return fail_line(error, line_no + 1, "missing instance directive");
+  }
+
+  std::istringstream instance_text(payload.substr(instance_offset));
+  std::string parse_error;
+  auto inst = core::parse_instance(instance_text, &parse_error);
+  if (!inst.has_value()) {
+    // Re-number the io-v2 error over the whole payload: its "line M"
+    // counts from the first instance line, which is payload line
+    // instance_line_base + M.
+    int local = 0;
+    std::size_t colon = 0;
+    if (parse_error.rfind("line ", 0) == 0 &&
+        (colon = parse_error.find(':')) != std::string::npos &&
+        parse_full_int(parse_error.substr(5, colon - 5), &local)) {
+      return fail_line(error, instance_line_base + local,
+                       parse_error.substr(colon + 2));
+    }
+    return fail_line(error, instance_line_base + 1, parse_error);
+  }
+  std::ostringstream canonical;
+  std::string why;
+  if (!core::write_instance(canonical, *inst, &why)) {
+    return fail_line(error, instance_line_base + 1,
+                     "instance not serializable: " + why);
+  }
+  out->instance = std::move(*inst);
+  out->canonical = canonical.str();
+  return true;
+}
+
+bool write_solve_payload(std::ostream& os, const SolveRequest& request,
+                         std::string* error) {
+  if (!request.id.empty()) os << "id " << request.id << '\n';
+  if (!request.solvers.empty()) {
+    os << "solvers";
+    for (const std::string& name : request.solvers) os << ' ' << name;
+    os << '\n';
+  }
+  if (request.budget_ms > 0.0) {
+    os << "budget-ms " << render_double(request.budget_ms) << '\n';
+  }
+  if (request.accept_gap >= 0.0) {
+    os << "accept-gap " << render_double(request.accept_gap) << '\n';
+  }
+  if (request.progress > 0) os << "progress " << request.progress << '\n';
+  os << "format " << request.format << '\n';
+  os << "instance\n";
+  std::string why;
+  if (!core::write_instance(os, request.instance, &why)) {
+    return fail(error, "instance not serializable: " + why);
+  }
+  return true;
+}
+
+std::string cache_key(const SolveRequest& request) {
+  std::string key = request.race ? "verb race\n" : "verb solve\n";
+  key += "format " + request.format + '\n';
+  key += "solvers";
+  for (const std::string& name : request.solvers) key += ' ' + name;
+  key += '\n';
+  key += "budget-ms " + render_double(request.budget_ms) + '\n';
+  key += "accept-gap " + render_double(request.accept_gap) + '\n';
+  key += "instance\n";
+  key += request.canonical;
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Addresses and socket plumbing.
+
+std::string Address::describe() const {
+  if (is_unix()) return socket_path;
+  return host + ':' + std::to_string(port);
+}
+
+std::optional<Address> parse_address(const std::string& text,
+                                     std::string* error) {
+  if (text.empty()) {
+    fail(error, "empty address");
+    return std::nullopt;
+  }
+  Address out;
+  const auto colon = text.rfind(':');
+  if (text.find('/') == std::string::npos && colon != std::string::npos) {
+    int port = -1;
+    if (!parse_full_int(text.substr(colon + 1), &port) || port < 0 ||
+        port > 65535) {
+      fail(error, "bad port in address '" + text + "'");
+      return std::nullopt;
+    }
+    out.host = colon == 0 ? std::string("127.0.0.1") : text.substr(0, colon);
+    out.port = port;
+    return out;
+  }
+  out.socket_path = text;
+  return out;
+}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      consumed_(other.consumed_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    consumed_ = other.consumed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+bool Connection::read_more(std::string* error) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      return true;
+    }
+    if (got == 0) return fail(error, "");  // peer closed
+    if (errno == EINTR) continue;
+    return fail(error, std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+bool Connection::read_frame(Frame* out, std::string* error) {
+  if (fd_ < 0) return fail(error, "connection closed");
+  // Header line.
+  std::size_t nl = 0;
+  while ((nl = buffer_.find('\n', consumed_)) == std::string::npos) {
+    std::string io_error;
+    if (!read_more(&io_error)) {
+      if (io_error.empty() && consumed_ == buffer_.size()) {
+        if (error != nullptr) error->clear();  // clean EOF between frames
+        return false;
+      }
+      return fail(error, io_error.empty() ? "truncated frame header"
+                                          : io_error);
+    }
+  }
+  std::string header = buffer_.substr(consumed_, nl - consumed_);
+  consumed_ = nl + 1;
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  std::size_t bytes = 0;
+  if (!parse_frame_header(header, &out->type, &bytes, &out->flags, error)) {
+    return false;
+  }
+  // Payload bytes.
+  while (buffer_.size() - consumed_ < bytes) {
+    std::string io_error;
+    if (!read_more(&io_error)) {
+      return fail(error,
+                  io_error.empty() ? "truncated payload" : io_error);
+    }
+  }
+  out->payload = buffer_.substr(consumed_, bytes);
+  consumed_ += bytes;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+bool Connection::write_frame(const Frame& frame, std::string* error) {
+  if (fd_ < 0) return fail(error, "connection closed");
+  std::string wire = frame_header(frame);
+  wire += '\n';
+  wire += frame.payload;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ssize_t put =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return fail(error, std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+Connection connect_to(const Address& address, std::string* error) {
+  if (address.is_unix()) {
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (address.socket_path.size() >= sizeof sun.sun_path) {
+      fail(error, "unix socket path too long");
+      return Connection();
+    }
+    std::memcpy(sun.sun_path, address.socket_path.c_str(),
+                address.socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      fail(error, std::string("socket: ") + std::strerror(errno));
+      return Connection();
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sun), sizeof sun) !=
+        0) {
+      fail(error, "connect " + address.socket_path + ": " +
+                      std::strerror(errno));
+      ::close(fd);
+      return Connection();
+    }
+    return Connection(fd);
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* found = nullptr;
+  const std::string port = std::to_string(address.port);
+  const int rc = ::getaddrinfo(address.host.c_str(), port.c_str(), &hints,
+                               &found);
+  if (rc != 0) {
+    fail(error, "resolve " + address.host + ": " + ::gai_strerror(rc));
+    return Connection();
+  }
+  int fd = -1;
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) {
+    fail(error, "connect " + address.describe() + ": " +
+                    std::strerror(errno));
+    return Connection();
+  }
+  return Connection(fd);
+}
+
+std::optional<Exchange> client_roundtrip(const Address& address,
+                                         const Frame& request,
+                                         std::string* error) {
+  Connection conn = connect_to(address, error);
+  if (!conn.valid()) return std::nullopt;
+  // A shed connection is answered (`overloaded`) and closed without the
+  // request ever being read, so the send can fail with EPIPE while the
+  // response already sits in the socket buffer. Read regardless, and
+  // report the send failure only when no response frame arrived either.
+  std::string send_error;
+  const bool sent = conn.write_frame(request, &send_error);
+  Exchange exchange;
+  while (true) {
+    Frame frame;
+    std::string frame_error;
+    if (!conn.read_frame(&frame, &frame_error)) {
+      if (!sent) {
+        fail(error, send_error);
+      } else {
+        fail(error, frame_error.empty() ? "server closed before responding"
+                                        : frame_error);
+      }
+      return std::nullopt;
+    }
+    if (frame.type == FrameType::kProgress) {
+      exchange.progress.push_back(std::move(frame));
+      continue;
+    }
+    exchange.final = std::move(frame);
+    return exchange;
+  }
+}
+
+}  // namespace abt::service

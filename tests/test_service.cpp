@@ -1,0 +1,492 @@
+// abtd service tests: protocol framing and payload parsing (line-numbered
+// errors over the whole payload), canonical cache keys, and the live
+// daemon behaviours the PR's acceptance criteria name — bit-identical
+// cache replay, admission-control budget shrink with anytime gap rows,
+// concurrent-client determinism for exact solvers, and the cancel verb
+// reaching an in-flight solve.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/io.hpp"
+#include "core/rng.hpp"
+#include "engine/adapters.hpp"
+#include "engine/builtin_solvers.hpp"
+#include "gen/extended_instances.hpp"
+#include "gen/random_instances.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace abt {
+namespace {
+
+using service::Frame;
+using service::FrameType;
+using service::SolveRequest;
+
+core::ProblemInstance weighted_instance(int n, std::uint64_t seed,
+                                        double slack = 0.0) {
+  core::Rng rng(seed);
+  gen::WeightedParams params;
+  params.num_jobs = n;
+  params.capacity = 4;
+  params.max_slack = slack;
+  return engine::make_weighted_instance(gen::random_weighted(rng, params));
+}
+
+std::string canonical_of(const core::ProblemInstance& inst) {
+  std::ostringstream os;
+  std::string why;
+  EXPECT_TRUE(core::write_instance(os, inst, &why)) << why;
+  return os.str();
+}
+
+Frame solve_frame(const SolveRequest& request) {
+  Frame frame;
+  frame.type = request.race ? FrameType::kRace : FrameType::kSolve;
+  std::ostringstream os;
+  std::string error;
+  EXPECT_TRUE(service::write_solve_payload(os, request, &error)) << error;
+  frame.payload = os.str();
+  return frame;
+}
+
+/// Extracts the first `"key": <number>` occurrence, "" when absent.
+std::string json_number_after(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto at = text.find(needle);
+  if (at == std::string::npos) return "";
+  auto end = at + needle.size();
+  while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+         text[end] != '\n') {
+    ++end;
+  }
+  return text.substr(at + needle.size(), end - at - needle.size());
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+TEST(ServiceProtocol, FramesRoundTripOverAStream) {
+  Frame frame;
+  frame.type = FrameType::kOk;
+  frame.flags = {{"exit", "0"}, {"cached", "1"}};
+  frame.payload = "{\"hello\": 1}\n";
+
+  std::stringstream wire;
+  service::write_frame(wire, frame);
+  Frame progress;
+  progress.type = FrameType::kProgress;
+  progress.payload = "{\"cost\": 3}\n";
+  service::write_frame(wire, progress);
+
+  Frame back;
+  std::string error;
+  ASSERT_TRUE(service::read_frame(wire, &back, &error)) << error;
+  EXPECT_EQ(back.type, FrameType::kOk);
+  EXPECT_EQ(back.flag("exit"), "0");
+  EXPECT_TRUE(back.has_flag("cached"));
+  EXPECT_EQ(back.payload, frame.payload);
+  ASSERT_TRUE(service::read_frame(wire, &back, &error)) << error;
+  EXPECT_EQ(back.type, FrameType::kProgress);
+
+  // Clean EOF at a frame boundary: false with an EMPTY error.
+  error = "sentinel";
+  EXPECT_FALSE(service::read_frame(wire, &back, &error));
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST(ServiceProtocol, HeaderRejectsMalformedLines) {
+  FrameType type;
+  std::size_t bytes = 0;
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::string error;
+  const auto rejects = [&](const std::string& line) {
+    return !service::parse_frame_header(line, &type, &bytes, &flags, &error);
+  };
+  EXPECT_TRUE(rejects("abtX solve 0"));
+  EXPECT_TRUE(rejects("abt1 bogus 0"));
+  EXPECT_TRUE(rejects("abt1 solve"));
+  EXPECT_TRUE(rejects("abt1 solve -1"));
+  EXPECT_TRUE(rejects("abt1 solve nope"));
+  EXPECT_TRUE(rejects("abt1 solve 0 ="));
+  EXPECT_TRUE(rejects("abt1 solve 99999999999999999999"));
+  EXPECT_FALSE(rejects("abt1 solve 12 exit=0"));
+  EXPECT_EQ(type, FrameType::kSolve);
+  EXPECT_EQ(bytes, 12u);
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].first, "exit");
+}
+
+// ---------------------------------------------------------------------------
+// Solve payload: round trip per instance kind.
+
+void expect_payload_round_trip(const core::ProblemInstance& inst) {
+  SolveRequest request;
+  request.id = "req-1";
+  request.solvers = {"busy/first-fit", "busy/weighted-exact"};
+  request.budget_ms = 125.5;
+  request.accept_gap = 0.02;
+  request.progress = 3;
+  request.format = "csv";
+  request.instance = inst;
+
+  std::ostringstream os;
+  std::string error;
+  ASSERT_TRUE(service::write_solve_payload(os, request, &error)) << error;
+  SolveRequest back;
+  ASSERT_TRUE(service::parse_solve_payload(os.str(), &back, &error))
+      << error << "\n--- payload:\n"
+      << os.str();
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.solvers, request.solvers);
+  EXPECT_EQ(back.budget_ms, request.budget_ms);
+  EXPECT_EQ(back.accept_gap, request.accept_gap);
+  EXPECT_EQ(back.progress, request.progress);
+  EXPECT_EQ(back.format, request.format);
+  EXPECT_EQ(back.canonical, canonical_of(inst));
+  EXPECT_EQ(back.instance.kind, inst.kind);
+  EXPECT_EQ(back.instance.family, inst.family);
+}
+
+TEST(ServiceProtocol, SolvePayloadRoundTripsEveryInstanceKind) {
+  core::Rng rng(77);
+  {
+    gen::SlottedParams params;
+    params.num_jobs = 9;
+    params.capacity = 3;
+    expect_payload_round_trip(
+        core::make_instance(gen::random_slotted(rng, params)));
+  }
+  {
+    gen::ContinuousParams params;
+    params.num_jobs = 11;
+    params.capacity = 2;
+    params.max_slack = 1.3;
+    expect_payload_round_trip(
+        core::make_instance(gen::random_continuous(rng, params)));
+  }
+  expect_payload_round_trip(weighted_instance(10, 5, 0.8));
+  {
+    gen::MultiWindowParams params;
+    params.num_jobs = 8;
+    params.capacity = 3;
+    expect_payload_round_trip(engine::make_multi_window_instance(
+        gen::random_multi_window(rng, params)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed payloads: every diagnostic is line-numbered over the WHOLE
+// payload, instance lines included.
+
+TEST(ServiceProtocol, MalformedPayloadsAreLineNumbered) {
+  struct Case {
+    const char* payload;
+    const char* line_prefix;  ///< Expected "line N:" prefix.
+    const char* mentions;     ///< Substring the diagnostic must carry.
+  };
+  const Case cases[] = {
+      {"bogus 1\n", "line 1:", "unknown request directive"},
+      {"id\n", "line 1:", "id needs a token"},
+      {"id a\nid b\n", "line 2:", "duplicate id"},
+      {"budget-ms nope\n", "line 1:", "budget-ms"},
+      {"budget-ms -5\n", "line 1:", "non-negative"},
+      {"accept-gap x\n", "line 1:", "accept-gap"},
+      {"progress -1\n", "line 1:", "progress"},
+      {"format yaml\n", "line 1:", "format"},
+      {"solvers\n", "line 1:", "at least one"},
+      {"id a b\n", "line 1:", "trailing tokens"},
+      {"instance extra\n", "line 1:", "takes no arguments"},
+      {"id a\nformat json\n", "line 3:", "missing instance"},
+      {"", "line 1:", "missing instance"},
+      // Instance parse errors are re-numbered over the whole payload:
+      // the bad model line is payload line 3.
+      {"id a\ninstance\nmodel bogus\n", "line 3:", ""},
+      // ... and a bad job line deeper into the instance text keeps its
+      // offset: payload line 5.
+      {"id a\ninstance\nmodel continuous\ncapacity 2\njob 1 2\n", "line 5:",
+       ""},
+  };
+  for (const Case& c : cases) {
+    SolveRequest out;
+    std::string error;
+    EXPECT_FALSE(service::parse_solve_payload(c.payload, &out, &error))
+        << c.payload;
+    EXPECT_EQ(error.rfind(c.line_prefix, 0), 0u)
+        << "payload <" << c.payload << "> produced: " << error;
+    EXPECT_NE(error.find(c.mentions), std::string::npos)
+        << "payload <" << c.payload << "> produced: " << error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys: spelling-insensitive, parameter-sensitive.
+
+TEST(ServiceProtocol, CacheKeyCanonicalizesTextualSpellings) {
+  const core::ProblemInstance inst = weighted_instance(10, 5);
+  const std::string canonical = canonical_of(inst);
+
+  // The same request spelled three different ways: comments, blank
+  // lines, scientific notation, a different id and progress count.
+  const std::string spelling_a =
+      "id first\nsolvers busy/weighted-exact\nbudget-ms 200\n"
+      "format json\ninstance\n" + canonical;
+  const std::string spelling_b =
+      "# a comment\n\nid second\nprogress 7\n"
+      "solvers busy/weighted-exact\nbudget-ms 2e2\n"
+      "format json\ninstance\n# another comment\n" + canonical;
+  SolveRequest a, b;
+  std::string error;
+  ASSERT_TRUE(service::parse_solve_payload(spelling_a, &a, &error)) << error;
+  ASSERT_TRUE(service::parse_solve_payload(spelling_b, &b, &error)) << error;
+  EXPECT_EQ(service::cache_key(a), service::cache_key(b));
+
+  // Changing any response-relevant parameter changes the key.
+  SolveRequest c = a;
+  c.budget_ms = 300.0;
+  EXPECT_NE(service::cache_key(a), service::cache_key(c));
+  SolveRequest d = a;
+  d.race = true;
+  EXPECT_NE(service::cache_key(a), service::cache_key(d));
+  SolveRequest e = a;
+  e.format = "csv";
+  EXPECT_NE(service::cache_key(a), service::cache_key(e));
+  SolveRequest f = a;
+  f.solvers = {"busy/weighted-first-fit"};
+  EXPECT_NE(service::cache_key(a), service::cache_key(f));
+}
+
+// ---------------------------------------------------------------------------
+// Live daemon behaviours (loopback TCP on an ephemeral port).
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void start(service::ServiceConfig config) {
+    config.tcp_port = 0;  // ephemeral loopback listener
+    server_ = std::make_unique<service::Server>(engine::shared_registry(),
+                                                std::move(config));
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+    address_ = server_->address();
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  service::Exchange roundtrip(const Frame& frame) {
+    std::string error;
+    auto exchange = service::client_roundtrip(address_, frame, &error);
+    EXPECT_TRUE(exchange.has_value()) << error;
+    return exchange.value_or(service::Exchange{});
+  }
+
+  /// Polls the stats verb until `in_flight` (which counts the stats
+  /// request itself) reaches `want`, i.e. want-1 solves are executing.
+  bool wait_for_in_flight(int want) {
+    for (int i = 0; i < 500; ++i) {
+      Frame stats;
+      stats.type = FrameType::kStats;
+      const service::Exchange exchange = roundtrip(stats);
+      const std::string depth =
+          json_number_after(exchange.final.payload, "in_flight");
+      if (!depth.empty() && std::stoi(depth) >= want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  std::unique_ptr<service::Server> server_;
+  service::Address address_;
+};
+
+TEST_F(ServiceFixture, SolveIsServedThenReplayedBitIdenticallyFromCache) {
+  start({});
+  SolveRequest request;
+  request.solvers = {"busy/weighted-first-fit"};
+  request.instance = weighted_instance(12, 3);
+  const Frame frame = solve_frame(request);
+
+  const service::Exchange first = roundtrip(frame);
+  ASSERT_EQ(first.final.type, FrameType::kOk) << first.final.payload;
+  EXPECT_EQ(first.final.flag("exit"), "0");
+  EXPECT_FALSE(first.final.has_flag("cached"));
+  EXPECT_NE(first.final.payload.find("\"solver\": \"busy/weighted-first-fit\""),
+            std::string::npos)
+      << first.final.payload;
+
+  const service::Exchange second = roundtrip(frame);
+  ASSERT_EQ(second.final.type, FrameType::kOk);
+  EXPECT_TRUE(second.final.has_flag("cached"));
+  EXPECT_EQ(second.final.flag("exit"), "0");
+  // The acceptance criterion: byte-for-byte identical payloads.
+  EXPECT_EQ(first.final.payload, second.final.payload);
+
+  Frame stats;
+  stats.type = FrameType::kStats;
+  const service::Exchange after = roundtrip(stats);
+  EXPECT_NE(after.final.payload.find("\"hits\": 1"), std::string::npos)
+      << after.final.payload;
+}
+
+TEST_F(ServiceFixture, OverloadShrinksBudgetAndKeepsAnytimeGapRows) {
+  service::ServiceConfig config;
+  config.dispatchers = 2;
+  config.threads = 1;
+  config.queue_soft = 0;  // any in-flight load shrinks the next request
+  config.queue_cap = 2;
+  config.min_budget_factor = 0.25;
+  start(config);
+
+  // Occupy one dispatcher with a long-budget exact solve.
+  SolveRequest victim;
+  victim.id = "victim";
+  victim.solvers = {"busy/weighted-exact"};
+  victim.budget_ms = 60000.0;
+  victim.instance = weighted_instance(26, 11);
+  const Frame victim_frame = solve_frame(victim);
+  std::thread occupant([&] {
+    std::string error;
+    (void)service::client_roundtrip(address_, victim_frame, &error);
+  });
+  ASSERT_TRUE(wait_for_in_flight(2));
+
+  // The next request is admitted with a shrunk budget: the victim alone
+  // gives load = 1 over a soft limit of 0 with cap 2, factor 1 - 1/2 =
+  // 0.5 (100 ms). The wait_for_in_flight stats connection may still be
+  // counted at the accept instant, making load = 2 and flooring the
+  // factor at 0.25 (50 ms) — both are correct admission outcomes.
+  SolveRequest squeezed;
+  squeezed.solvers = {"busy/weighted-exact"};
+  squeezed.budget_ms = 200.0;
+  squeezed.instance = weighted_instance(26, 12);
+  const service::Exchange exchange = roundtrip(solve_frame(squeezed));
+  ASSERT_EQ(exchange.final.type, FrameType::kOk) << exchange.final.payload;
+  const std::string granted = exchange.final.flag("budget-ms");
+  ASSERT_FALSE(granted.empty()) << "expected a shrunk-budget flag";
+  EXPECT_LT(std::stod(granted), squeezed.budget_ms);
+  EXPECT_TRUE(std::stod(granted) == 100.0 || std::stod(granted) == 50.0)
+      << "budget-ms flag: " << granted;
+  // The response rows are anytime incumbents with a certified gap.
+  EXPECT_NE(exchange.final.payload.find("\"timed_out\": true"),
+            std::string::npos)
+      << exchange.final.payload;
+  EXPECT_NE(exchange.final.payload.find("\"gap\": "), std::string::npos)
+      << exchange.final.payload;
+  // Shrunk responses are never inserted into the cache.
+  const service::Exchange again = roundtrip(solve_frame(squeezed));
+  EXPECT_FALSE(again.final.has_flag("cached"));
+
+  // Free the occupied dispatcher.
+  Frame cancel;
+  cancel.type = FrameType::kCancel;
+  cancel.payload = "id victim\n";
+  const service::Exchange cancelled = roundtrip(cancel);
+  EXPECT_NE(cancelled.final.payload.find("\"cancelled\": true"),
+            std::string::npos)
+      << cancelled.final.payload;
+  occupant.join();
+}
+
+TEST_F(ServiceFixture, ConcurrentClientsGetDeterministicExactAnswers) {
+  service::ServiceConfig config;
+  config.dispatchers = 4;
+  config.threads = 1;
+  config.queue_soft = 64;  // never shrink in this test
+  config.queue_cap = 64;
+  start(config);
+
+  SolveRequest request;
+  request.solvers = {"busy/weighted-exact"};
+  request.budget_ms = 10000.0;
+  request.instance = weighted_instance(10, 21);
+  const Frame frame = solve_frame(request);
+
+  constexpr int kClients = 6;
+  std::vector<std::string> payloads(kClients);
+  std::vector<std::string> exits(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      std::string error;
+      auto exchange = service::client_roundtrip(address_, frame, &error);
+      ASSERT_TRUE(exchange.has_value()) << error;
+      ASSERT_EQ(exchange->final.type, FrameType::kOk)
+          << exchange->final.payload;
+      payloads[i] = exchange->final.payload;
+      exits[i] = exchange->final.flag("exit");
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Identical requests to exact solvers answer identically: same exit,
+  // same proven-optimal cost, regardless of which clients raced the
+  // cache and which replayed it.
+  const std::string cost = json_number_after(payloads[0], "cost");
+  ASSERT_FALSE(cost.empty()) << payloads[0];
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(exits[i], "0");
+    EXPECT_EQ(json_number_after(payloads[i], "cost"), cost) << payloads[i];
+    EXPECT_NE(payloads[i].find("\"exact\": true"), std::string::npos)
+        << payloads[i];
+  }
+}
+
+TEST_F(ServiceFixture, CancelVerbAbortsAnInFlightSolve) {
+  service::ServiceConfig config;
+  config.dispatchers = 2;
+  config.threads = 1;
+  config.queue_soft = 8;
+  config.queue_cap = 8;
+  start(config);
+
+  SolveRequest victim;
+  victim.id = "doomed";
+  victim.solvers = {"busy/weighted-exact"};
+  victim.budget_ms = 60000.0;
+  victim.instance = weighted_instance(26, 31);
+  const Frame victim_frame = solve_frame(victim);
+
+  service::Exchange victim_exchange;
+  std::thread runner([&] {
+    std::string error;
+    auto exchange =
+        service::client_roundtrip(address_, victim_frame, &error);
+    ASSERT_TRUE(exchange.has_value()) << error;
+    victim_exchange = std::move(*exchange);
+  });
+  ASSERT_TRUE(wait_for_in_flight(2));
+
+  // Cancelling a bogus id finds nothing and says so.
+  Frame miss;
+  miss.type = FrameType::kCancel;
+  miss.payload = "id nobody\n";
+  EXPECT_NE(roundtrip(miss).final.payload.find("\"cancelled\": false"),
+            std::string::npos);
+
+  Frame cancel;
+  cancel.type = FrameType::kCancel;
+  cancel.payload = "id doomed\n";
+  const service::Exchange reply = roundtrip(cancel);
+  EXPECT_NE(reply.final.payload.find("\"cancelled\": true"),
+            std::string::npos)
+      << reply.final.payload;
+
+  // The solve returns promptly with its anytime incumbent instead of
+  // burning the rest of its 60 s budget.
+  runner.join();
+  ASSERT_EQ(victim_exchange.final.type, FrameType::kOk)
+      << victim_exchange.final.payload;
+  EXPECT_NE(victim_exchange.final.payload.find("\"timed_out\": true"),
+            std::string::npos)
+      << victim_exchange.final.payload;
+}
+
+}  // namespace
+}  // namespace abt

@@ -485,6 +485,133 @@ TEST(Campaign, ParseFileFormatAndRejectBadDirectives) {
   EXPECT_FALSE(engine::parse_campaign(empty, &error).has_value());
 }
 
+TEST(Campaign, ExpandGridCrossesSlackAndHorizonAxes) {
+  engine::CampaignGrid grid;
+  grid.scenarios = {"flexible"};
+  grid.ns = {8};
+  grid.gs = {3};
+  grid.slacks = {0.5, 1.5};
+  grid.horizons = {12.0, 18.0};
+  const auto points = engine::expand_grid(grid);
+  ASSERT_EQ(points.size(), 4u);
+  // slack-major over horizon: (0.5,12), (0.5,18), (1.5,12), (1.5,18).
+  EXPECT_EQ(points[0].slack, 0.5);
+  EXPECT_EQ(points[0].horizon, 12.0);
+  EXPECT_EQ(points[1].slack, 0.5);
+  EXPECT_EQ(points[1].horizon, 18.0);
+  EXPECT_EQ(points[2].slack, 1.5);
+  EXPECT_EQ(points[3].horizon, 18.0);
+
+  // Empty axes still borrow the base knobs.
+  grid.slacks.clear();
+  grid.horizons.clear();
+  grid.base.slack = 2.5;
+  grid.base.horizon = 7.0;
+  const auto borrowed = engine::expand_grid(grid);
+  ASSERT_EQ(borrowed.size(), 1u);
+  EXPECT_EQ(borrowed[0].slack, 2.5);
+  EXPECT_EQ(borrowed[0].horizon, 7.0);
+}
+
+TEST(Campaign, ParseSolverSubsetsAndAxisDirectives) {
+  std::istringstream good(
+      "scenario interval flexible\n"
+      "n 8\n"
+      "slack 0.5 1.5\n"
+      "horizon 12 18\n"
+      "solvers busy/first-fit busy/greedy-tracking\n"
+      "solvers:flexible busy/greedy-tracking\n");
+  std::string error;
+  const auto grid = engine::parse_campaign(good, &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  EXPECT_EQ(grid->slacks, (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(grid->horizons, (std::vector<double>{12.0, 18.0}));
+  ASSERT_EQ(grid->solvers.size(), 2u);
+  EXPECT_EQ(grid->solvers[0], "busy/first-fit");
+  // The per-scenario override wins for its scenario, the grid-wide list
+  // serves everything else.
+  EXPECT_EQ(engine::grid_solvers(*grid, "flexible"),
+            (std::vector<std::string>{"busy/greedy-tracking"}));
+  EXPECT_EQ(engine::grid_solvers(*grid, "interval"), grid->solvers);
+  EXPECT_EQ(engine::expand_grid(*grid).size(), 8u);
+
+  std::istringstream stray(
+      "scenario interval\nsolvers:weighted busy/weighted-first-fit\n");
+  EXPECT_FALSE(engine::parse_campaign(stray, &error).has_value());
+  EXPECT_NE(error.find("names no scenario"), std::string::npos) << error;
+
+  std::istringstream nameless("scenario interval\nsolvers:\n");
+  EXPECT_FALSE(engine::parse_campaign(nameless, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  std::istringstream bare("scenario interval\nsolvers\n");
+  EXPECT_FALSE(engine::parse_campaign(bare, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  std::istringstream twice(
+      "scenario interval\nsolvers busy/first-fit\nsolvers busy/exact\n");
+  EXPECT_FALSE(engine::parse_campaign(twice, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+
+  std::istringstream negative("scenario interval\nslack -1\n");
+  EXPECT_FALSE(engine::parse_campaign(negative, &error).has_value());
+  EXPECT_NE(error.find(">= 0"), std::string::npos) << error;
+}
+
+TEST(Campaign, GridSolverSubsetsRestrictEachPointsPlan) {
+  engine::CampaignGrid grid;
+  grid.scenarios = {"interval", "weighted"};
+  grid.ns = {8};
+  grid.gs = {3};
+  grid.base.seed = 5;
+  grid.solvers = {"busy/first-fit"};
+  grid.scenario_solvers["weighted"] = {"busy/weighted-first-fit"};
+  engine::CampaignOptions options;
+  options.trials = 2;
+  std::string error;
+  const auto report = engine::run_campaign(engine::shared_registry(), grid,
+                                           options, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  ASSERT_EQ(report->points.size(), 2u);
+  for (const engine::CampaignPoint& point : report->points) {
+    const std::string expected = point.spec.name == "weighted"
+                                     ? "busy/weighted-first-fit"
+                                     : "busy/first-fit";
+    EXPECT_EQ(point.solvers, std::vector<std::string>{expected});
+    ASSERT_EQ(point.aggregates.size(), 1u) << point.spec.name;
+    EXPECT_EQ(point.aggregates[0].solver, expected);
+  }
+
+  // The writers carry the new point fields.
+  std::ostringstream csv;
+  engine::write_campaign_csv(csv, *report);
+  EXPECT_NE(csv.str().find("slack"), std::string::npos);
+  EXPECT_NE(csv.str().find("horizon"), std::string::npos);
+  std::ostringstream json;
+  engine::write_campaign_json(json, *report);
+  EXPECT_NE(json.str().find("\"slack\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"solvers\": [\"busy/first-fit\"]"),
+            std::string::npos);
+}
+
+TEST(Campaign, ExactFrontierPresetDeclaresAxesAndSubsets) {
+  const auto grid = engine::campaign_preset("exact-frontier");
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_FALSE(grid->horizons.empty());
+  EXPECT_FALSE(grid->solvers.empty());
+  ASSERT_TRUE(grid->scenario_solvers.count("weighted-flexible") == 1);
+  // Every named solver must exist in the builtin registry.
+  const auto& registry = engine::shared_registry();
+  for (const std::string& name : grid->solvers) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  for (const auto& [scenario, subset] : grid->scenario_solvers) {
+    for (const std::string& name : subset) {
+      EXPECT_NE(registry.find(name), nullptr) << scenario << ": " << name;
+    }
+  }
+}
+
 TEST(Campaign, PresetsResolveAndUnknownNamesDoNot) {
   EXPECT_FALSE(engine::campaign_presets().empty());
   for (const engine::CampaignPresetInfo& info : engine::campaign_presets()) {
@@ -613,7 +740,8 @@ TEST(Campaign, WritersCarryThePoints) {
 
   std::ostringstream csv;
   engine::write_campaign_csv(csv, report);
-  EXPECT_NE(csv.str().find("scenario,n,g,seed,solver"), std::string::npos);
+  EXPECT_NE(csv.str().find("scenario,n,g,seed,slack,horizon,solver"),
+            std::string::npos);
 
   std::ostringstream json;
   engine::write_campaign_json(json, report);
